@@ -1,0 +1,76 @@
+// Command figure2 regenerates the paper's Figure 2: communication time of
+// E-Ring, RD, O-Ring and WRHT for AlexNet, VGG16, ResNet50 and GoogLeNet at
+// 128–1024 workers, plus the headline average reductions (the paper's
+// "75.76% and 91.86%"). With -extension it also measures the transformer
+// workloads (BERT-Large, GPT-2 XL) added beyond the paper.
+//
+// Usage:
+//
+//	figure2            # four subplot tables + headline reductions
+//	figure2 -csv       # machine-readable series
+//	figure2 -summary   # headline reductions only
+//	figure2 -extension # include the transformer extension grid
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wrht"
+	"wrht/internal/report"
+	"wrht/internal/stats"
+)
+
+func main() {
+	var (
+		csv       = flag.Bool("csv", false, "emit one CSV with all series")
+		summary   = flag.Bool("summary", false, "print only the headline reductions")
+		extension = flag.Bool("extension", false, "include BERT-Large and GPT-2 XL")
+	)
+	flag.Parse()
+
+	cells, err := report.Figure2()
+	if err != nil {
+		fail(err)
+	}
+	if *extension {
+		ext, err := report.ExtensionFigure()
+		if err != nil {
+			fail(err)
+		}
+		cells = append(cells, ext...)
+	}
+
+	if *csv {
+		tb := stats.NewTable("", "model", "nodes", "algorithm", "seconds")
+		for _, c := range cells {
+			tb.AddRowf(c.Model, c.Nodes, string(c.Alg), fmt.Sprintf("%.6g", c.Seconds))
+		}
+		fmt.Print(tb.CSV())
+		return
+	}
+
+	if !*summary {
+		for _, tb := range report.Tables(cells, wrht.PaperAlgorithms()) {
+			fmt.Print(tb.String())
+			fmt.Println()
+		}
+	}
+
+	paperCells := cells[:4*4*4] // headline is defined over the paper grid
+	r, err := report.Headline(paperCells)
+	if err != nil {
+		fail(err)
+	}
+	fmt.Println("Headline reductions (WRHT vs baseline, averaged over 4 models x 4 scales):")
+	fmt.Printf("  vs E-Ring:              %6.2f%%\n", 100*r.VsERing)
+	fmt.Printf("  vs RD:                  %6.2f%%\n", 100*r.VsRD)
+	fmt.Printf("  vs electrical (mean):   %6.2f%%   (paper: 75.76%%)\n", 100*r.VsElectric)
+	fmt.Printf("  vs O-Ring:              %6.2f%%   (paper: 91.86%%)\n", 100*r.VsORing)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "figure2:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,134 @@
+// Command wrhtsim prices a single all-reduce on the simulated cluster and
+// prints a comparison table.
+//
+// Usage:
+//
+//	wrhtsim -nodes 1024 -model VGG16
+//	wrhtsim -nodes 512 -bytes 104857600 -algs wrht,o-ring,e-ring
+//	wrhtsim -nodes 1024 -model AlexNet -wavelengths 32 -m 5 -plan
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+func main() {
+	var (
+		nodes       = flag.Int("nodes", 1024, "number of workers")
+		modelName   = flag.String("model", "VGG16", "catalog model (AlexNet, VGG16, ResNet50, GoogLeNet)")
+		bytes       = flag.Int64("bytes", 0, "explicit buffer size in bytes (overrides -model)")
+		algsFlag    = flag.String("algs", "", "comma-separated algorithms (default: the paper's four)")
+		wavelengths = flag.Int("wavelengths", 64, "WDM wavelengths per waveguide")
+		gbps        = flag.Float64("gbps", 25, "optical per-wavelength rate (Gb/s)")
+		elecGbps    = flag.Float64("elec-gbps", 100, "electrical link rate (Gb/s)")
+		groupSize   = flag.Int("m", 0, "Wrht group size (0 = optimizer)")
+		greedy      = flag.Bool("greedy", false, "use Wrht's greedy all-to-all trigger")
+		plan        = flag.Bool("plan", false, "also print the Wrht plan")
+		markdown    = flag.Bool("markdown", false, "emit markdown instead of aligned text")
+		configPath  = flag.String("config", "", "load cluster config from JSON (see wrht.SaveConfig); flags still override -m/-greedy")
+		energy      = flag.Bool("energy", false, "also print per-algorithm energy estimates")
+	)
+	flag.Parse()
+
+	var cfg wrht.Config
+	if *configPath != "" {
+		var err error
+		cfg, err = wrht.LoadConfig(*configPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wrhtsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		cfg = wrht.DefaultConfig(*nodes)
+		cfg.Optical.Wavelengths = *wavelengths
+		cfg.Optical.GbpsPerWavelength = *gbps
+		cfg.Electrical.LinkGbps = *elecGbps
+	}
+	cfg.WrhtGroupSize = *groupSize
+	cfg.WrhtGreedyA2A = *greedy
+
+	size := *bytes
+	label := stats.FormatBytes(size)
+	if size == 0 {
+		m := wrht.MustModel(*modelName)
+		size = m.Bytes
+		label = fmt.Sprintf("%s (%s FP32 gradients)", m.Name, stats.FormatBytes(size))
+	}
+
+	algs := wrht.PaperAlgorithms()
+	if *algsFlag != "" {
+		algs = nil
+		for _, a := range strings.Split(*algsFlag, ",") {
+			algs = append(algs, wrht.Algorithm(strings.TrimSpace(a)))
+		}
+	}
+
+	results, err := wrht.Compare(cfg, algs, size)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrhtsim:", err)
+		os.Exit(1)
+	}
+
+	best := results[0].Seconds
+	for _, r := range results {
+		if r.Seconds < best {
+			best = r.Seconds
+		}
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("all-reduce of %s on %d nodes (w=%d × %g Gb/s optical, %g Gb/s electrical)",
+			label, cfg.Nodes, cfg.Optical.Wavelengths, cfg.Optical.GbpsPerWavelength,
+			cfg.Electrical.LinkGbps),
+		"algorithm", "substrate", "time", "steps", "λ", "vs best")
+	for _, r := range results {
+		lam := "-"
+		if r.MaxWavelengths > 0 {
+			lam = fmt.Sprintf("%d", r.MaxWavelengths)
+		}
+		tb.AddRow(string(r.Algorithm), r.Substrate,
+			stats.FormatSeconds(r.Seconds),
+			fmt.Sprintf("%d", r.Steps), lam,
+			fmt.Sprintf("%.2fx", r.Seconds/best))
+	}
+	if *markdown {
+		fmt.Print(tb.Markdown())
+	} else {
+		fmt.Print(tb.String())
+	}
+
+	if *energy {
+		et := stats.NewTable("\nenergy per all-reduce", "algorithm", "dynamic", "tuning", "static", "total")
+		for _, a := range algs {
+			rep, err := wrht.EnergyEstimate(cfg, a, size)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "wrhtsim:", err)
+				os.Exit(1)
+			}
+			et.AddRow(string(a),
+				fmt.Sprintf("%.3g J", rep.DynamicJ),
+				fmt.Sprintf("%.3g J", rep.TuningJ),
+				fmt.Sprintf("%.3g J", rep.StaticJ),
+				fmt.Sprintf("%.3g J", rep.TotalJ))
+		}
+		fmt.Print(et.String())
+	}
+
+	if *plan {
+		p, err := wrht.Plan(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wrhtsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nWrht plan: %s\n", p.Description)
+		fmt.Printf("  steps %d (paper bound %d), tree levels %d, all-to-all reps %d\n",
+			p.Steps, p.StepsUpperBnd, p.TreeLevels, p.A2AReps)
+		fmt.Printf("  stripes: tree x%d, all-to-all x%d; per-step wavelength demand %v\n",
+			p.TreeStripe, p.A2AStripe, p.StepDemands)
+	}
+}

@@ -1,0 +1,53 @@
+// energy_budget estimates the energy of one gradient all-reduce per
+// algorithm and model — the paper's "low power cost" motivation for optical
+// interconnects, quantified. Optical transfers convert at the endpoints only
+// (pass-through nodes stay in the optical domain), so the per-bit dynamic
+// energy is an order of magnitude below the electrical network's, and Wrht's
+// short runtime shrinks the static laser term that dominates O-Ring.
+//
+//	go run ./examples/energy_budget
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+func main() {
+	cfg := wrht.DefaultConfig(1024)
+	algs := []wrht.Algorithm{wrht.AlgERing, wrht.AlgRD, wrht.AlgORing, wrht.AlgWrht}
+
+	for _, m := range wrht.Models() {
+		tb := stats.NewTable(
+			fmt.Sprintf("energy per %s all-reduce (%s) on %d workers",
+				m.Name, stats.FormatBytes(m.Bytes), cfg.Nodes),
+			"algorithm", "time", "dynamic", "tuning", "static", "total", "vs wrht")
+		var wrhtJ float64
+		reports := make([]wrht.EnergyReport, 0, len(algs))
+		for _, alg := range algs {
+			rep, err := wrht.EnergyEstimate(cfg, alg, m.Bytes)
+			if err != nil {
+				log.Fatal(err)
+			}
+			reports = append(reports, rep)
+			if alg == wrht.AlgWrht {
+				wrhtJ = rep.TotalJ
+			}
+		}
+		for _, rep := range reports {
+			tb.AddRow(string(rep.Algorithm),
+				stats.FormatSeconds(rep.Seconds),
+				fmt.Sprintf("%.3g J", rep.DynamicJ),
+				fmt.Sprintf("%.3g J", rep.TuningJ),
+				fmt.Sprintf("%.3g J", rep.StaticJ),
+				fmt.Sprintf("%.3g J", rep.TotalJ),
+				fmt.Sprintf("%.1fx", rep.TotalJ/wrhtJ))
+		}
+		fmt.Print(tb.String())
+		fmt.Println()
+	}
+	fmt.Println("dynamic = per-bit conversion/switch energy; static = laser/idle power x duration.")
+}

@@ -1,0 +1,57 @@
+// schedule_inspect renders the Wrht schedule structure — the paper's
+// Figure 1 — for a small ring: every reduce level's groups and
+// representative collections, the all-to-all among the final
+// representatives, and the mirrored broadcast stage, with per-step
+// wavelength counts from real First-Fit assignment.
+//
+//	go run ./examples/schedule_inspect
+//	go run ./examples/schedule_inspect -nodes 27 -m 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "ring size")
+	m := flag.Int("m", 3, "Wrht group size (0 = optimizer)")
+	flag.Parse()
+
+	cfg := wrht.DefaultConfig(*nodes)
+	cfg.WrhtGroupSize = *m
+
+	plan, err := wrht.Plan(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Wrht on %d nodes, %d wavelengths: %s\n", *nodes, cfg.Optical.Wavelengths, plan.Description)
+	fmt.Printf("steps: %d (paper bound 2⌈log_m N⌉ = %d)\n\n", plan.Steps, plan.StepsUpperBnd)
+
+	steps, err := wrht.ScheduleOutline(cfg, wrht.AlgWrht, 4<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range steps {
+		fmt.Printf("step %2d  %-26s %3d transfers, %2d λ, %s\n",
+			st.Index, st.Label, st.Transfers, st.Wavelengths, stats.FormatSeconds(st.Seconds))
+		arcs := st.Arcs
+		const perLine = 8
+		for off := 0; off < len(arcs); off += perLine {
+			end := off + perLine
+			if end > len(arcs) {
+				end = len(arcs)
+			}
+			fmt.Printf("         %s\n", strings.Join(arcs[off:end], "  "))
+		}
+	}
+
+	fmt.Println("\nwavelength reuse: groups occupy disjoint ring arcs, so every group's")
+	fmt.Println("collection shares the same ⌊m/2⌋ wavelengths (the λ column stays flat")
+	fmt.Println("across levels even as group spans grow).")
+}

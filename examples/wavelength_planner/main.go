@@ -1,0 +1,55 @@
+// wavelength_planner explores how Wrht's plan shape responds to the
+// hardware's wavelength budget: the optimizer's group size, step count,
+// stripe widths, and the resulting communication time for one model, across
+// w = 1..128. This is the tool a deployment would use to size its comb
+// laser.
+//
+//	go run ./examples/wavelength_planner
+//	go run ./examples/wavelength_planner -nodes 512 -model ResNet50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1024, "ring size")
+	modelName := flag.String("model", "VGG16", "catalog model")
+	flag.Parse()
+
+	m := wrht.MustModel(*modelName)
+	tb := stats.NewTable(
+		fmt.Sprintf("Wrht plan vs wavelength budget: %s (%s) on %d nodes",
+			m.Name, stats.FormatBytes(m.Bytes), *nodes),
+		"w", "m*", "steps", "tree stripe", "a2a reps", "time", "speedup vs w=1")
+	var base float64
+	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		cfg := wrht.DefaultConfig(*nodes)
+		cfg.Optical.Wavelengths = w
+		plan, err := wrht.Plan(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := wrht.CommunicationTime(cfg, wrht.AlgWrht, m.Bytes)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if base == 0 {
+			base = res.Seconds
+		}
+		tb.AddRow(fmt.Sprintf("%d", w),
+			fmt.Sprintf("%d", plan.GroupSize),
+			fmt.Sprintf("%d", plan.Steps),
+			fmt.Sprintf("x%d", plan.TreeStripe),
+			fmt.Sprintf("%d", plan.A2AReps),
+			stats.FormatSeconds(res.Seconds),
+			fmt.Sprintf("%.1fx", base/res.Seconds))
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nm* is the optimizer's group size; steps obey 2⌈log_m N⌉ or one less.")
+}

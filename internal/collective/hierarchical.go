@@ -1,0 +1,119 @@
+package collective
+
+import (
+	"fmt"
+
+	"wrht/internal/tensor"
+)
+
+// HierarchicalRing builds a two-level ring all-reduce: nodes are split into
+// contiguous groups of size g; each group runs an intra-group ring
+// reduce-scatter, then the owners of corresponding chunks across groups run
+// an inter-group ring all-reduce on their chunk, and finally each group runs
+// an intra-group all-gather. It generalizes E-Ring the way Wrht generalizes
+// a binary tree and is used as an extra baseline and ablation point.
+//
+// Step count: (g-1) + 2(G-1) + (g-1) where G = ⌈n/g⌉; groups must divide
+// evenly (n % g == 0) to keep chunk ownership aligned across groups.
+func HierarchicalRing(n, g, elems int) (*Schedule, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: hierarchical ring needs n >= 2, got %d", n)
+	}
+	if g < 1 || n%g != 0 {
+		return nil, fmt.Errorf("collective: group size %d must divide n=%d", g, n)
+	}
+	G := n / g
+	s := &Schedule{Algorithm: fmt.Sprintf("hierarchical-ring(g=%d)", g), N: n, Elems: elems}
+	chunks := tensor.Chunks(elems, g)
+	node := func(group, member int) int { return group*g + member }
+
+	// Phase 1: intra-group ring reduce-scatter over g chunks.
+	for t := 0; t < g-1; t++ {
+		st := Step{Label: fmt.Sprintf("intra reduce-scatter %d/%d", t+1, g-1)}
+		for grp := 0; grp < G; grp++ {
+			for i := 0; i < g; i++ {
+				c := ((i-t)%g + g) % g
+				st.Transfers = append(st.Transfers, Transfer{
+					Src: node(grp, i), Dst: node(grp, (i+1)%g),
+					Region: chunks[c], Op: OpReduce,
+				})
+			}
+		}
+		if len(st.Transfers) > 0 {
+			s.Steps = append(s.Steps, st)
+		}
+	}
+	// Ring reduce-scatter leaves member i owning chunk (i+1)%g, so chunk c
+	// is owned by member (c-1+g)%g of every group.
+	owner := func(c int) int { return ((c - 1) + g) % g }
+
+	// Phase 2: inter-group ring all-reduce per chunk, among the owners of
+	// that chunk across groups, over sub-chunks of the chunk.
+	if G > 1 {
+		for t := 0; t < G-1; t++ {
+			st := Step{Label: fmt.Sprintf("inter reduce-scatter %d/%d", t+1, G-1)}
+			for c := 0; c < g; c++ {
+				sub := subChunks(chunks[c], G)
+				for grp := 0; grp < G; grp++ {
+					sc := ((grp-t)%G + G) % G
+					if sub[sc].Len == 0 {
+						continue
+					}
+					st.Transfers = append(st.Transfers, Transfer{
+						Src: node(grp, owner(c)), Dst: node((grp+1)%G, owner(c)),
+						Region: sub[sc], Op: OpReduce,
+					})
+				}
+			}
+			if len(st.Transfers) > 0 {
+				s.Steps = append(s.Steps, st)
+			}
+		}
+		for t := 0; t < G-1; t++ {
+			st := Step{Label: fmt.Sprintf("inter all-gather %d/%d", t+1, G-1)}
+			for c := 0; c < g; c++ {
+				sub := subChunks(chunks[c], G)
+				for grp := 0; grp < G; grp++ {
+					sc := ((grp+1-t)%G + G) % G
+					if sub[sc].Len == 0 {
+						continue
+					}
+					st.Transfers = append(st.Transfers, Transfer{
+						Src: node(grp, owner(c)), Dst: node((grp+1)%G, owner(c)),
+						Region: sub[sc], Op: OpCopy,
+					})
+				}
+			}
+			if len(st.Transfers) > 0 {
+				s.Steps = append(s.Steps, st)
+			}
+		}
+	}
+
+	// Phase 3: intra-group all-gather.
+	for t := 0; t < g-1; t++ {
+		st := Step{Label: fmt.Sprintf("intra all-gather %d/%d", t+1, g-1)}
+		for grp := 0; grp < G; grp++ {
+			for i := 0; i < g; i++ {
+				c := ((i+1-t)%g + g) % g
+				st.Transfers = append(st.Transfers, Transfer{
+					Src: node(grp, i), Dst: node(grp, (i+1)%g),
+					Region: chunks[c], Op: OpCopy,
+				})
+			}
+		}
+		if len(st.Transfers) > 0 {
+			s.Steps = append(s.Steps, st)
+		}
+	}
+	return s, nil
+}
+
+// subChunks partitions a region into parts contiguous sub-regions.
+func subChunks(r tensor.Region, parts int) []tensor.Region {
+	subs := tensor.Chunks(r.Len, parts)
+	for i := range subs {
+		subs[i].Offset += r.Offset
+	}
+	return subs
+}

@@ -1,0 +1,132 @@
+package collective
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrht/internal/tensor"
+)
+
+// executeWith runs the schedule over custom initial buffers and returns them.
+func executeWith(t *testing.T, s *Schedule, fill func(node int, buf []float64)) [][]float64 {
+	t.Helper()
+	bufs := make([][]float64, s.N)
+	for node := range bufs {
+		bufs[node] = make([]float64, s.Elems)
+		fill(node, bufs[node])
+	}
+	if err := s.Execute(bufs); err != nil {
+		t.Fatal(err)
+	}
+	return bufs
+}
+
+func TestAllReduceZeroFixedPoint(t *testing.T) {
+	// All-zero inputs must stay all-zero under every algorithm.
+	for _, alg := range allAlgorithms() {
+		s, err := alg.build(9, 31)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bufs := executeWith(t, s, func(int, []float64) {})
+		for node, b := range bufs {
+			for i, v := range b {
+				if v != 0 {
+					t.Fatalf("%s: node %d element %d = %v", alg.name, node, i, v)
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceLinearity(t *testing.T) {
+	// All-reduce is linear: running on α·x inputs gives α·(result on x).
+	// Use integer α and integer inputs for exactness.
+	rng := rand.New(rand.NewSource(33))
+	for _, alg := range allAlgorithms() {
+		n := rng.Intn(10) + 3
+		elems := rng.Intn(50) + 1
+		s, err := alg.build(n, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := executeWith(t, s, func(node int, buf []float64) {
+			tensor.Fill(buf, node)
+		})
+		scaled := executeWith(t, s, func(node int, buf []float64) {
+			tensor.Fill(buf, node)
+			tensor.Scale(buf, 3)
+		})
+		for node := range base {
+			for i := range base[node] {
+				if scaled[node][i] != 3*base[node][i] {
+					t.Fatalf("%s: linearity broken at node %d elem %d: %v vs 3*%v",
+						alg.name, node, i, scaled[node][i], base[node][i])
+				}
+			}
+		}
+	}
+}
+
+func TestAllReduceOneHotInputs(t *testing.T) {
+	// If only node k holds data (value v), everyone must end with exactly v.
+	for _, alg := range allAlgorithms() {
+		const n, elems = 7, 13
+		s, err := alg.build(n, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := 0; k < n; k++ {
+			bufs := executeWith(t, s, func(node int, buf []float64) {
+				if node == k {
+					for i := range buf {
+						buf[i] = float64(100*k + i)
+					}
+				}
+			})
+			for node := range bufs {
+				for i, v := range bufs[node] {
+					if v != float64(100*k+i) {
+						t.Fatalf("%s: one-hot at %d: node %d elem %d = %v",
+							alg.name, k, node, i, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTrafficLowerBound(t *testing.T) {
+	// Any all-reduce must move at least (n-1) full buffers in total traffic
+	// (each node's data must reach at least one aggregation point), and the
+	// bandwidth-optimal algorithms sit at 2(n-1)/n per node.
+	for _, alg := range allAlgorithms() {
+		const n, elems = 16, 160
+		s, err := alg.build(n, elems)
+		if err != nil {
+			t.Fatal(err)
+		}
+		min := int64((n - 1) * elems)
+		if got := s.TotalTrafficElems(); got < min {
+			t.Errorf("%s: traffic %d below the information-theoretic floor %d",
+				alg.name, got, min)
+		}
+	}
+}
+
+func TestStepsNonEmpty(t *testing.T) {
+	for _, alg := range allAlgorithms() {
+		s, err := alg.build(12, 24)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for si, st := range s.Steps {
+			if len(st.Transfers) == 0 {
+				t.Errorf("%s: step %d (%s) is empty", alg.name, si, st.Label)
+			}
+			if st.Label == "" {
+				t.Errorf("%s: step %d unlabeled", alg.name, si)
+			}
+		}
+	}
+}

@@ -1,0 +1,225 @@
+package collective
+
+import (
+	"fmt"
+
+	"wrht/internal/tensor"
+)
+
+// pow2Floor returns the largest power of two <= n (n >= 1).
+func pow2Floor(n int) int {
+	p := 1
+	for p*2 <= n {
+		p *= 2
+	}
+	return p
+}
+
+// CeilLog2 returns ⌈log2 n⌉ for n >= 1.
+func CeilLog2(n int) int {
+	l, p := 0, 1
+	for p < n {
+		p *= 2
+		l++
+	}
+	return l
+}
+
+// RecursiveDoubling builds the classic recursive-doubling all-reduce: log2(n)
+// steps in which pairs at distance 1, 2, 4, ... exchange their full buffers
+// and both reduce. This is the paper's RD baseline (electrical substrate).
+//
+// Non-power-of-two node counts use the standard MPICH preamble: the first
+// 2*(n-pow2) nodes fold pairwise so a power-of-two core runs the exchange,
+// and a final step copies the result back to the folded-out nodes.
+func RecursiveDoubling(n, elems int) (*Schedule, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: recursive doubling needs n >= 2, got %d", n)
+	}
+	s := &Schedule{Algorithm: "recursive-doubling", N: n, Elems: elems}
+	full := tensor.Region{Offset: 0, Len: elems}
+
+	pow2 := pow2Floor(n)
+	rem := n - pow2
+
+	// core[i] = physical node acting as core rank i.
+	core := make([]int, 0, pow2)
+	if rem > 0 {
+		pre := Step{Label: "fold non-power-of-two"}
+		for i := 0; i < rem; i++ {
+			// node 2i folds into node 2i+1
+			pre.Transfers = append(pre.Transfers, Transfer{
+				Src: 2 * i, Dst: 2*i + 1, Region: full, Op: OpReduce,
+			})
+			core = append(core, 2*i+1)
+		}
+		for i := 2 * rem; i < n; i++ {
+			core = append(core, i)
+		}
+		s.Steps = append(s.Steps, pre)
+	} else {
+		for i := 0; i < n; i++ {
+			core = append(core, i)
+		}
+	}
+
+	for dist := 1; dist < pow2; dist *= 2 {
+		st := Step{Label: fmt.Sprintf("exchange dist %d", dist)}
+		for r := 0; r < pow2; r++ {
+			p := r ^ dist
+			// every ordered pair appears once; both directions in one step
+			st.Transfers = append(st.Transfers, Transfer{
+				Src: core[r], Dst: core[p], Region: full, Op: OpReduce,
+			})
+		}
+		s.Steps = append(s.Steps, st)
+	}
+
+	if rem > 0 {
+		post := Step{Label: "unfold"}
+		for i := 0; i < rem; i++ {
+			post.Transfers = append(post.Transfers, Transfer{
+				Src: 2*i + 1, Dst: 2 * i, Region: full, Op: OpCopy,
+			})
+		}
+		s.Steps = append(s.Steps, post)
+	}
+	return s, nil
+}
+
+// HalvingDoubling builds Rabenseifner's all-reduce: a reduce-scatter by
+// recursive vector halving followed by an all-gather by recursive doubling.
+// It moves 2·(n-1)/n of the buffer per node (bandwidth-optimal) in
+// 2·log2(n) steps, and serves as an additional electrical/optical baseline
+// and ablation point. Non-power-of-two counts fold as in RecursiveDoubling.
+func HalvingDoubling(n, elems int) (*Schedule, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: halving-doubling needs n >= 2, got %d", n)
+	}
+	s := &Schedule{Algorithm: "halving-doubling", N: n, Elems: elems}
+	full := tensor.Region{Offset: 0, Len: elems}
+
+	pow2 := pow2Floor(n)
+	rem := n - pow2
+	core := make([]int, 0, pow2)
+	if rem > 0 {
+		pre := Step{Label: "fold non-power-of-two"}
+		for i := 0; i < rem; i++ {
+			pre.Transfers = append(pre.Transfers, Transfer{
+				Src: 2 * i, Dst: 2*i + 1, Region: full, Op: OpReduce,
+			})
+			core = append(core, 2*i+1)
+		}
+		for i := 2 * rem; i < n; i++ {
+			core = append(core, i)
+		}
+		s.Steps = append(s.Steps, pre)
+	} else {
+		for i := 0; i < n; i++ {
+			core = append(core, i)
+		}
+	}
+
+	levels := 0
+	for p := pow2; p > 1; p /= 2 {
+		levels++
+	}
+
+	// Reduce-scatter by halving. regions[r] is core rank r's current region;
+	// history[l][r] records it before level l's split, for the gather phase.
+	regions := make([]tensor.Region, pow2)
+	for r := range regions {
+		regions[r] = full
+	}
+	history := make([][]tensor.Region, levels)
+	dist := pow2 / 2
+	for l := 0; l < levels; l++ {
+		history[l] = append([]tensor.Region(nil), regions...)
+		st := Step{Label: fmt.Sprintf("halving dist %d", dist)}
+		for r := 0; r < pow2; r++ {
+			p := r ^ dist
+			lo, hi := tensor.Halves(regions[r])
+			var keep, send tensor.Region
+			if r&dist == 0 {
+				keep, send = lo, hi
+			} else {
+				keep, send = hi, lo
+			}
+			if send.Len > 0 {
+				st.Transfers = append(st.Transfers, Transfer{
+					Src: core[r], Dst: core[p], Region: send, Op: OpReduce,
+				})
+			}
+			regions[r] = keep
+		}
+		s.Steps = append(s.Steps, st)
+		dist /= 2
+	}
+
+	// All-gather by doubling: undo levels in reverse order.
+	dist = 1
+	for l := levels - 1; l >= 0; l-- {
+		st := Step{Label: fmt.Sprintf("doubling dist %d", dist)}
+		for r := 0; r < pow2; r++ {
+			p := r ^ dist
+			if regions[r].Len > 0 {
+				st.Transfers = append(st.Transfers, Transfer{
+					Src: core[r], Dst: core[p], Region: regions[r], Op: OpCopy,
+				})
+			}
+		}
+		for r := 0; r < pow2; r++ {
+			regions[r] = history[l][r]
+		}
+		s.Steps = append(s.Steps, st)
+		dist *= 2
+	}
+
+	if rem > 0 {
+		post := Step{Label: "unfold"}
+		for i := 0; i < rem; i++ {
+			post.Transfers = append(post.Transfers, Transfer{
+				Src: 2*i + 1, Dst: 2 * i, Region: full, Op: OpCopy,
+			})
+		}
+		s.Steps = append(s.Steps, post)
+	}
+	return s, nil
+}
+
+// BinomialTree builds a reduce-to-root followed by a broadcast, both along a
+// binomial tree: 2·⌈log2 n⌉ steps, each moving the full buffer. It is the
+// electrical ancestor of Wrht's hierarchical tree (fan-in limited to 2) and
+// is used in ablations.
+func BinomialTree(n, elems int) (*Schedule, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: binomial tree needs n >= 2, got %d", n)
+	}
+	s := &Schedule{Algorithm: "binomial-tree", N: n, Elems: elems}
+	full := tensor.Region{Offset: 0, Len: elems}
+	levels := CeilLog2(n)
+
+	// Reduce: at step l, nodes with r mod 2^(l+1) == 2^l send to r - 2^l.
+	for l := 0; l < levels; l++ {
+		bit := 1 << l
+		st := Step{Label: fmt.Sprintf("reduce level %d", l+1)}
+		for r := bit; r < n; r += 2 * bit {
+			st.Transfers = append(st.Transfers, Transfer{
+				Src: r, Dst: r - bit, Region: full, Op: OpReduce,
+			})
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	// Broadcast: mirror image.
+	for l := levels - 1; l >= 0; l-- {
+		bit := 1 << l
+		st := Step{Label: fmt.Sprintf("broadcast level %d", l+1)}
+		for r := bit; r < n; r += 2 * bit {
+			st.Transfers = append(st.Transfers, Transfer{
+				Src: r - bit, Dst: r, Region: full, Op: OpCopy,
+			})
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s, nil
+}

@@ -1,0 +1,128 @@
+package collective
+
+import (
+	"strings"
+	"testing"
+
+	"wrht/internal/tensor"
+)
+
+func TestValidateCatchesOutOfRange(t *testing.T) {
+	s := &Schedule{Algorithm: "bad", N: 2, Elems: 4, Steps: []Step{{
+		Transfers: []Transfer{{Src: 0, Dst: 2, Region: tensor.Region{Offset: 0, Len: 4}}},
+	}}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("expected out-of-range error, got %v", err)
+	}
+}
+
+func TestValidateCatchesSelfTransfer(t *testing.T) {
+	s := &Schedule{Algorithm: "bad", N: 2, Elems: 4, Steps: []Step{{
+		Transfers: []Transfer{{Src: 1, Dst: 1, Region: tensor.Region{Offset: 0, Len: 4}}},
+	}}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "self-transfer") {
+		t.Fatalf("expected self-transfer error, got %v", err)
+	}
+}
+
+func TestValidateCatchesBadRegion(t *testing.T) {
+	s := &Schedule{Algorithm: "bad", N: 2, Elems: 4, Steps: []Step{{
+		Transfers: []Transfer{{Src: 0, Dst: 1, Region: tensor.Region{Offset: 2, Len: 4}}},
+	}}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "outside buffer") {
+		t.Fatalf("expected region error, got %v", err)
+	}
+}
+
+func TestValidateCatchesConflictingCopies(t *testing.T) {
+	s := &Schedule{Algorithm: "bad", N: 3, Elems: 4, Steps: []Step{{
+		Transfers: []Transfer{
+			{Src: 0, Dst: 2, Region: tensor.Region{Offset: 0, Len: 4}, Op: OpCopy},
+			{Src: 1, Dst: 2, Region: tensor.Region{Offset: 2, Len: 2}, Op: OpCopy},
+		},
+	}}}
+	if err := s.Validate(); err == nil || !strings.Contains(err.Error(), "conflicting writes") {
+		t.Fatalf("expected conflict error, got %v", err)
+	}
+}
+
+func TestValidateAllowsOverlappingReduces(t *testing.T) {
+	s := &Schedule{Algorithm: "ok", N: 3, Elems: 4, Steps: []Step{{
+		Transfers: []Transfer{
+			{Src: 0, Dst: 2, Region: tensor.Region{Offset: 0, Len: 4}, Op: OpReduce},
+			{Src: 1, Dst: 2, Region: tensor.Region{Offset: 2, Len: 2}, Op: OpReduce},
+		},
+	}}}
+	if err := s.Validate(); err != nil {
+		t.Fatalf("overlapping reduces must be legal: %v", err)
+	}
+}
+
+func TestExecuteSynchronousSemantics(t *testing.T) {
+	// A swap step: both nodes send their full buffer simultaneously with
+	// OpCopy; synchronous semantics require each to receive the *pre-step*
+	// value of the other.
+	s := &Schedule{Algorithm: "swap", N: 2, Elems: 2, Steps: []Step{{
+		Transfers: []Transfer{
+			{Src: 0, Dst: 1, Region: tensor.Region{Offset: 0, Len: 2}, Op: OpCopy},
+			{Src: 1, Dst: 0, Region: tensor.Region{Offset: 0, Len: 2}, Op: OpCopy},
+		},
+	}}}
+	bufs := [][]float64{{1, 2}, {10, 20}}
+	if err := s.Execute(bufs); err != nil {
+		t.Fatal(err)
+	}
+	if bufs[0][0] != 10 || bufs[1][0] != 1 {
+		t.Fatalf("swap broken: %v", bufs)
+	}
+}
+
+func TestExecuteExchangeReduce(t *testing.T) {
+	// RD-style pairwise exchange: both must end with the pre-step sum.
+	s := &Schedule{Algorithm: "xchg", N: 2, Elems: 1, Steps: []Step{{
+		Transfers: []Transfer{
+			{Src: 0, Dst: 1, Region: tensor.Region{Offset: 0, Len: 1}, Op: OpReduce},
+			{Src: 1, Dst: 0, Region: tensor.Region{Offset: 0, Len: 1}, Op: OpReduce},
+		},
+	}}}
+	bufs := [][]float64{{3}, {4}}
+	if err := s.Execute(bufs); err != nil {
+		t.Fatal(err)
+	}
+	if bufs[0][0] != 7 || bufs[1][0] != 7 {
+		t.Fatalf("exchange-reduce broken: %v", bufs)
+	}
+}
+
+func TestExecuteRejectsWrongShapes(t *testing.T) {
+	s := &Schedule{Algorithm: "x", N: 2, Elems: 2}
+	if err := s.Execute([][]float64{{1, 2}}); err == nil {
+		t.Fatal("wrong buffer count accepted")
+	}
+	if err := s.Execute([][]float64{{1, 2}, {1}}); err == nil {
+		t.Fatal("wrong buffer length accepted")
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	s, err := RingAllReduce(4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumSteps() != 6 {
+		t.Fatalf("ring(4) steps = %d, want 6", s.NumSteps())
+	}
+	if s.TotalTransfers() != 6*4 {
+		t.Fatalf("ring(4) transfers = %d, want 24", s.TotalTransfers())
+	}
+	// Each of the 2(n-1) steps moves n chunks of elems/n: total 2(n-1)*elems.
+	if got, want := s.TotalTrafficElems(), int64(2*3*8); got != want {
+		t.Fatalf("ring(4,8) traffic = %d, want %d", got, want)
+	}
+}
+
+func TestOpString(t *testing.T) {
+	if OpReduce.String() != "reduce" || OpCopy.String() != "copy" {
+		t.Fatal("Op String broken")
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/ring"
+	"wrht/internal/runner"
+)
+
+// wrapLinks returns the dense indices of the two directed links of the span
+// between node N-1 and node 0.
+func wrapLinks(topo ring.Topology) (cw, ccw int) {
+	n := topo.N()
+	return topo.Index(ring.Link{From: n - 1, Dir: ring.CW}),
+		topo.Index(ring.Link{From: 0, Dir: ring.CCW})
+}
+
+// usesWrap reports whether any transfer of the schedule occupies the wrap
+// span (transfers are routed; unrouted ones take the shortest path).
+func usesWrap(t *testing.T, topo ring.Topology, s *collective.Schedule) bool {
+	t.Helper()
+	cw, ccw := wrapLinks(topo)
+	for _, st := range s.Steps {
+		for _, tr := range st.Transfers {
+			arc := ring.Arc{Src: tr.Src, Dst: tr.Dst, Dir: tr.Dir}
+			if !tr.Routed {
+				arc = topo.ShortestArc(tr.Src, tr.Dst)
+			}
+			hit := false
+			topo.VisitLinks(arc, func(l int) {
+				if l == cw || l == ccw {
+					hit = true
+				}
+			})
+			if hit {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func TestAvoidWrapSurvivesSpanFailure(t *testing.T) {
+	// Wrht's tree groups are contiguous and never wrap, so with the
+	// wrap-avoiding all-to-all routing the whole schedule survives a failure
+	// of the span between node N-1 and node 0. This is a structural
+	// fault-tolerance property the ring baselines cannot have.
+	cases := []struct{ n, w, m int }{
+		{16, 4, 3},
+		{100, 16, 7},
+		{128, 64, 3},
+		{128, 64, 129},
+		{1024, 64, 3},
+	}
+	for _, c := range cases {
+		m := c.m
+		if m > c.n {
+			m = c.n
+		}
+		p := mustPlan(t, c.n, c.w, Options{M: m, Policy: A2AFormula, Striping: true, AvoidWrap: true})
+		s, err := p.Schedule(16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if usesWrap(t, p.Topo, s) {
+			t.Errorf("n=%d m=%d: AvoidWrap schedule crosses the wrap span", c.n, m)
+		}
+		// Still a correct all-reduce, and still realizable on the fabric.
+		if err := collective.VerifyAllReduce(s); err != nil {
+			t.Fatalf("n=%d m=%d: %v", c.n, m, err)
+		}
+		opts := runner.DefaultOpticalOptions()
+		opts.Params.Wavelengths = c.w
+		opts.ValidateFabric = true
+		if _, err := runner.RunOptical(s, opts); err != nil {
+			t.Fatalf("n=%d m=%d: %v", c.n, m, err)
+		}
+	}
+}
+
+func TestTreeStepsNeverWrapEvenWithoutOption(t *testing.T) {
+	// The contiguous-group invariant alone keeps every *tree* transfer off
+	// the wrap span; only the all-to-all may cross it under balanced routing.
+	p := mustPlan(t, 128, 64, Options{M: 5, Policy: A2AFormula, Striping: true})
+	s, err := p.Schedule(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw, ccw := wrapLinks(p.Topo)
+	for si, st := range s.Steps {
+		if p.A2AReps != nil && si == len(p.ReduceLevels) {
+			continue // the all-to-all step is exempt here
+		}
+		for _, tr := range st.Transfers {
+			arc := ring.Arc{Src: tr.Src, Dst: tr.Dst, Dir: tr.Dir}
+			p.Topo.VisitLinks(arc, func(l int) {
+				if l == cw || l == ccw {
+					t.Errorf("step %d (%s): tree transfer %v wraps", si, st.Label, arc)
+				}
+			})
+		}
+	}
+}
+
+func TestORingNecessarilyUsesEveryLink(t *testing.T) {
+	// Contrast: the ring baseline traverses the wrap span by construction,
+	// so a span failure kills it.
+	s, err := collective.RingAllReduce(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo := ring.MustNew(16)
+	if !usesWrap(t, topo, s) {
+		t.Fatal("ring all-reduce unexpectedly avoids the wrap span")
+	}
+}
+
+func TestAvoidWrapPipelinedToo(t *testing.T) {
+	p := mustPlan(t, 27, 8, Options{M: 3, Policy: A2AFormula, Striping: false, AvoidWrap: true})
+	s, err := p.PipelinedSchedule(30, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if usesWrap(t, p.Topo, s) {
+		t.Error("pipelined AvoidWrap schedule crosses the wrap span")
+	}
+	if err := collective.VerifyAllReduce(s); err != nil {
+		t.Fatal(err)
+	}
+}

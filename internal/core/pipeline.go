@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"wrht/internal/collective"
+	"wrht/internal/tensor"
+)
+
+// PipelinedSchedule is the chunked-pipeline extension of Wrht (beyond the
+// paper; its natural "future work"): the buffer is split into `chunks`
+// contiguous chunks, and chunk c enters reduce level 1 at global step c, so
+// stage s processes chunk c during global step s+c. Total steps grow to
+// NumSteps()+chunks-1, but each step serializes only 1/chunks of the buffer.
+//
+// Pipelining pays off when transfers cannot stripe across the full
+// wavelength budget (e.g. the paper's literal one-wavelength-per-transfer
+// accounting): concurrent stages then ride distinct wavelengths. Under full
+// striping the fabric is already bandwidth-saturated and pipelining only
+// adds steps — the ablation BenchmarkAblationPipelining quantifies both
+// regimes. Wavelength demand grows with the number of concurrently active
+// stages; the substrate splits any over-budget step into rounds, so the
+// timing stays honest either way.
+func (p *Plan) PipelinedSchedule(elems, chunks int) (*collective.Schedule, error) {
+	if chunks < 1 {
+		return nil, fmt.Errorf("core: pipeline chunks %d", chunks)
+	}
+	if elems < 0 {
+		return nil, fmt.Errorf("core: negative elems %d", elems)
+	}
+	if chunks == 1 {
+		return p.Schedule(elems)
+	}
+	regions := tensor.Chunks(elems, chunks)
+	stages := p.stageTemplates()
+
+	s := &collective.Schedule{
+		Algorithm: fmt.Sprintf("wrht-pipelined(m=%d,c=%d)", p.M, chunks),
+		N:         p.N,
+		Elems:     elems,
+	}
+	totalSteps := len(stages) + chunks - 1
+	for t := 0; t < totalSteps; t++ {
+		st := collective.Step{Label: fmt.Sprintf("pipeline step %d", t+1)}
+		for si, stage := range stages {
+			c := t - si
+			if c < 0 || c >= chunks {
+				continue
+			}
+			if regions[c].Len == 0 {
+				continue
+			}
+			for _, tr := range stage {
+				tr.Region = regions[c]
+				st.Transfers = append(st.Transfers, tr)
+			}
+		}
+		s.Steps = append(s.Steps, st)
+	}
+	return s, nil
+}
+
+// stageTemplates lowers the plan to its stage sequence with full-buffer
+// placeholder regions (the pipeline substitutes per-chunk regions).
+func (p *Plan) stageTemplates() [][]collective.Transfer {
+	var stages [][]collective.Transfer
+	tree := func(li int, broadcast bool) []collective.Transfer {
+		var out []collective.Transfer
+		for _, g := range p.ReduceLevels[li].Groups {
+			for _, mem := range g.Members {
+				if mem == g.Rep {
+					continue
+				}
+				tr := collective.Transfer{
+					Routed: true,
+					Width:  p.TreeStripe,
+				}
+				if broadcast {
+					tr.Src, tr.Dst = g.Rep, mem
+					tr.Op = collective.OpCopy
+					tr.Dir = dirToward(mem, g.Rep).Opposite()
+				} else {
+					tr.Src, tr.Dst = mem, g.Rep
+					tr.Op = collective.OpReduce
+					tr.Dir = dirToward(mem, g.Rep)
+				}
+				out = append(out, tr)
+			}
+		}
+		return out
+	}
+	for li := range p.ReduceLevels {
+		stages = append(stages, tree(li, false))
+	}
+	if p.A2AReps != nil {
+		var out []collective.Transfer
+		for _, d := range p.a2aDemands() {
+			out = append(out, collective.Transfer{
+				Src: d.Arc.Src, Dst: d.Arc.Dst,
+				Op:     collective.OpReduce,
+				Routed: true,
+				Dir:    d.Arc.Dir,
+				Width:  p.A2AStripe,
+			})
+		}
+		stages = append(stages, out)
+	}
+	for li := len(p.ReduceLevels) - 1; li >= 0; li-- {
+		stages = append(stages, tree(li, true))
+	}
+	return stages
+}

@@ -1,0 +1,77 @@
+package core
+
+import (
+	"testing"
+
+	"wrht/internal/collective"
+)
+
+func TestPipelinedScheduleCorrectness(t *testing.T) {
+	cases := []struct{ n, w, m, chunks, elems int }{
+		{8, 2, 3, 2, 16},
+		{16, 4, 3, 4, 64},
+		{16, 4, 3, 7, 65},
+		{27, 8, 3, 3, 100},
+		{100, 16, 7, 5, 50},
+		{64, 64, 9, 8, 33},
+		{16, 4, 3, 32, 17}, // more chunks than elements per chunk
+	}
+	for _, c := range cases {
+		for _, striping := range []bool{false, true} {
+			p := mustPlan(t, c.n, c.w, Options{M: c.m, Policy: A2AFormula, Striping: striping})
+			s, err := p.PipelinedSchedule(c.elems, c.chunks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := collective.VerifyAllReduce(s); err != nil {
+				t.Fatalf("n=%d m=%d chunks=%d striping=%v: %v", c.n, c.m, c.chunks, striping, err)
+			}
+			want := p.NumSteps() + c.chunks - 1
+			if got := s.NumSteps(); got != want {
+				t.Fatalf("n=%d chunks=%d: steps=%d, want %d", c.n, c.chunks, got, want)
+			}
+		}
+	}
+}
+
+func TestPipelinedChunks1EqualsPlain(t *testing.T) {
+	p := mustPlan(t, 16, 4, Options{M: 3, Policy: A2AFormula})
+	a, err := p.PipelinedSchedule(64, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := p.Schedule(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumSteps() != b.NumSteps() || a.TotalTransfers() != b.TotalTransfers() {
+		t.Fatalf("chunks=1 differs from plain: %d/%d vs %d/%d",
+			a.NumSteps(), a.TotalTransfers(), b.NumSteps(), b.TotalTransfers())
+	}
+}
+
+func TestPipelinedValidation(t *testing.T) {
+	p := mustPlan(t, 8, 2, Options{M: 3, Policy: A2AFormula})
+	if _, err := p.PipelinedSchedule(16, 0); err == nil {
+		t.Fatal("chunks=0 accepted")
+	}
+	if _, err := p.PipelinedSchedule(-1, 2); err == nil {
+		t.Fatal("negative elems accepted")
+	}
+}
+
+func TestPipelinedTrafficConserved(t *testing.T) {
+	// Pipelining reorders work; total traffic must be identical.
+	p := mustPlan(t, 27, 8, Options{M: 3, Policy: A2AFormula})
+	plain, err := p.Schedule(999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	piped, err := p.PipelinedSchedule(999, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.TotalTrafficElems() != piped.TotalTrafficElems() {
+		t.Fatalf("traffic %d vs %d", plain.TotalTrafficElems(), piped.TotalTrafficElems())
+	}
+}

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wrht/internal/ring"
+)
+
+// CostParams is the minimal optical cost model the planner's optimizer needs.
+// It mirrors the per-transfer structure of internal/optical's full timing
+// model without importing it (the substrate packages sit above the planner).
+type CostParams struct {
+	// GbpsPerWavelength is the line rate of a single wavelength channel.
+	GbpsPerWavelength float64
+	// PerStepSec is the fixed overhead charged once per synchronous step
+	// (micro-ring tuning + control plane + SerDes + E/O + O/E).
+	PerStepSec float64
+	// PropSecPerHop is the per-hop propagation delay.
+	PropSecPerHop float64
+}
+
+// DefaultCostParams matches internal/optical's defaults: 25 Gb/s channels,
+// ≈3 µs per-step overhead (2 µs MRR tuning + 1 µs control + conversion
+// latencies), 10 ns/hop.
+func DefaultCostParams() CostParams {
+	return CostParams{
+		GbpsPerWavelength: 25,
+		PerStepSec:        3.02e-6,
+		PropSecPerHop:     10e-9,
+	}
+}
+
+// PredictTime returns the analytic communication time for all-reducing
+// `bytes` bytes under this plan: every step costs the fixed overhead, the
+// propagation of its longest arc, and the serialization of the full buffer
+// over that step's stripe width. Tests assert agreement with the
+// event-accurate optical substrate to within ~1%.
+func (p *Plan) PredictTime(c CostParams, bytes int64) float64 {
+	if c.GbpsPerWavelength <= 0 {
+		panic(fmt.Sprintf("core: non-positive wavelength rate %v", c.GbpsPerWavelength))
+	}
+	bits := float64(bytes) * 8
+	chanBps := c.GbpsPerWavelength * 1e9
+	total := 0.0
+	treeStep := func(lvl Level) float64 {
+		return c.PerStepSec +
+			float64(lvl.MaxHops)*c.PropSecPerHop +
+			bits/(float64(p.TreeStripe)*chanBps)
+	}
+	for _, lvl := range p.ReduceLevels {
+		total += 2 * treeStep(lvl) // reduce + mirrored broadcast
+	}
+	if p.A2AReps != nil {
+		maxHops := 0
+		for i, src := range p.A2AReps {
+			for j, dst := range p.A2AReps {
+				if i == j {
+					continue
+				}
+				cw := p.Topo.Dist(src, dst, ring.CW)
+				ccw := p.Topo.N() - cw
+				h := cw
+				if ccw < h {
+					h = ccw
+				}
+				if h > maxHops {
+					maxHops = h
+				}
+			}
+		}
+		total += c.PerStepSec +
+			float64(maxHops)*c.PropSecPerHop +
+			bits/(float64(p.A2AStripe)*chanBps)
+	}
+	return total
+}
+
+// ChooseM searches group sizes m ∈ [2, min(2w+1, N)] and both all-to-all
+// policies for the plan with the smallest predicted time on opts.Cost,
+// breaking ties toward fewer steps, then smaller m. opts.M is ignored.
+//
+// The buffer size only rescales the bandwidth term identically across plans
+// with equal stripe×steps products, so the optimizer evaluates a nominal
+// 100 MB buffer; callers with extreme latency/bandwidth ratios can build
+// specific plans directly.
+func ChooseM(n, w int, opts Options) (*Plan, error) {
+	const nominalBytes = 100 << 20
+	var best *Plan
+	bestTime := math.Inf(1)
+	maxM := MaxGroupSize(w)
+	if maxM > n {
+		maxM = n
+	}
+	if maxM < 2 {
+		maxM = 2
+	}
+	for _, policy := range []A2APolicy{A2AFormula, A2AGreedy} {
+		for m := 2; m <= maxM; m++ {
+			o := opts
+			o.M = m
+			o.Policy = policy
+			p, err := BuildPlan(n, w, o)
+			if err != nil {
+				return nil, fmt.Errorf("core: ChooseM at m=%d: %w", m, err)
+			}
+			t := p.PredictTime(opts.Cost, nominalBytes)
+			if better(t, p, bestTime, best) {
+				best, bestTime = p, t
+			}
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("core: no feasible plan for n=%d w=%d", n, w)
+	}
+	return best, nil
+}
+
+// better orders candidate plans: lower predicted time, then fewer steps,
+// then smaller m, then formula policy (deterministic tie-breaking).
+func better(t float64, p *Plan, bestTime float64, best *Plan) bool {
+	if best == nil {
+		return true
+	}
+	const eps = 1e-12
+	switch {
+	case t < bestTime-eps:
+		return true
+	case t > bestTime+eps:
+		return false
+	}
+	if p.NumSteps() != best.NumSteps() {
+		return p.NumSteps() < best.NumSteps()
+	}
+	if p.M != best.M {
+		return p.M < best.M
+	}
+	return p.Policy == A2AFormula && best.Policy != A2AFormula
+}

@@ -1,0 +1,35 @@
+package dnn
+
+// Forward-pass FLOP accounting. Convolution FLOPs are 2·k²·Cin·Cout·Hout·Wout
+// (multiply + add), fully connected layers 2·in·out, batch-norm 2·C·H·W.
+// The builders in dnn.go attach these to each layer by tracking the spatial
+// resolution through the network; totals are asserted against published
+// GMACs in tests (AlexNet ≈0.71, VGG16 ≈15.5, ResNet50 ≈4.1, GoogLeNet ≈1.5
+// GMACs per 224²/227² image).
+
+// TotalFLOPs sums the per-layer forward FLOPs (0 for models built without
+// FLOP annotations).
+func (m Model) TotalFLOPs() int64 {
+	var t int64
+	for _, l := range m.Layers {
+		t += l.FLOPs
+	}
+	return t
+}
+
+// convFLOPs is the forward cost of a convolution producing hout×wout.
+func convFLOPs(k, cin, cout, hout, wout int) int64 {
+	return 2 * int64(k) * int64(k) * int64(cin) * int64(cout) * int64(hout) * int64(wout)
+}
+
+// fcFLOPs is the forward cost of a fully connected layer.
+func fcFLOPs(in, out int) int64 { return 2 * int64(in) * int64(out) }
+
+// bnFLOPs is the forward cost of batch normalization over c×h×w.
+func bnFLOPs(c, h, w int) int64 { return 2 * int64(c) * int64(h) * int64(w) }
+
+// convOut returns the output resolution of a convolution/pool with kernel k,
+// stride s and padding p on an h×h input.
+func convOut(h, k, s, p int) int {
+	return (h+2*p-k)/s + 1
+}

@@ -1,0 +1,92 @@
+package dnn
+
+import (
+	"math"
+	"testing"
+)
+
+// gmacs returns the forward multiply-accumulate count in billions.
+func gmacs(m Model) float64 { return float64(m.TotalFLOPs()) / 2e9 }
+
+func within(t *testing.T, name string, got, want, tol float64) {
+	t.Helper()
+	if d := math.Abs(got-want) / want; d > tol {
+		t.Errorf("%s = %.4g, want %.4g (±%.0f%%)", name, got, want, 100*tol)
+	}
+}
+
+func TestFLOPsMatchPublishedGMACs(t *testing.T) {
+	// Published per-image forward GMACs at the standard input resolutions.
+	within(t, "VGG16 GMACs", gmacs(VGG16()), 15.47, 0.01)
+	within(t, "ResNet50 GMACs", gmacs(ResNet50()), 4.10, 0.02)
+	within(t, "GoogLeNet GMACs", gmacs(GoogLeNet()), 1.5, 0.10)
+	// AlexNet here is the ungrouped single-tower variant (62.3M params, the
+	// paper's count); its MACs are ~1.13G — the often-quoted 0.71G is the
+	// two-GPU grouped variant.
+	within(t, "AlexNet GMACs", gmacs(AlexNet()), 1.13, 0.02)
+}
+
+func TestFLOPsPositivePerConvLayer(t *testing.T) {
+	for _, m := range PaperModels() {
+		for _, l := range m.Layers {
+			if l.FLOPs <= 0 {
+				t.Fatalf("%s layer %q has %d FLOPs", m.Name, l.Name, l.FLOPs)
+			}
+		}
+	}
+}
+
+func TestConvOut(t *testing.T) {
+	cases := []struct{ h, k, s, p, want int }{
+		{227, 11, 4, 0, 55},
+		{224, 7, 2, 3, 112},
+		{112, 3, 2, 1, 56},
+		{55, 3, 2, 0, 27},
+	}
+	for _, c := range cases {
+		if got := convOut(c.h, c.k, c.s, c.p); got != c.want {
+			t.Errorf("convOut(%d,%d,%d,%d) = %d, want %d", c.h, c.k, c.s, c.p, got, c.want)
+		}
+	}
+}
+
+func TestTransformerParams(t *testing.T) {
+	// BERT-Large: ≈335M published (without pooler); GPT-2 XL: 1.557B.
+	b := BERTLarge()
+	within(t, "BERT-Large params", float64(b.TotalParams()), 335e6, 0.01)
+	g := GPT2XL()
+	within(t, "GPT-2-XL params", float64(g.TotalParams()), 1.557e9, 0.01)
+	// Dense-transformer FLOP rule of thumb: ≈2·params·seq per forward pass.
+	within(t, "GPT-2-XL FLOPs", float64(g.TotalFLOPs()),
+		2*float64(g.TotalParams()-80_411_200-1_638_400)*1024, 0.01)
+}
+
+func TestExtensionModelsByName(t *testing.T) {
+	for _, name := range []string{"BERT-Large", "GPT-2-XL"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Fatalf("ByName(%s): %v %v", name, m, err)
+		}
+	}
+	if len(ExtensionModels()) != 2 {
+		t.Fatal("extension catalog size")
+	}
+}
+
+func TestTransformerBucketsWork(t *testing.T) {
+	m := GPT2XL()
+	buckets, err := m.Buckets(25<<20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for _, b := range buckets {
+		total += b.Params
+	}
+	if total != m.TotalParams() {
+		t.Fatalf("buckets cover %d of %d", total, m.TotalParams())
+	}
+	if len(buckets) < 100 {
+		t.Fatalf("GPT-2-XL at 25MB cap should need many buckets, got %d", len(buckets))
+	}
+}

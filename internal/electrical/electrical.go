@@ -1,0 +1,334 @@
+// Package electrical is the repository's stand-in for SimGrid: a flow-level
+// simulator of electrical packet networks. Concurrent flows share link
+// bandwidth max-min fairly (progressive filling, the same fluid model
+// SimGrid's network models use); an event loop advances time to each flow
+// completion and re-solves the remaining rates. Three topologies cover the
+// paper's electrical baselines: a non-blocking switched cluster (default for
+// E-Ring and RD — the most favorable to the electrical algorithms, making
+// Wrht's reported gains conservative), a physical ring, and a two-level
+// fat-tree with configurable oversubscription.
+package electrical
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the electrical network constants.
+type Params struct {
+	// LinkGbps is the per-link (NIC/switch-port) bandwidth.
+	LinkGbps float64
+	// PerStepLatencySec is charged once per synchronous step: software
+	// stack, NIC and switch traversal (SimGrid's latency term).
+	PerStepLatencySec float64
+}
+
+// DefaultParams returns the constants used by the evaluation: 100 Gb/s links
+// and 5 µs per-step latency (see DESIGN.md §4).
+func DefaultParams() Params {
+	return Params{LinkGbps: 100, PerStepLatencySec: 5e-6}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	if p.LinkGbps <= 0 || math.IsNaN(p.LinkGbps) {
+		return fmt.Errorf("electrical: invalid link rate %v", p.LinkGbps)
+	}
+	if p.PerStepLatencySec < 0 || math.IsNaN(p.PerStepLatencySec) {
+		return fmt.Errorf("electrical: invalid step latency %v", p.PerStepLatencySec)
+	}
+	return nil
+}
+
+// Network is a directed-link topology with a routing function.
+type Network struct {
+	name     string
+	numNodes int
+	// capBps[l] is link l's capacity in bits/s.
+	capBps []float64
+	// route returns the link indices a src→dst flow traverses.
+	route func(src, dst int) []int
+}
+
+// Name identifies the topology (for reports).
+func (nw *Network) Name() string { return nw.name }
+
+// NumNodes returns the number of end hosts.
+func (nw *Network) NumNodes() int { return nw.numNodes }
+
+// NumLinks returns the number of directed links.
+func (nw *Network) NumLinks() int { return len(nw.capBps) }
+
+// Route exposes the path of a flow (for tests).
+func (nw *Network) Route(src, dst int) []int { return nw.route(src, dst) }
+
+// NewSwitchedCluster models n hosts on a non-blocking switch: each host has
+// one uplink and one downlink of linkGbps; the crossbar itself is not a
+// bottleneck. Links [0,n) are uplinks, [n,2n) downlinks.
+func NewSwitchedCluster(n int, linkGbps float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("electrical: cluster needs >= 2 hosts, got %d", n)
+	}
+	if linkGbps <= 0 {
+		return nil, fmt.Errorf("electrical: link rate %v", linkGbps)
+	}
+	caps := make([]float64, 2*n)
+	for i := range caps {
+		caps[i] = linkGbps * 1e9
+	}
+	return &Network{
+		name:     fmt.Sprintf("switched-cluster(%d)", n),
+		numNodes: n,
+		capBps:   caps,
+		route: func(src, dst int) []int {
+			return []int{src, n + dst}
+		},
+	}, nil
+}
+
+// NewRingNetwork models n hosts connected in a bidirectional ring of
+// linkGbps links; flows take the shortest direction (CW on ties).
+// Links [0,n) are CW (i -> i+1), [n,2n) are CCW (i -> i-1).
+func NewRingNetwork(n int, linkGbps float64) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("electrical: ring needs >= 2 hosts, got %d", n)
+	}
+	if linkGbps <= 0 {
+		return nil, fmt.Errorf("electrical: link rate %v", linkGbps)
+	}
+	caps := make([]float64, 2*n)
+	for i := range caps {
+		caps[i] = linkGbps * 1e9
+	}
+	return &Network{
+		name:     fmt.Sprintf("ring(%d)", n),
+		numNodes: n,
+		capBps:   caps,
+		route: func(src, dst int) []int {
+			cw := ((dst-src)%n + n) % n
+			ccw := n - cw
+			var links []int
+			if cw <= ccw {
+				for k, cur := 0, src; k < cw; k++ {
+					links = append(links, cur)
+					cur = (cur + 1) % n
+				}
+			} else {
+				for k, cur := 0, src; k < ccw; k++ {
+					links = append(links, n+cur)
+					cur = (cur - 1 + n) % n
+				}
+			}
+			return links
+		},
+	}, nil
+}
+
+// NewFatTree models a two-level leaf/spine network: hosts sit in pods of
+// podSize under a leaf switch; every leaf connects to one spine with an
+// uplink of podSize*linkGbps/oversub. oversub = 1 is non-blocking; larger
+// values starve cross-pod traffic, letting experiments show electrical
+// congestion (something the optical ring does not suffer).
+func NewFatTree(n, podSize int, linkGbps, oversub float64) (*Network, error) {
+	if n < 2 || podSize < 1 || n%podSize != 0 {
+		return nil, fmt.Errorf("electrical: fat-tree needs podSize | n, got n=%d podSize=%d", n, podSize)
+	}
+	if linkGbps <= 0 || oversub < 1 {
+		return nil, fmt.Errorf("electrical: bad rates linkGbps=%v oversub=%v", linkGbps, oversub)
+	}
+	pods := n / podSize
+	// Links: host up [0,n), host down [n,2n),
+	// leaf up [2n, 2n+pods), leaf down [2n+pods, 2n+2*pods).
+	caps := make([]float64, 2*n+2*pods)
+	for i := 0; i < 2*n; i++ {
+		caps[i] = linkGbps * 1e9
+	}
+	uplink := float64(podSize) * linkGbps * 1e9 / oversub
+	for i := 2 * n; i < len(caps); i++ {
+		caps[i] = uplink
+	}
+	return &Network{
+		name:     fmt.Sprintf("fat-tree(%d,pod=%d,os=%.1f)", n, podSize, oversub),
+		numNodes: n,
+		capBps:   caps,
+		route: func(src, dst int) []int {
+			ps, pd := src/podSize, dst/podSize
+			if ps == pd {
+				return []int{src, n + dst}
+			}
+			return []int{src, 2*n + ps, 2*n + pods + pd, n + dst}
+		},
+	}, nil
+}
+
+// Flow is one transfer inside a synchronous step.
+type Flow struct {
+	Src, Dst int
+	Bits     float64
+}
+
+// FlowTimes simulates the given flows all starting at t=0 and returns the
+// completion time of each plus the makespan. Rates follow max-min fairness,
+// re-solved at every flow completion (progressive filling).
+func (nw *Network) FlowTimes(flows []Flow) (makespan float64, done []float64, err error) {
+	type state struct {
+		path      []int
+		remaining float64
+		done      float64
+		active    bool
+	}
+	sts := make([]state, len(flows))
+	for i, f := range flows {
+		if f.Src < 0 || f.Src >= nw.numNodes || f.Dst < 0 || f.Dst >= nw.numNodes {
+			return 0, nil, fmt.Errorf("electrical: flow %d endpoints (%d,%d) out of range", i, f.Src, f.Dst)
+		}
+		if f.Src == f.Dst {
+			return 0, nil, fmt.Errorf("electrical: flow %d is a self-flow", i)
+		}
+		if f.Bits < 0 || math.IsNaN(f.Bits) {
+			return 0, nil, fmt.Errorf("electrical: flow %d has %v bits", i, f.Bits)
+		}
+		sts[i] = state{path: nw.route(f.Src, f.Dst), remaining: f.Bits, active: f.Bits > 0}
+	}
+
+	now := 0.0
+	rates := make([]float64, len(flows))
+	paths := make([][]int, len(flows))
+	active := make([]bool, len(flows))
+	for i := range sts {
+		paths[i] = sts[i].path
+		active[i] = sts[i].active
+	}
+	for {
+		activeCount := 0
+		for i := range sts {
+			if sts[i].active {
+				activeCount++
+			}
+		}
+		if activeCount == 0 {
+			break
+		}
+		nw.maxMinRates(paths, active, rates)
+		// Advance to the next completion.
+		dt := math.Inf(1)
+		for i := range sts {
+			if !sts[i].active {
+				continue
+			}
+			if rates[i] <= 0 {
+				return 0, nil, fmt.Errorf("electrical: flow %d starved (zero rate)", i)
+			}
+			if d := sts[i].remaining / rates[i]; d < dt {
+				dt = d
+			}
+		}
+		now += dt
+		for i := range sts {
+			if !sts[i].active {
+				continue
+			}
+			sts[i].remaining -= rates[i] * dt
+			if sts[i].remaining <= 1e-6 { // sub-bit residue: finished
+				sts[i].remaining = 0
+				sts[i].active = false
+				active[i] = false
+				sts[i].done = now
+			}
+		}
+	}
+	done = make([]float64, len(flows))
+	for i := range sts {
+		done[i] = sts[i].done
+		if done[i] > makespan {
+			makespan = done[i]
+		}
+	}
+	return makespan, done, nil
+}
+
+// maxMinRates fills rates for active flows via progressive filling:
+// repeatedly saturate the link with the smallest fair share and freeze the
+// flows crossing it. The result is the max-min fair allocation.
+func (nw *Network) maxMinRates(paths [][]int, active []bool, rates []float64) {
+	residual := make([]float64, len(nw.capBps))
+	copy(residual, nw.capBps)
+	count := make([]int, len(nw.capBps))
+	frozen := make([]bool, len(paths))
+	for i := range paths {
+		rates[i] = 0
+		if !active[i] {
+			frozen[i] = true
+			continue
+		}
+		for _, l := range paths[i] {
+			count[l]++
+		}
+	}
+	for {
+		// Find the bottleneck link's fair share.
+		share := math.Inf(1)
+		for l := range residual {
+			if count[l] > 0 {
+				if s := residual[l] / float64(count[l]); s < share {
+					share = s
+				}
+			}
+		}
+		if math.IsInf(share, 1) {
+			return // all flows frozen
+		}
+		// Freeze every unfrozen flow crossing a saturating link.
+		progress := false
+		for i := range paths {
+			if frozen[i] {
+				continue
+			}
+			bottlenecked := false
+			for _, l := range paths[i] {
+				if count[l] > 0 && residual[l]/float64(count[l]) <= share*(1+1e-12) {
+					bottlenecked = true
+					break
+				}
+			}
+			if !bottlenecked {
+				continue
+			}
+			rates[i] = share
+			frozen[i] = true
+			progress = true
+			for _, l := range paths[i] {
+				residual[l] -= share
+				if residual[l] < 0 {
+					residual[l] = 0
+				}
+				count[l]--
+			}
+		}
+		if !progress {
+			return
+		}
+	}
+}
+
+// StepCost prices one synchronous step: fixed per-step latency plus the
+// makespan of the step's flows under max-min sharing.
+func (nw *Network) StepCost(p Params, flows []Flow) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	nonEmpty := flows[:0:0]
+	for _, f := range flows {
+		if f.Bits > 0 {
+			nonEmpty = append(nonEmpty, f)
+		}
+	}
+	if len(nonEmpty) == 0 {
+		return p.PerStepLatencySec, nil
+	}
+	makespan, _, err := nw.FlowTimes(nonEmpty)
+	if err != nil {
+		return 0, err
+	}
+	return p.PerStepLatencySec + makespan, nil
+}

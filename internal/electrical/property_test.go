@@ -1,0 +1,133 @@
+package electrical
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func randomTopology(rng *rand.Rand, n int) (*Network, error) {
+	switch rng.Intn(3) {
+	case 0:
+		return NewSwitchedCluster(n, 100)
+	case 1:
+		return NewRingNetwork(n, 100)
+	default:
+		pod := 1
+		for _, p := range []int{4, 2, 1} {
+			if n%p == 0 {
+				pod = p
+				break
+			}
+		}
+		return NewFatTree(n, pod, 100, 2)
+	}
+}
+
+func randomFlows(rng *rand.Rand, n, count int) []Flow {
+	flows := make([]Flow, count)
+	for i := range flows {
+		src := rng.Intn(n)
+		dst := rng.Intn(n)
+		for dst == src {
+			dst = rng.Intn(n)
+		}
+		flows[i] = Flow{Src: src, Dst: dst, Bits: float64(rng.Intn(1<<30) + 1)}
+	}
+	return flows
+}
+
+func TestMakespanMonotoneInFlowSize(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(14) + 2
+		nw, err := randomTopology(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := randomFlows(rng, n, rng.Intn(12)+1)
+		mk1, _, err := nw.FlowTimes(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bigger := append([]Flow(nil), flows...)
+		for i := range bigger {
+			bigger[i].Bits *= 2
+		}
+		mk2, _, err := nw.FlowTimes(bigger)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk2 < mk1-1e-12 {
+			t.Fatalf("%s: doubling flow sizes reduced makespan %v -> %v", nw.Name(), mk1, mk2)
+		}
+	}
+}
+
+func TestAddingFlowNeverSpeedsUp(t *testing.T) {
+	rng := rand.New(rand.NewSource(52))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(14) + 2
+		nw, err := randomTopology(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		flows := randomFlows(rng, n, rng.Intn(10)+1)
+		mk1, _, err := nw.FlowTimes(flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		more := append(append([]Flow(nil), flows...), randomFlows(rng, n, 1)...)
+		mk2, _, err := nw.FlowTimes(more)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mk2 < mk1-1e-9 {
+			t.Fatalf("%s: adding a flow reduced makespan %v -> %v", nw.Name(), mk1, mk2)
+		}
+	}
+}
+
+func TestRoutesStayInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(53))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(20) + 2
+		nw, err := randomTopology(rng, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for pair := 0; pair < 20; pair++ {
+			src := rng.Intn(n)
+			dst := rng.Intn(n)
+			if src == dst {
+				continue
+			}
+			path := nw.Route(src, dst)
+			if len(path) == 0 {
+				t.Fatalf("%s: empty path %d->%d", nw.Name(), src, dst)
+			}
+			for _, l := range path {
+				if l < 0 || l >= nw.NumLinks() {
+					t.Fatalf("%s: link %d out of range (%d links)", nw.Name(), l, nw.NumLinks())
+				}
+			}
+		}
+	}
+}
+
+func TestPerFlowCompletionNeverExceedsMakespan(t *testing.T) {
+	rng := rand.New(rand.NewSource(54))
+	nw, err := NewFatTree(8, 4, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flows := randomFlows(rng, 8, 12)
+	mk, done, err := nw.FlowTimes(flows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range done {
+		if d > mk+1e-12 || d <= 0 {
+			t.Fatalf("flow %d completion %v vs makespan %v", i, d, mk)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package energy
+
+import (
+	"math"
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/electrical"
+	"wrht/internal/model"
+	"wrht/internal/optical"
+)
+
+func TestOpticalBreakdownHandComputed(t *testing.T) {
+	s, err := collective.RingAllReduce(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := OpticalCosts{
+		SerDesPJPerBit: 1, EOPJPerBit: 0.5, OEPJPerBit: 0.5,
+		TuningNJPerTransfer: 10, LaserMWPerNode: 100,
+	}
+	b, err := Optical(s, 2.0, c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Traffic = 2*(n-1)*elems = 6000 elems = 192000 bits at 2 pJ/bit.
+	wantDyn := 192000 * 2e-12
+	if math.Abs(b.DynamicJ-wantDyn) > 1e-18 {
+		t.Fatalf("dynamic %v, want %v", b.DynamicJ, wantDyn)
+	}
+	// 6 steps × 4 transfers = 24 transfers × 10 nJ.
+	if math.Abs(b.TuningJ-24*10e-9) > 1e-15 {
+		t.Fatalf("tuning %v", b.TuningJ)
+	}
+	// 4 nodes × 100 mW × 2 s.
+	if math.Abs(b.StaticJ-0.8) > 1e-12 {
+		t.Fatalf("static %v", b.StaticJ)
+	}
+	if math.Abs(b.TotalJ()-(b.DynamicJ+b.TuningJ+b.StaticJ)) > 1e-18 {
+		t.Fatal("TotalJ broken")
+	}
+}
+
+func TestElectricalBreakdownHandComputed(t *testing.T) {
+	s, err := collective.RingAllReduce(4, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ElectricalCosts{NICPJPerBit: 5, SwitchPJPerBit: 10, SwitchesPerPath: 1, IdleMWPerNode: 200}
+	b, err := Electrical(s, 1.0, c, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantDyn := 192000 * 20e-12 // 2×5 + 1×10 = 20 pJ/bit
+	if math.Abs(b.DynamicJ-wantDyn) > 1e-18 {
+		t.Fatalf("dynamic %v, want %v", b.DynamicJ, wantDyn)
+	}
+	if math.Abs(b.StaticJ-0.8) > 1e-12 {
+		t.Fatalf("static %v", b.StaticJ)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	s, _ := collective.RingAllReduce(4, 100)
+	if _, err := Optical(s, -1, DefaultOpticalCosts(), 4); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	if _, err := Optical(s, 1, DefaultOpticalCosts(), 0); err == nil {
+		t.Fatal("zero elem width accepted")
+	}
+	if _, err := Electrical(s, -1, DefaultElectricalCosts(), 4); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+	bad := DefaultElectricalCosts()
+	bad.SwitchesPerPath = -1
+	if _, err := Electrical(s, 1, bad, 4); err == nil {
+		t.Fatal("negative switch count accepted")
+	}
+}
+
+func TestWrhtEnergyBeatsBaselines(t *testing.T) {
+	// The paper's motivation: optical interconnects cut power. Compare one
+	// VGG16-sized all-reduce at N=256: Wrht must beat E-Ring (electrical
+	// per-bit cost) and O-Ring (12× longer static-laser exposure).
+	const n = 256
+	const elems = 138_357_544
+	op := optical.DefaultParams()
+	ep := electrical.DefaultParams()
+
+	plan, err := core.BuildPlan(n, op.Wavelengths, core.Options{M: 3, Policy: core.A2AFormula, Striping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrhtS, err := plan.Schedule(elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ringS, err := collective.RingAllReduce(n, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bytes := int64(elems) * 4
+	wrhtE, err := Optical(wrhtS, model.Wrht(plan, bytes, op), DefaultOpticalCosts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oRingE, err := Optical(ringS, model.ORing(n, bytes, op), DefaultOpticalCosts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eRingE, err := Electrical(ringS, model.ERing(n, bytes, ep), DefaultElectricalCosts(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrhtE.TotalJ() >= eRingE.TotalJ() {
+		t.Errorf("Wrht %.3g J not below E-Ring %.3g J", wrhtE.TotalJ(), eRingE.TotalJ())
+	}
+	if wrhtE.TotalJ() >= oRingE.TotalJ() {
+		t.Errorf("Wrht %.3g J not below O-Ring %.3g J", wrhtE.TotalJ(), oRingE.TotalJ())
+	}
+	// Optical per-bit dynamic energy is far below electrical.
+	if wrhtE.DynamicJ >= eRingE.DynamicJ {
+		t.Errorf("optical dynamic %.3g J not below electrical %.3g J",
+			wrhtE.DynamicJ, eRingE.DynamicJ)
+	}
+}

@@ -1,0 +1,272 @@
+// Package optical models a TeraRack-like WDM optical ring interconnect: each
+// node couples to two directional waveguides through banks of micro-ring
+// resonators, every waveguide carries Wavelengths channels of
+// GbpsPerWavelength each, and a transfer occupies its wavelength(s) on every
+// directed link along its arc for the duration of the transmission.
+//
+// The package prices synchronous communication steps (StepCost) by running
+// real wavelength assignment over the step's arcs — splitting the step into
+// sequential rounds when the demand exceeds the wavelength budget — and
+// offers an event-level Fabric that replays complete schedules to certify
+// that no (link, wavelength, time) is ever double-booked.
+package optical
+
+import (
+	"fmt"
+	"math"
+
+	"wrht/internal/ring"
+	"wrht/internal/wdm"
+)
+
+// Params are the hardware constants of the optical ring.
+type Params struct {
+	// Wavelengths per waveguide per direction (TeraRack: 64).
+	Wavelengths int
+	// GbpsPerWavelength is one channel's line rate (TeraRack comb lasers:
+	// ~25 Gb/s per wavelength).
+	GbpsPerWavelength float64
+	// SerDesNs, EOConversionNs and OEConversionNs are charged once per
+	// transfer (serializer plus electrical→optical→electrical conversion).
+	SerDesNs       float64
+	EOConversionNs float64
+	OEConversionNs float64
+	// TuningNs is the micro-ring thermal retuning cost charged once per
+	// step (the fabric reconfigures between steps).
+	TuningNs float64
+	// StepControlNs is the per-step control-plane/synchronization overhead.
+	StepControlNs float64
+	// PropagationNsPerHop is the waveguide propagation delay per ring hop
+	// (about 2 m of fiber at 5 ns/m at rack scale).
+	PropagationNsPerHop float64
+}
+
+// DefaultParams returns the TeraRack-like constants used by the evaluation
+// (see DESIGN.md §4).
+func DefaultParams() Params {
+	return Params{
+		Wavelengths:         64,
+		GbpsPerWavelength:   25,
+		SerDesNs:            10,
+		EOConversionNs:      5,
+		OEConversionNs:      5,
+		TuningNs:            2000,
+		StepControlNs:       1000,
+		PropagationNsPerHop: 10,
+	}
+}
+
+// Validate checks the parameters are physically meaningful.
+func (p Params) Validate() error {
+	if p.Wavelengths < 1 {
+		return fmt.Errorf("optical: %d wavelengths", p.Wavelengths)
+	}
+	if p.GbpsPerWavelength <= 0 {
+		return fmt.Errorf("optical: non-positive channel rate %v", p.GbpsPerWavelength)
+	}
+	for _, v := range []float64{p.SerDesNs, p.EOConversionNs, p.OEConversionNs,
+		p.TuningNs, p.StepControlNs, p.PropagationNsPerHop} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("optical: invalid latency parameter %v", v)
+		}
+	}
+	return nil
+}
+
+// StepOverheadSec is the fixed per-step cost (tuning + control).
+func (p Params) StepOverheadSec() float64 {
+	return (p.TuningNs + p.StepControlNs) * 1e-9
+}
+
+// PerTransferOverheadSec is the fixed per-transfer cost (SerDes + E/O + O/E).
+func (p Params) PerTransferOverheadSec() float64 {
+	return (p.SerDesNs + p.EOConversionNs + p.OEConversionNs) * 1e-9
+}
+
+// TransferSec returns the duration of a single transfer of `bytes` bytes
+// striped over width wavelengths across hops ring links.
+func (p Params) TransferSec(bytes int64, width, hops int) float64 {
+	if width < 1 {
+		width = 1
+	}
+	serialization := float64(bytes) * 8 / (float64(width) * p.GbpsPerWavelength * 1e9)
+	return p.PerTransferOverheadSec() +
+		float64(hops)*p.PropagationNsPerHop*1e-9 +
+		serialization
+}
+
+// TransferSpec is one transfer inside a synchronous step.
+type TransferSpec struct {
+	Arc   ring.Arc
+	Bytes int64
+	// Width is the stripe width (wavelengths used in parallel); clamped to
+	// [1, Params.Wavelengths].
+	Width int
+}
+
+// StepResult describes the cost of one synchronous step.
+type StepResult struct {
+	// Duration includes the per-step overhead and all sequential rounds.
+	Duration float64
+	// Rounds the step was split into (1 when the demand fit the budget).
+	Rounds int
+	// WavelengthsUsed is the largest number of distinct wavelengths lit in
+	// any round.
+	WavelengthsUsed int
+	// Assignments holds the per-round wavelength assignments (indices refer
+	// to the non-empty transfers passed to StepCost, in order).
+	Assignments []wdm.Round
+}
+
+// StepCost prices one synchronous step: the transfers are wavelength-assigned
+// under the given policy (splitting into sequential rounds when they exceed
+// the budget); each round lasts as long as its slowest transfer, rounds
+// serialize, and the step pays the fixed reconfiguration overhead once.
+// Zero-byte transfers are skipped.
+func StepCost(topo ring.Topology, p Params, transfers []TransferSpec, policy wdm.Policy) (StepResult, error) {
+	if err := p.Validate(); err != nil {
+		return StepResult{}, err
+	}
+	demands := make([]wdm.Demand, 0, len(transfers))
+	active := make([]TransferSpec, 0, len(transfers))
+	for _, tr := range transfers {
+		if tr.Bytes < 0 {
+			return StepResult{}, fmt.Errorf("optical: negative transfer size %d", tr.Bytes)
+		}
+		if tr.Bytes == 0 {
+			continue
+		}
+		width := tr.Width
+		if width < 1 {
+			width = 1
+		}
+		if width > p.Wavelengths {
+			width = p.Wavelengths
+		}
+		demands = append(demands, wdm.Demand{Arc: tr.Arc, Width: width})
+		tr.Width = width
+		active = append(active, tr)
+	}
+	res := StepResult{Duration: p.StepOverheadSec(), Rounds: 0}
+	if len(active) == 0 {
+		return res, nil
+	}
+	rounds, err := wdm.Rounds(topo, demands, p.Wavelengths, policy, wdm.AsGiven)
+	if err != nil {
+		return StepResult{}, err
+	}
+	res.Rounds = len(rounds)
+	res.Assignments = rounds
+	for _, rd := range rounds {
+		longest := 0.0
+		for _, di := range rd.Demands {
+			tr := active[di]
+			d := p.TransferSec(tr.Bytes, tr.Width, topo.Hops(tr.Arc))
+			if d > longest {
+				longest = d
+			}
+		}
+		if rd.Assignment.NumColors > res.WavelengthsUsed {
+			res.WavelengthsUsed = rd.Assignment.NumColors
+		}
+		res.Duration += longest
+	}
+	return res, nil
+}
+
+// Fabric is an event-level reservation ledger: every (directed link,
+// wavelength) tracks the time until which it is busy. Replaying a schedule's
+// assignments through Reserve certifies the schedule is physically realizable
+// (no double-booked wavelength anywhere, ever).
+type Fabric struct {
+	topo   ring.Topology
+	params Params
+	// busyUntil[linkIndex][wavelength]
+	busyUntil [][]float64
+}
+
+// NewFabric returns an idle fabric.
+func NewFabric(topo ring.Topology, p Params) (*Fabric, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	busy := make([][]float64, topo.NumLinks())
+	for i := range busy {
+		busy[i] = make([]float64, p.Wavelengths)
+	}
+	return &Fabric{topo: topo, params: p, busyUntil: busy}, nil
+}
+
+// Reserve books the given wavelengths along arc for [start, start+duration).
+// It fails if any wavelength is out of range or still busy at start.
+// Reservations must be issued in non-decreasing start order (schedules are
+// replayed step by step, so this holds by construction).
+func (f *Fabric) Reserve(arc ring.Arc, wavelengths []int, start, duration float64) error {
+	if duration < 0 {
+		return fmt.Errorf("optical: negative duration %v", duration)
+	}
+	var links []int
+	f.topo.VisitLinks(arc, func(l int) { links = append(links, l) })
+	if len(links) == 0 {
+		return fmt.Errorf("optical: empty arc %v", arc)
+	}
+	for _, c := range wavelengths {
+		if c < 0 || c >= f.params.Wavelengths {
+			return fmt.Errorf("optical: wavelength %d outside [0,%d)", c, f.params.Wavelengths)
+		}
+		for _, l := range links {
+			if f.busyUntil[l][c] > start {
+				return fmt.Errorf("optical: link %d wavelength %d busy until %v, requested at %v",
+					l, c, f.busyUntil[l][c], start)
+			}
+		}
+	}
+	end := start + duration
+	for _, c := range wavelengths {
+		for _, l := range links {
+			f.busyUntil[l][c] = end
+		}
+	}
+	return nil
+}
+
+// EarliestFree returns the earliest time at or after `earliest` when every
+// given wavelength is free on every link of the arc. Combined with Reserve it
+// supports greedy event-driven scheduling (internal/opticalsim).
+func (f *Fabric) EarliestFree(arc ring.Arc, wavelengths []int, earliest float64) (float64, error) {
+	var links []int
+	f.topo.VisitLinks(arc, func(l int) { links = append(links, l) })
+	if len(links) == 0 {
+		return 0, fmt.Errorf("optical: empty arc %v", arc)
+	}
+	t := earliest
+	for _, c := range wavelengths {
+		if c < 0 || c >= f.params.Wavelengths {
+			return 0, fmt.Errorf("optical: wavelength %d outside [0,%d)", c, f.params.Wavelengths)
+		}
+		for _, l := range links {
+			if f.busyUntil[l][c] > t {
+				t = f.busyUntil[l][c]
+			}
+		}
+	}
+	return t, nil
+}
+
+// Utilization returns the fraction of (link, wavelength) pairs that have ever
+// been reserved — a coarse occupancy metric for reports.
+func (f *Fabric) Utilization() float64 {
+	used, total := 0, 0
+	for _, ws := range f.busyUntil {
+		for _, t := range ws {
+			total++
+			if t > 0 {
+				used++
+			}
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(used) / float64(total)
+}

@@ -1,0 +1,240 @@
+package optical
+
+import (
+	"math"
+	"testing"
+
+	"wrht/internal/ring"
+	"wrht/internal/wdm"
+)
+
+func almost(a, b, rel float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= rel*math.Max(math.Abs(a), math.Abs(b))
+}
+
+func TestDefaultParamsValid(t *testing.T) {
+	if err := DefaultParams().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParamsValidation(t *testing.T) {
+	p := DefaultParams()
+	p.Wavelengths = 0
+	if err := p.Validate(); err == nil {
+		t.Fatal("0 wavelengths accepted")
+	}
+	p = DefaultParams()
+	p.GbpsPerWavelength = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	p = DefaultParams()
+	p.TuningNs = math.NaN()
+	if err := p.Validate(); err == nil {
+		t.Fatal("NaN latency accepted")
+	}
+}
+
+func TestTransferSecComponents(t *testing.T) {
+	p := DefaultParams()
+	// 25 Gb/s, 1 wavelength, 1 hop, 25 GB → 8 s of serialization dominates.
+	d := p.TransferSec(25e9, 1, 1)
+	if !almost(d, 8.0, 1e-6) {
+		t.Fatalf("TransferSec = %v, want ≈8s", d)
+	}
+	// Striping over 64 wavelengths divides serialization by 64.
+	d64 := p.TransferSec(25e9, 64, 1)
+	if !almost(d64, 8.0/64, 1e-4) {
+		t.Fatalf("striped TransferSec = %v, want ≈%v", d64, 8.0/64)
+	}
+	// Zero bytes: just overheads.
+	d0 := p.TransferSec(0, 1, 3)
+	want := p.PerTransferOverheadSec() + 3*p.PropagationNsPerHop*1e-9
+	if !almost(d0, want, 1e-9) {
+		t.Fatalf("zero-byte TransferSec = %v, want %v", d0, want)
+	}
+}
+
+func TestStepCostSingleTransfer(t *testing.T) {
+	topo := ring.MustNew(8)
+	p := DefaultParams()
+	res, err := StepCost(topo, p, []TransferSpec{
+		{Arc: ring.Arc{Src: 0, Dst: 2, Dir: ring.CW}, Bytes: 1 << 20, Width: 1},
+	}, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.StepOverheadSec() + p.TransferSec(1<<20, 1, 2)
+	if !almost(res.Duration, want, 1e-9) {
+		t.Fatalf("Duration = %v, want %v", res.Duration, want)
+	}
+	if res.Rounds != 1 || res.WavelengthsUsed != 1 {
+		t.Fatalf("rounds=%d wavelengths=%d", res.Rounds, res.WavelengthsUsed)
+	}
+}
+
+func TestStepCostParallelTransfersShareTime(t *testing.T) {
+	// Disjoint arcs run concurrently: the step lasts as long as the slowest.
+	topo := ring.MustNew(12)
+	p := DefaultParams()
+	res, err := StepCost(topo, p, []TransferSpec{
+		{Arc: ring.Arc{Src: 0, Dst: 1, Dir: ring.CW}, Bytes: 1 << 20, Width: 1},
+		{Arc: ring.Arc{Src: 4, Dst: 5, Dir: ring.CW}, Bytes: 4 << 20, Width: 1},
+		{Arc: ring.Arc{Src: 8, Dst: 9, Dir: ring.CW}, Bytes: 2 << 20, Width: 1},
+	}, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := p.StepOverheadSec() + p.TransferSec(4<<20, 1, 1)
+	if !almost(res.Duration, want, 1e-9) {
+		t.Fatalf("Duration = %v, want %v", res.Duration, want)
+	}
+	if res.Rounds != 1 || res.WavelengthsUsed != 1 {
+		t.Fatalf("rounds=%d wavelengths=%d, want 1/1 (spatial reuse)", res.Rounds, res.WavelengthsUsed)
+	}
+}
+
+func TestStepCostSplitsIntoRounds(t *testing.T) {
+	// Three conflicting width-1 transfers with a 2-wavelength budget need
+	// two sequential rounds.
+	topo := ring.MustNew(8)
+	p := DefaultParams()
+	p.Wavelengths = 2
+	specs := []TransferSpec{
+		{Arc: ring.Arc{Src: 0, Dst: 4, Dir: ring.CW}, Bytes: 1 << 20, Width: 1},
+		{Arc: ring.Arc{Src: 1, Dst: 5, Dir: ring.CW}, Bytes: 1 << 20, Width: 1},
+		{Arc: ring.Arc{Src: 2, Dst: 6, Dir: ring.CW}, Bytes: 1 << 20, Width: 1},
+	}
+	res, err := StepCost(topo, p, specs, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 2 {
+		t.Fatalf("rounds = %d, want 2", res.Rounds)
+	}
+	oneRound := p.TransferSec(1<<20, 1, 4)
+	want := p.StepOverheadSec() + oneRound + p.TransferSec(1<<20, 1, 4)
+	if !almost(res.Duration, want, 1e-9) {
+		t.Fatalf("Duration = %v, want %v", res.Duration, want)
+	}
+}
+
+func TestStepCostClampsWidth(t *testing.T) {
+	topo := ring.MustNew(4)
+	p := DefaultParams()
+	p.Wavelengths = 4
+	res, err := StepCost(topo, p, []TransferSpec{
+		{Arc: ring.Arc{Src: 0, Dst: 1, Dir: ring.CW}, Bytes: 1 << 20, Width: 999},
+	}, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.WavelengthsUsed != 4 {
+		t.Fatalf("width not clamped: %d", res.WavelengthsUsed)
+	}
+}
+
+func TestStepCostSkipsEmptyTransfers(t *testing.T) {
+	topo := ring.MustNew(4)
+	p := DefaultParams()
+	res, err := StepCost(topo, p, []TransferSpec{
+		{Arc: ring.Arc{Src: 0, Dst: 1, Dir: ring.CW}, Bytes: 0, Width: 1},
+	}, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 0 || !almost(res.Duration, p.StepOverheadSec(), 1e-12) {
+		t.Fatalf("empty step mispriced: %+v", res)
+	}
+}
+
+func TestStepCostRejectsNegativeBytes(t *testing.T) {
+	topo := ring.MustNew(4)
+	if _, err := StepCost(topo, DefaultParams(), []TransferSpec{
+		{Arc: ring.Arc{Src: 0, Dst: 1, Dir: ring.CW}, Bytes: -1},
+	}, wdm.FirstFit); err == nil {
+		t.Fatal("negative bytes accepted")
+	}
+}
+
+func TestFabricReserveConflicts(t *testing.T) {
+	topo := ring.MustNew(8)
+	f, err := NewFabric(topo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc := ring.Arc{Src: 0, Dst: 3, Dir: ring.CW}
+	if err := f.Reserve(arc, []int{0, 1}, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Same wavelength, overlapping link, overlapping time: must fail.
+	if err := f.Reserve(ring.Arc{Src: 1, Dst: 4, Dir: ring.CW}, []int{1}, 5, 10); err == nil {
+		t.Fatal("double booking accepted")
+	}
+	// Different wavelength: fine.
+	if err := f.Reserve(ring.Arc{Src: 1, Dst: 4, Dir: ring.CW}, []int{2}, 5, 10); err != nil {
+		t.Fatal(err)
+	}
+	// Same wavelength after the reservation ends: fine.
+	if err := f.Reserve(ring.Arc{Src: 1, Dst: 4, Dir: ring.CW}, []int{0}, 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Opposite waveguide: fine even at the same time.
+	if err := f.Reserve(ring.Arc{Src: 3, Dst: 0, Dir: ring.CCW}, []int{0}, 0, 10); err != nil {
+		t.Fatal(err)
+	}
+	if f.Utilization() <= 0 {
+		t.Fatal("utilization should be positive")
+	}
+}
+
+func TestFabricRejectsBadWavelength(t *testing.T) {
+	topo := ring.MustNew(4)
+	f, err := NewFabric(topo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Reserve(ring.Arc{Src: 0, Dst: 1, Dir: ring.CW}, []int{64}, 0, 1); err == nil {
+		t.Fatal("out-of-range wavelength accepted")
+	}
+	if err := f.Reserve(ring.Arc{Src: 0, Dst: 0, Dir: ring.CW}, []int{0}, 0, 1); err == nil {
+		t.Fatal("empty arc accepted")
+	}
+	if err := f.Reserve(ring.Arc{Src: 0, Dst: 1, Dir: ring.CW}, []int{0}, 0, -1); err == nil {
+		t.Fatal("negative duration accepted")
+	}
+}
+
+func TestORingStepMatchesHandComputation(t *testing.T) {
+	// One O-Ring step at N=1024 with the default parameters: every node
+	// forwards a 1/N chunk one hop on a single wavelength; all arcs are
+	// link-disjoint so one wavelength per waveguide direction suffices...
+	// all transfers go CW so exactly 1 wavelength total.
+	const n = 1024
+	topo := ring.MustNew(n)
+	p := DefaultParams()
+	chunk := int64(249_200_000 / n) // AlexNet FP32 / N
+	specs := make([]TransferSpec, n)
+	for i := 0; i < n; i++ {
+		specs[i] = TransferSpec{
+			Arc:   ring.Arc{Src: i, Dst: (i + 1) % n, Dir: ring.CW},
+			Bytes: chunk,
+			Width: 1,
+		}
+	}
+	res, err := StepCost(topo, p, specs, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rounds != 1 || res.WavelengthsUsed != 1 {
+		t.Fatalf("O-Ring step: rounds=%d wavelengths=%d", res.Rounds, res.WavelengthsUsed)
+	}
+	want := p.StepOverheadSec() + p.TransferSec(chunk, 1, 1)
+	if !almost(res.Duration, want, 1e-9) {
+		t.Fatalf("Duration = %v, want %v", res.Duration, want)
+	}
+}

@@ -1,0 +1,108 @@
+package optical
+
+import (
+	"math/rand"
+	"testing"
+
+	"wrht/internal/ring"
+	"wrht/internal/wdm"
+)
+
+func TestStepCostMonotoneInBytes(t *testing.T) {
+	topo := ring.MustNew(16)
+	p := DefaultParams()
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 100; trial++ {
+		specs := make([]TransferSpec, rng.Intn(10)+1)
+		for i := range specs {
+			src := rng.Intn(16)
+			dst := (src + rng.Intn(15) + 1) % 16
+			specs[i] = TransferSpec{
+				Arc:   topo.ShortestArc(src, dst),
+				Bytes: int64(rng.Intn(1 << 20)),
+				Width: rng.Intn(4) + 1,
+			}
+		}
+		r1, err := StepCost(topo, p, specs, wdm.FirstFit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bigger := append([]TransferSpec(nil), specs...)
+		for i := range bigger {
+			bigger[i].Bytes *= 2
+		}
+		r2, err := StepCost(topo, p, bigger, wdm.FirstFit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Duration < r1.Duration-1e-15 {
+			t.Fatalf("doubling bytes reduced step cost: %v -> %v", r1.Duration, r2.Duration)
+		}
+	}
+}
+
+func TestStepCostWiderStripesNeverSlower(t *testing.T) {
+	topo := ring.MustNew(12)
+	p := DefaultParams()
+	specs := []TransferSpec{
+		{Arc: ring.Arc{Src: 0, Dst: 2, Dir: ring.CW}, Bytes: 1 << 22, Width: 1},
+		{Arc: ring.Arc{Src: 6, Dst: 8, Dir: ring.CW}, Bytes: 1 << 22, Width: 1},
+	}
+	narrow, err := StepCost(topo, p, specs, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range specs {
+		specs[i].Width = 32
+	}
+	wide, err := StepCost(topo, p, specs, wdm.FirstFit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wide.Duration >= narrow.Duration {
+		t.Fatalf("striping did not help: %v vs %v", wide.Duration, narrow.Duration)
+	}
+}
+
+func TestTransferSecScalesWithHops(t *testing.T) {
+	p := DefaultParams()
+	d1 := p.TransferSec(0, 1, 1)
+	d100 := p.TransferSec(0, 1, 100)
+	wantDelta := 99 * p.PropagationNsPerHop * 1e-9
+	if diff := d100 - d1; diff < wantDelta*0.999 || diff > wantDelta*1.001 {
+		t.Fatalf("hop scaling: delta %v, want %v", diff, wantDelta)
+	}
+}
+
+func TestFabricSequentialReuse(t *testing.T) {
+	// The same wavelength can be reused back-to-back without gaps.
+	topo := ring.MustNew(8)
+	f, err := NewFabric(topo, DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	arc := ring.Arc{Src: 0, Dst: 4, Dir: ring.CW}
+	for i := 0; i < 10; i++ {
+		start, err := f.EarliestFree(arc, []int{3}, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := float64(i); start != want {
+			t.Fatalf("iteration %d: earliest %v, want %v", i, start, want)
+		}
+		if err := f.Reserve(arc, []int{3}, start, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestEarliestFreeValidation(t *testing.T) {
+	topo := ring.MustNew(8)
+	f, _ := NewFabric(topo, DefaultParams())
+	if _, err := f.EarliestFree(ring.Arc{Src: 0, Dst: 0, Dir: ring.CW}, []int{0}, 0); err == nil {
+		t.Fatal("empty arc accepted")
+	}
+	if _, err := f.EarliestFree(ring.Arc{Src: 0, Dst: 1, Dir: ring.CW}, []int{999}, 0); err == nil {
+		t.Fatal("out-of-range wavelength accepted")
+	}
+}

@@ -1,0 +1,354 @@
+// Package opticalsim is the message-level discrete-event simulator of the
+// WDM optical ring — the "optical interconnect simulator" the paper's
+// evaluation runs on. Where internal/optical prices synchronous steps in
+// closed form, this package simulates every transfer as an event: wavelength
+// reservations on the fabric, per-transfer SerDes/E-O/O-E and propagation,
+// and (optionally) receiver-side reduction compute.
+//
+// Two execution modes:
+//
+//   - Barrier: every step is a global barrier, exactly matching the
+//     step-synchronous cost model (tests assert equality with
+//     runner.RunOptical to float precision).
+//   - Async: a node starts its step-s transfers as soon as it — and the
+//     peer — has finished their own step-(s-1) obligations; wavelengths are
+//     granted greedily from the fabric's earliest-free time. Async removes
+//     the global barrier skew, bounding how much a runtime implementation
+//     could gain over the paper's synchronous analysis.
+package opticalsim
+
+import (
+	"fmt"
+	"sort"
+
+	"wrht/internal/collective"
+	"wrht/internal/optical"
+	"wrht/internal/ring"
+	"wrht/internal/sim"
+	"wrht/internal/wdm"
+)
+
+// Mode selects barrier-synchronous or node-asynchronous execution.
+type Mode int
+
+const (
+	// Barrier mode: all transfers of step s start together after step s-1
+	// fully completes (the paper's model).
+	Barrier Mode = iota
+	// Async mode: node-local dependencies only.
+	Async
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Barrier:
+		return "barrier"
+	case Async:
+		return "async"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Options configures a simulation run.
+type Options struct {
+	Params optical.Params
+	Mode   Mode
+	// Assigner picks the wavelength-assignment heuristic (per step).
+	Assigner wdm.Policy
+	// DefaultWidth applies to transfers without a stripe hint (1 = paper).
+	DefaultWidth int
+	// BytesPerElem converts schedule regions to bytes (0 = 4, FP32).
+	BytesPerElem int
+	// ReduceGBps, when positive, charges the receiver bytes/ReduceGBps of
+	// reduction compute before its step obligation counts as met.
+	ReduceGBps float64
+}
+
+// DefaultOptions mirrors runner.DefaultOpticalOptions.
+func DefaultOptions() Options {
+	return Options{
+		Params:       optical.DefaultParams(),
+		Mode:         Barrier,
+		Assigner:     wdm.FirstFit,
+		DefaultWidth: 1,
+		BytesPerElem: 4,
+	}
+}
+
+// TransferEvent is one simulated transmission.
+type TransferEvent struct {
+	Step        int
+	Src, Dst    int
+	Arc         ring.Arc
+	Bytes       int64
+	Wavelengths []int
+	Start, End  float64
+}
+
+// Result is the outcome of a simulation.
+type Result struct {
+	Mode     Mode
+	TotalSec float64
+	Events   []TransferEvent
+	// EventCount is the number of engine events executed (diagnostics).
+	EventCount int64
+}
+
+// transfer is the internal scheduling state of one schedule transfer.
+type transfer struct {
+	step  int
+	arc   ring.Arc
+	bytes int64
+	width int
+	// stripe is assigned lazily (per step, before the step's first transfer
+	// becomes eligible).
+	stripe []int
+}
+
+// Run simulates the schedule and returns the transfer timeline.
+func Run(s *collective.Schedule, opts Options) (Result, error) {
+	if err := s.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := opts.Params.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.BytesPerElem == 0 {
+		opts.BytesPerElem = 4
+	}
+	if opts.BytesPerElem < 1 || opts.DefaultWidth < 0 || opts.ReduceGBps < 0 {
+		return Result{}, fmt.Errorf("opticalsim: invalid options %+v", opts)
+	}
+	if opts.DefaultWidth == 0 {
+		opts.DefaultWidth = 1
+	}
+	topo, err := ring.New(s.N)
+	if err != nil {
+		return Result{}, err
+	}
+	fabric, err := optical.NewFabric(topo, opts.Params)
+	if err != nil {
+		return Result{}, err
+	}
+
+	// Lower schedule transfers and assign wavelengths per step (the same
+	// per-step conflict structure both modes use; Async only relaxes time).
+	steps := make([][]*transfer, len(s.Steps))
+	for si, st := range s.Steps {
+		var trs []*transfer
+		var demands []wdm.Demand
+		for _, tr := range st.Transfers {
+			bytes := int64(tr.Region.Len) * int64(opts.BytesPerElem)
+			if bytes == 0 {
+				continue
+			}
+			arc := ring.Arc{Src: tr.Src, Dst: tr.Dst, Dir: tr.Dir}
+			if !tr.Routed {
+				arc = topo.ShortestArc(tr.Src, tr.Dst)
+			}
+			width := tr.Width
+			if width < 1 {
+				width = opts.DefaultWidth
+			}
+			if width > opts.Params.Wavelengths {
+				width = opts.Params.Wavelengths
+			}
+			trs = append(trs, &transfer{step: si, arc: arc, bytes: bytes, width: width})
+			demands = append(demands, wdm.Demand{Arc: arc, Width: width})
+		}
+		if len(trs) == 0 {
+			steps[si] = nil
+			continue
+		}
+		rounds, err := wdm.Rounds(topo, demands, opts.Params.Wavelengths, opts.Assigner, wdm.AsGiven)
+		if err != nil {
+			return Result{}, fmt.Errorf("opticalsim: step %d: %w", si, err)
+		}
+		for _, rd := range rounds {
+			for i, di := range rd.Demands {
+				trs[di].stripe = rd.Assignment.Stripes[i]
+			}
+		}
+		steps[si] = trs
+	}
+
+	switch opts.Mode {
+	case Barrier:
+		return runBarrier(topo, fabric, opts, steps)
+	case Async:
+		return runAsync(topo, fabric, opts, s.N, steps)
+	default:
+		return Result{}, fmt.Errorf("opticalsim: unknown mode %v", opts.Mode)
+	}
+}
+
+// runBarrier reproduces the step-synchronous model with explicit
+// reservations: each step starts when the previous ends, pays the step
+// overhead, and transfers within it start together (per conflict round).
+func runBarrier(topo ring.Topology, fabric *optical.Fabric, opts Options, steps [][]*transfer) (Result, error) {
+	p := opts.Params
+	res := Result{Mode: Barrier}
+	now := 0.0
+	for si, trs := range steps {
+		now += p.StepOverheadSec()
+		if len(trs) == 0 {
+			continue
+		}
+		stepEnd := now
+		for _, tr := range trs {
+			start, err := fabric.EarliestFree(tr.arc, tr.stripe, now)
+			if err != nil {
+				return Result{}, err
+			}
+			d := p.TransferSec(tr.bytes, len(tr.stripe), topo.Hops(tr.arc))
+			if err := fabric.Reserve(tr.arc, tr.stripe, start, d); err != nil {
+				return Result{}, err
+			}
+			end := start + d
+			if end > stepEnd {
+				stepEnd = end
+			}
+			res.Events = append(res.Events, TransferEvent{
+				Step: si, Src: tr.arc.Src, Dst: tr.arc.Dst, Arc: tr.arc,
+				Bytes: tr.bytes, Wavelengths: tr.stripe, Start: start, End: end,
+			})
+		}
+		now = stepEnd
+	}
+	res.TotalSec = now
+	return res, nil
+}
+
+// runAsync runs the node-local dependency model on the event engine.
+func runAsync(topo ring.Topology, fabric *optical.Fabric, opts Options, n int, steps [][]*transfer) (Result, error) {
+	p := opts.Params
+	numSteps := len(steps)
+	// obligations[node][step] = number of transfer endpoints node owns.
+	obligations := make([][]int, n)
+	for i := range obligations {
+		obligations[i] = make([]int, numSteps)
+	}
+	// incident[node][step] lists the transfers touching node at step.
+	incident := make([][][]*transfer, n)
+	for i := range incident {
+		incident[i] = make([][]*transfer, numSteps)
+	}
+	total := 0
+	for si, trs := range steps {
+		for _, tr := range trs {
+			obligations[tr.arc.Src][si]++
+			obligations[tr.arc.Dst][si]++
+			incident[tr.arc.Src][si] = append(incident[tr.arc.Src][si], tr)
+			incident[tr.arc.Dst][si] = append(incident[tr.arc.Dst][si], tr)
+			total++
+		}
+	}
+	// nodeStep[i] = first step with unmet obligations; the node is ready
+	// for every transfer at that step. While a step-s transfer is pending,
+	// obligations[s] > 0 pins nodeStep at s, so eligibility is simply
+	// nodeStep[src] >= step && nodeStep[dst] >= step.
+	nodeStep := make([]int, n)
+	advance := func(i int) bool {
+		moved := false
+		for nodeStep[i] < numSteps && obligations[i][nodeStep[i]] == 0 {
+			nodeStep[i]++
+			moved = true
+		}
+		return moved
+	}
+
+	var eng sim.Engine
+	res := Result{Mode: Async}
+	launched := make(map[*transfer]bool, total)
+
+	var launch func(tr *transfer)
+	launchReady := func(i int) {
+		if nodeStep[i] >= numSteps {
+			return
+		}
+		for _, tr := range incident[i][nodeStep[i]] {
+			if launched[tr] || nodeStep[tr.arc.Src] < tr.step || nodeStep[tr.arc.Dst] < tr.step {
+				continue
+			}
+			launch(tr)
+		}
+	}
+	complete := func(tr *transfer) {
+		obligations[tr.arc.Src][tr.step]--
+		obligations[tr.arc.Dst][tr.step]--
+		for _, node := range []int{tr.arc.Src, tr.arc.Dst} {
+			if advance(node) {
+				launchReady(node)
+			}
+		}
+	}
+	launch = func(tr *transfer) {
+		launched[tr] = true
+		// Tuning is charged per transmission in async mode (each transfer
+		// re-tunes its micro-rings); there is no global step to charge.
+		eligible := eng.Now() + p.TuningNs*1e-9
+		start, err := fabric.EarliestFree(tr.arc, tr.stripe, eligible)
+		if err != nil {
+			panic(err) // wavelengths validated at assignment time
+		}
+		d := p.TransferSec(tr.bytes, len(tr.stripe), topo.Hops(tr.arc))
+		if err := fabric.Reserve(tr.arc, tr.stripe, start, d); err != nil {
+			panic(err)
+		}
+		end := start + d
+		if opts.ReduceGBps > 0 {
+			end += float64(tr.bytes) / (opts.ReduceGBps * 1e9)
+		}
+		res.Events = append(res.Events, TransferEvent{
+			Step: tr.step, Src: tr.arc.Src, Dst: tr.arc.Dst, Arc: tr.arc,
+			Bytes: tr.bytes, Wavelengths: tr.stripe, Start: start, End: end,
+		})
+		trCopy := tr
+		eng.At(end, func() { complete(trCopy) })
+	}
+
+	for i := 0; i < n; i++ {
+		advance(i)
+	}
+	for i := 0; i < n; i++ {
+		launchReady(i)
+	}
+	res.TotalSec = eng.Run()
+	res.EventCount = eng.Steps()
+
+	// Every transfer must have run; a stall would mean a dependency cycle,
+	// which the step-ordered schedule structure makes impossible.
+	if len(res.Events) != total {
+		return Result{}, fmt.Errorf("opticalsim: deadlock — %d of %d transfers ran",
+			len(res.Events), total)
+	}
+	return res, nil
+}
+
+// ValidateTimeline checks that no two events overlap in time on the same
+// (directed link, wavelength) — the physical-realizability certificate.
+func ValidateTimeline(topo ring.Topology, events []TransferEvent) error {
+	type key struct{ link, lambda int }
+	type span struct{ start, end float64 }
+	occ := make(map[key][]span)
+	for _, ev := range events {
+		var links []int
+		topo.VisitLinks(ev.Arc, func(l int) { links = append(links, l) })
+		for _, c := range ev.Wavelengths {
+			for _, l := range links {
+				occ[key{l, c}] = append(occ[key{l, c}], span{ev.Start, ev.End})
+			}
+		}
+	}
+	for k, spans := range occ {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].start < spans[j].start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].start < spans[i-1].end-1e-12 {
+				return fmt.Errorf("opticalsim: link %d wavelength %d double-booked: [%g,%g) vs [%g,%g)",
+					k.link, k.lambda, spans[i-1].start, spans[i-1].end, spans[i].start, spans[i].end)
+			}
+		}
+	}
+	return nil
+}

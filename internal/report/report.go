@@ -1,0 +1,145 @@
+// Package report assembles the paper's evaluation artifacts from the public
+// API: the Figure-2 grid, the headline reductions, and the transformer
+// extension figure. cmd/figure2 renders what this package computes, and a
+// golden test pins the reproduced values against regressions (the simulators
+// are deterministic, so the numbers are exact).
+package report
+
+import (
+	"fmt"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+// Scales are the paper's Figure-2 worker counts.
+var Scales = []int{128, 256, 512, 1024}
+
+// Cell is one bar of a figure: one (model, nodes, algorithm) measurement.
+type Cell struct {
+	Model   string
+	Nodes   int
+	Alg     wrht.Algorithm
+	Seconds float64
+}
+
+// Figure2 measures the paper's Figure 2 (4 models × 4 scales × 4 algorithms)
+// with the default configuration.
+func Figure2() ([]Cell, error) {
+	return grid(wrht.Models(), Scales, wrht.PaperAlgorithms())
+}
+
+// ExtensionFigure measures the transformer extension workloads (BERT-Large,
+// GPT-2 XL) on the same grid — gradients 2.4×–11× larger than VGG16.
+func ExtensionFigure() ([]Cell, error) {
+	models := []wrht.ModelSpec{wrht.MustModel("BERT-Large"), wrht.MustModel("GPT-2-XL")}
+	return grid(models, Scales, wrht.PaperAlgorithms())
+}
+
+func grid(models []wrht.ModelSpec, scales []int, algs []wrht.Algorithm) ([]Cell, error) {
+	var out []Cell
+	for _, m := range models {
+		for _, n := range scales {
+			cfg := wrht.DefaultConfig(n)
+			for _, alg := range algs {
+				r, err := wrht.CommunicationTime(cfg, alg, m.Bytes)
+				if err != nil {
+					return nil, fmt.Errorf("report: %s/%d/%s: %w", m.Name, n, alg, err)
+				}
+				out = append(out, Cell{Model: m.Name, Nodes: n, Alg: alg, Seconds: r.Seconds})
+			}
+		}
+	}
+	return out, nil
+}
+
+// Lookup returns the cell's seconds, or an error if absent.
+func Lookup(cells []Cell, model string, nodes int, alg wrht.Algorithm) (float64, error) {
+	for _, c := range cells {
+		if c.Model == model && c.Nodes == nodes && c.Alg == alg {
+			return c.Seconds, nil
+		}
+	}
+	return 0, fmt.Errorf("report: no cell %s/%d/%s", model, nodes, alg)
+}
+
+// Reductions are the paper's headline aggregate metrics.
+type Reductions struct {
+	VsERing    float64 // mean reduction vs E-Ring
+	VsRD       float64 // mean reduction vs RD
+	VsElectric float64 // mean reduction vs mean(E-Ring, RD); paper: 0.7576
+	VsORing    float64 // mean reduction vs O-Ring;            paper: 0.9186
+}
+
+// Headline computes the mean reductions of WRHT over the baselines across
+// the grid.
+func Headline(cells []Cell) (Reductions, error) {
+	type key struct {
+		model string
+		nodes int
+	}
+	byConfig := map[key]map[wrht.Algorithm]float64{}
+	for _, c := range cells {
+		k := key{c.Model, c.Nodes}
+		if byConfig[k] == nil {
+			byConfig[k] = map[wrht.Algorithm]float64{}
+		}
+		byConfig[k][c.Alg] = c.Seconds
+	}
+	var vsE, vsRD, vsElec, vsO []float64
+	for k, row := range byConfig {
+		w, okW := row[wrht.AlgWrht]
+		e, okE := row[wrht.AlgERing]
+		r, okR := row[wrht.AlgRD]
+		o, okO := row[wrht.AlgORing]
+		if !okW || !okE || !okR || !okO {
+			return Reductions{}, fmt.Errorf("report: incomplete grid at %v", k)
+		}
+		vsE = append(vsE, 1-w/e)
+		vsRD = append(vsRD, 1-w/r)
+		vsElec = append(vsElec, 1-w/((e+r)/2))
+		vsO = append(vsO, 1-w/o)
+	}
+	return Reductions{
+		VsERing:    stats.Mean(vsE),
+		VsRD:       stats.Mean(vsRD),
+		VsElectric: stats.Mean(vsElec),
+		VsORing:    stats.Mean(vsO),
+	}, nil
+}
+
+// Tables renders one stats.Table per model, in milliseconds, Figure-2 style.
+func Tables(cells []Cell, algs []wrht.Algorithm) []*stats.Table {
+	modelOrder := []string{}
+	seen := map[string]bool{}
+	for _, c := range cells {
+		if !seen[c.Model] {
+			seen[c.Model] = true
+			modelOrder = append(modelOrder, c.Model)
+		}
+	}
+	var out []*stats.Table
+	for i, m := range modelOrder {
+		headers := []string{"nodes"}
+		for _, a := range algs {
+			headers = append(headers, string(a))
+		}
+		tb := stats.NewTable(
+			fmt.Sprintf("Figure 2(%c): %s, communication time [ms]", 'a'+rune(i), m),
+			headers...)
+		for _, n := range Scales {
+			row := []string{fmt.Sprintf("%d", n)}
+			for _, a := range algs {
+				sec, err := Lookup(cells, m, n, a)
+				if err != nil {
+					row = append(row, "-")
+					continue
+				}
+				row = append(row, fmt.Sprintf("%.1f", sec*1e3))
+			}
+			tb.AddRow(row...)
+		}
+		out = append(out, tb)
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wrht"
+)
+
+// golden pins the reproduced Figure-2 values (milliseconds) against
+// regressions. The simulators are deterministic, so these are exact to
+// float precision; the tolerance absorbs only formatting.
+var golden = []struct {
+	model string
+	nodes int
+	alg   wrht.Algorithm
+	ms    float64
+}{
+	{"VGG16", 1024, wrht.AlgERing, 98.7},
+	{"VGG16", 1024, wrht.AlgRD, 442.8},
+	{"VGG16", 1024, wrht.AlgORing, 360.0},
+	{"VGG16", 1024, wrht.AlgWrht, 36.0},
+	{"AlexNet", 128, wrht.AlgWrht, 11.3},
+	{"AlexNet", 1024, wrht.AlgRD, 199.7},
+	{"ResNet50", 1024, wrht.AlgORing, 71.6},
+	{"GoogLeNet", 128, wrht.AlgERing, 5.7},
+}
+
+func TestFigure2Golden(t *testing.T) {
+	cells, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4*4*4 {
+		t.Fatalf("grid has %d cells", len(cells))
+	}
+	for _, g := range golden {
+		sec, err := Lookup(cells, g.model, g.nodes, g.alg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(sec*1e3-g.ms) > 0.05+g.ms*0.001 {
+			t.Errorf("%s/%d/%s = %.2f ms, golden %.1f ms", g.model, g.nodes, g.alg, sec*1e3, g.ms)
+		}
+	}
+}
+
+func TestHeadlineGolden(t *testing.T) {
+	cells, err := Figure2()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Headline(cells)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pinned reproduction values (paper: 91.86% vs O-Ring, 75.76% vs
+	// electrical).
+	if math.Abs(r.VsORing-0.9159) > 0.002 {
+		t.Errorf("vs O-Ring = %.4f, golden 0.9159", r.VsORing)
+	}
+	if math.Abs(r.VsERing-0.7214) > 0.002 {
+		t.Errorf("vs E-Ring = %.4f, golden 0.7214", r.VsERing)
+	}
+	if math.Abs(r.VsElectric-0.8732) > 0.002 {
+		t.Errorf("vs electrical mean = %.4f, golden 0.8732", r.VsElectric)
+	}
+	if math.Abs(r.VsRD-0.9166) > 0.002 {
+		t.Errorf("vs RD = %.4f, golden 0.9166", r.VsRD)
+	}
+}
+
+func TestExtensionFigureShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-gradient grid")
+	}
+	cells, err := ExtensionFigure()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's ordering must carry over to transformer-scale gradients.
+	for _, m := range []string{"BERT-Large", "GPT-2-XL"} {
+		for _, n := range Scales {
+			w, err := Lookup(cells, m, n, wrht.AlgWrht)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e, _ := Lookup(cells, m, n, wrht.AlgERing)
+			o, _ := Lookup(cells, m, n, wrht.AlgORing)
+			if !(w < e && e < o) {
+				t.Errorf("%s n=%d: ordering broken (wrht=%.3g e=%.3g o=%.3g)", m, n, w, e, o)
+			}
+		}
+	}
+}
+
+func TestLookupMissing(t *testing.T) {
+	if _, err := Lookup(nil, "x", 1, wrht.AlgWrht); err == nil {
+		t.Fatal("missing cell accepted")
+	}
+}
+
+func TestTablesRender(t *testing.T) {
+	cells := []Cell{
+		{Model: "VGG16", Nodes: 128, Alg: wrht.AlgWrht, Seconds: 0.025},
+		{Model: "VGG16", Nodes: 256, Alg: wrht.AlgWrht, Seconds: 0.030},
+	}
+	tbs := Tables(cells, []wrht.Algorithm{wrht.AlgWrht})
+	if len(tbs) != 1 {
+		t.Fatalf("%d tables", len(tbs))
+	}
+	s := tbs[0].String()
+	if !strings.Contains(s, "VGG16") || !strings.Contains(s, "25.0") {
+		t.Fatalf("table missing content:\n%s", s)
+	}
+}
+
+func TestHeadlineIncompleteGrid(t *testing.T) {
+	cells := []Cell{{Model: "VGG16", Nodes: 128, Alg: wrht.AlgWrht, Seconds: 1}}
+	if _, err := Headline(cells); err == nil {
+		t.Fatal("incomplete grid accepted")
+	}
+}

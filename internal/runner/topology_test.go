@@ -1,0 +1,100 @@
+package runner
+
+import (
+	"testing"
+
+	"wrht/internal/collective"
+	"wrht/internal/electrical"
+)
+
+// The electrical topology matters for RD but not for neighbor-only ring
+// traffic — the congestion contrast that motivates non-blocking defaults.
+
+func TestERingSameOnRingAndSwitchedTopology(t *testing.T) {
+	const n, elems = 32, 1 << 18
+	s, err := collective.RingAllReduce(n, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := electrical.DefaultParams()
+	star, err := electrical.NewSwitchedCluster(n, p.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := electrical.NewRingNetwork(n, p.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStar, err := RunElectrical(s, ElectricalOptions{Params: p, Network: star})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRing, err := RunElectrical(s, ElectricalOptions{Params: p, Network: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Neighbor flows never share a link on either topology.
+	if d := rStar.TotalSec - rRing.TotalSec; d > 1e-9 || d < -1e-9 {
+		t.Fatalf("E-Ring differs across topologies: %v vs %v", rStar.TotalSec, rRing.TotalSec)
+	}
+}
+
+func TestRDCongestsOnPhysicalRing(t *testing.T) {
+	// RD's distance-2^k exchanges pile onto the same ring links; on the
+	// physical ring it must be much slower than on the non-blocking switch.
+	const n, elems = 32, 1 << 18
+	s, err := collective.RecursiveDoubling(n, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := electrical.DefaultParams()
+	star, err := electrical.NewSwitchedCluster(n, p.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng, err := electrical.NewRingNetwork(n, p.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rStar, err := RunElectrical(s, ElectricalOptions{Params: p, Network: star})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rRing, err := RunElectrical(s, ElectricalOptions{Params: p, Network: rng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rRing.TotalSec < rStar.TotalSec*2 {
+		t.Fatalf("RD on physical ring (%v) should be >2x the switched cluster (%v)",
+			rRing.TotalSec, rStar.TotalSec)
+	}
+}
+
+func TestRDSlowsOnOversubscribedFatTree(t *testing.T) {
+	const n, elems = 32, 1 << 18
+	s, err := collective.RecursiveDoubling(n, elems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := electrical.DefaultParams()
+	blocking, err := electrical.NewFatTree(n, 8, p.LinkGbps, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nonblocking, err := electrical.NewFatTree(n, 8, p.LinkGbps, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := RunElectrical(s, ElectricalOptions{Params: p, Network: blocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rn, err := RunElectrical(s, ElectricalOptions{Params: p, Network: nonblocking})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rb.TotalSec <= rn.TotalSec {
+		t.Fatalf("4:1 oversubscription (%v) should slow RD vs non-blocking (%v)",
+			rb.TotalSec, rn.TotalSec)
+	}
+}

@@ -1,0 +1,96 @@
+// Package sim is a small deterministic discrete-event engine: events execute
+// in (time, sequence) order, so ties break by scheduling order and every run
+// of the same program is identical. It underpins the message-level optical
+// simulator (internal/opticalsim).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Engine is a discrete-event executor. The zero value is ready to use.
+type Engine struct {
+	now    float64
+	seq    int64
+	queue  eventQueue
+	nsteps int64
+}
+
+type event struct {
+	time float64
+	seq  int64
+	fn   func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Now returns the current simulation time.
+func (e *Engine) Now() float64 { return e.now }
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Steps returns the number of events executed so far.
+func (e *Engine) Steps() int64 { return e.nsteps }
+
+// At schedules fn at absolute time t; t must not precede the current time.
+func (e *Engine) At(t float64, fn func()) {
+	if math.IsNaN(t) || t < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.queue, event{time: t, seq: e.seq, fn: fn})
+}
+
+// After schedules fn delay seconds from now; delay must be non-negative.
+func (e *Engine) After(delay float64, fn func()) {
+	e.At(e.now+delay, fn)
+}
+
+// Run executes events until the queue drains, returning the final time.
+func (e *Engine) Run() float64 {
+	for len(e.queue) > 0 {
+		e.step()
+	}
+	return e.now
+}
+
+// RunUntil executes events with time <= t, then sets the clock to t (if the
+// queue drained earlier) and returns the number of events executed.
+func (e *Engine) RunUntil(t float64) int64 {
+	executed := int64(0)
+	for len(e.queue) > 0 && e.queue[0].time <= t {
+		e.step()
+		executed++
+	}
+	if e.now < t {
+		e.now = t
+	}
+	return executed
+}
+
+func (e *Engine) step() {
+	ev := heap.Pop(&e.queue).(event)
+	e.now = ev.time
+	e.nsteps++
+	ev.fn()
+}

@@ -1,0 +1,124 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var order []int
+	e.At(3, func() { order = append(order, 3) })
+	e.At(1, func() { order = append(order, 1) })
+	e.At(2, func() { order = append(order, 2) })
+	if end := e.Run(); end != 3 {
+		t.Fatalf("end time %v", end)
+	}
+	for i, want := range []int{1, 2, 3} {
+		if order[i] != want {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestTiesBreakBySchedulingOrder(t *testing.T) {
+	var e Engine
+	var order []string
+	e.At(1, func() { order = append(order, "a") })
+	e.At(1, func() { order = append(order, "b") })
+	e.At(1, func() { order = append(order, "c") })
+	e.Run()
+	if order[0] != "a" || order[1] != "b" || order[2] != "c" {
+		t.Fatalf("tie order %v", order)
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	var e Engine
+	var hits []float64
+	e.At(1, func() {
+		hits = append(hits, e.Now())
+		e.After(0.5, func() { hits = append(hits, e.Now()) })
+	})
+	end := e.Run()
+	if end != 1.5 || len(hits) != 2 || hits[1] != 1.5 {
+		t.Fatalf("end=%v hits=%v", end, hits)
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	var e Engine
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(1, func() {})
+	})
+	e.Run()
+}
+
+func TestNaNTimePanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN time accepted")
+		}
+	}()
+	e.At(math.NaN(), func() {})
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	count := 0
+	for i := 1; i <= 5; i++ {
+		e.At(float64(i), func() { count++ })
+	}
+	if n := e.RunUntil(3); n != 3 || count != 3 {
+		t.Fatalf("executed %d, count %d", n, count)
+	}
+	if e.Now() != 3 {
+		t.Fatalf("now %v", e.Now())
+	}
+	if e.Pending() != 2 {
+		t.Fatalf("pending %d", e.Pending())
+	}
+	e.Run()
+	if count != 5 || e.Steps() != 5 {
+		t.Fatalf("count %d steps %d", count, e.Steps())
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	var e Engine
+	e.RunUntil(7)
+	if e.Now() != 7 {
+		t.Fatalf("now %v", e.Now())
+	}
+}
+
+func TestDeterministicUnderRandomLoad(t *testing.T) {
+	run := func(seed int64) []float64 {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		var times []float64
+		for i := 0; i < 500; i++ {
+			tt := rng.Float64() * 100
+			e.At(tt, func() { times = append(times, e.Now()) })
+		}
+		e.Run()
+		return times
+	}
+	a, b := run(42), run(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	if !sort.Float64sAreSorted(a) {
+		t.Fatal("event times not monotone")
+	}
+}

@@ -1,0 +1,114 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tb := NewTable("demo", "name", "value")
+	tb.AddRow("a", "1")
+	tb.AddRowf("bee", 2.5)
+	s := tb.String()
+	for _, want := range []string{"demo", "name", "value", "a", "bee", "2.5", "----"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("table output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTableMarkdownAndCSV(t *testing.T) {
+	tb := NewTable("m", "x", "y")
+	tb.AddRow("a,b", "2")
+	md := tb.Markdown()
+	if !strings.Contains(md, "| x | y |") || !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("bad markdown:\n%s", md)
+	}
+	csv := tb.CSV()
+	if !strings.Contains(csv, `"a,b",2`) {
+		t.Fatalf("bad csv quoting:\n%s", csv)
+	}
+}
+
+func TestAddRowPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on row width mismatch")
+		}
+	}()
+	NewTable("", "a", "b").AddRow("only one")
+}
+
+func TestAddRowfTypes(t *testing.T) {
+	tb := NewTable("", "a", "b", "c", "d")
+	tb.AddRowf("s", 1.5, 7, int64(9))
+	row := tb.Rows[0]
+	if row[0] != "s" || row[1] != "1.5" || row[2] != "7" || row[3] != "9" {
+		t.Fatalf("AddRowf row = %v", row)
+	}
+}
+
+func TestMeans(t *testing.T) {
+	if Mean(nil) != 0 || GeoMean(nil) != 0 || Median(nil) != 0 {
+		t.Fatal("empty inputs should give 0")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Fatal("Mean broken")
+	}
+	if g := GeoMean([]float64{1, 4}); math.Abs(g-2) > 1e-12 {
+		t.Fatalf("GeoMean = %v", g)
+	}
+	if GeoMean([]float64{1, -1}) != 0 {
+		t.Fatal("GeoMean with negative should be 0")
+	}
+	if Median([]float64{3, 1, 2}) != 2 {
+		t.Fatal("odd Median broken")
+	}
+	if Median([]float64{4, 1, 2, 3}) != 2.5 {
+		t.Fatal("even Median broken")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	out := Normalize([]float64{2, 4}, 2)
+	if out[0] != 1 || out[1] != 2 {
+		t.Fatalf("Normalize = %v", out)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero unit accepted")
+		}
+	}()
+	Normalize([]float64{1}, 0)
+}
+
+func TestFormatSeconds(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0s",
+		1.5e-9:  "1.5ns",
+		2.5e-6:  "2.5µs",
+		3.25e-3: "3.25ms",
+		1.75:    "1.75s",
+	}
+	for in, want := range cases {
+		if got := FormatSeconds(in); got != want {
+			t.Errorf("FormatSeconds(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		17:        "17B",
+		2048:      "2KiB",
+		5 << 20:   "5MiB",
+		3 << 30:   "3GiB",
+		249513376: "238MiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,559 @@
+// Package wdm implements routing-and-wavelength-assignment (RWA) for
+// transfers on a WDM optical ring.
+//
+// A Demand is a directed ring arc plus a stripe width (how many wavelengths
+// the transfer uses in parallel). Two demands conflict when their arcs share
+// a directed link; conflicting demands must receive disjoint wavelength sets.
+// Demands whose arcs are link-disjoint may reuse the same wavelengths — this
+// spatial reuse is what the Wrht paper's "wavelength reused" tree exploits.
+//
+// The package provides the First Fit and Best Fit heuristics referenced by
+// the paper, an exact optimal search for small instances (used to validate
+// the heuristics), a greedy splitter that breaks an over-subscribed step into
+// sequential rounds, and the Liang–Shen ⌈r²/8⌉ bound for single-step
+// all-to-all on a ring.
+package wdm
+
+import (
+	"fmt"
+	"sort"
+
+	"wrht/internal/ring"
+)
+
+// Demand is a request for Width wavelengths along Arc.
+type Demand struct {
+	Arc   ring.Arc
+	Width int
+}
+
+// Policy selects the wavelength-assignment heuristic.
+type Policy int
+
+const (
+	// FirstFit assigns the lowest-indexed wavelengths that are free on every
+	// link of the arc.
+	FirstFit Policy = iota
+	// BestFit prefers, among feasible wavelengths, those already carrying the
+	// most traffic elsewhere on the ring (packing), falling back to index
+	// order on ties.
+	BestFit
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case BestFit:
+		return "best-fit"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Order selects the order in which demands are considered.
+type Order int
+
+const (
+	// AsGiven keeps the caller's order.
+	AsGiven Order = iota
+	// LongestFirst sorts demands by descending hop count (classic RWA
+	// heuristic: long arcs are hardest to place).
+	LongestFirst
+)
+
+func (o Order) String() string {
+	switch o {
+	case AsGiven:
+		return "as-given"
+	case LongestFirst:
+		return "longest-first"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Assignment is the result of wavelength assignment. Stripes[i] lists the
+// wavelengths given to demands[i], in ascending order; NumColors is the
+// total number of distinct wavelengths used (max index + 1).
+type Assignment struct {
+	Stripes   [][]int
+	NumColors int
+}
+
+// state tracks, per color, which directed links are occupied.
+type state struct {
+	topo ring.Topology
+	// busy[c] is a bitmap over link indices for color c.
+	busy [][]bool
+	// usage[c] counts how many demands use color c (for BestFit packing).
+	usage []int
+}
+
+func newState(t ring.Topology) *state {
+	return &state{topo: t}
+}
+
+func (s *state) ensure(c int) {
+	for len(s.busy) <= c {
+		s.busy = append(s.busy, make([]bool, s.topo.NumLinks()))
+		s.usage = append(s.usage, 0)
+	}
+}
+
+// feasible reports whether color c is free on every link of the arc.
+func (s *state) feasible(c int, links []int) bool {
+	s.ensure(c)
+	for _, l := range links {
+		if s.busy[c][l] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s *state) take(c int, links []int) {
+	s.ensure(c)
+	for _, l := range links {
+		s.busy[c][l] = true
+	}
+	s.usage[c]++
+}
+
+func arcLinks(t ring.Topology, a ring.Arc) ([]int, error) {
+	if a.Src == a.Dst {
+		return nil, fmt.Errorf("wdm: arc %v has zero length", a)
+	}
+	if !t.Contains(a.Src) || !t.Contains(a.Dst) {
+		return nil, fmt.Errorf("wdm: arc %v out of range for N=%d", a, t.N())
+	}
+	links := make([]int, 0, t.Hops(a))
+	t.VisitLinks(a, func(i int) { links = append(links, i) })
+	return links, nil
+}
+
+// Assign colors every demand with Width wavelengths under the given policy
+// and ordering, with no limit on the number of wavelengths. Use Rounds to
+// respect a hardware wavelength budget.
+func Assign(t ring.Topology, demands []Demand, policy Policy, order Order) (Assignment, error) {
+	idx, err := orderIndices(t, demands, order)
+	if err != nil {
+		return Assignment{}, err
+	}
+	s := newState(t)
+	stripes := make([][]int, len(demands))
+	for _, di := range idx {
+		d := demands[di]
+		links, err := arcLinks(t, d.Arc)
+		if err != nil {
+			return Assignment{}, err
+		}
+		if d.Width < 1 {
+			return Assignment{}, fmt.Errorf("wdm: demand %v has width %d", d.Arc, d.Width)
+		}
+		stripe, err := place(s, links, d.Width, policy, -1)
+		if err != nil {
+			return Assignment{}, err
+		}
+		stripes[di] = stripe
+	}
+	return Assignment{Stripes: stripes, NumColors: maxColor(stripes) + 1}, nil
+}
+
+// maxColor returns the highest color index used by any stripe, or -1.
+func maxColor(stripes [][]int) int {
+	max := -1
+	for _, st := range stripes {
+		for _, c := range st {
+			if c > max {
+				max = c
+			}
+		}
+	}
+	return max
+}
+
+// place finds width feasible colors for the given links under policy. If
+// limit >= 0, only colors < limit may be used; returns an error when the
+// demand cannot fit.
+func place(s *state, links []int, width int, policy Policy, limit int) ([]int, error) {
+	stripe := make([]int, 0, width)
+	switch policy {
+	case FirstFit:
+		for c := 0; len(stripe) < width; c++ {
+			if limit >= 0 && c >= limit {
+				return nil, errNoFit
+			}
+			if s.feasible(c, links) && !contains(stripe, c) {
+				stripe = append(stripe, c)
+			}
+		}
+	case BestFit:
+		// Gather all feasible colors in the allowed range plus enough fresh
+		// colors, then pick the most-used ones.
+		max := len(s.busy) + width
+		if limit >= 0 {
+			max = limit
+		}
+		type cand struct{ c, usage int }
+		var cands []cand
+		for c := 0; c < max; c++ {
+			if s.feasible(c, links) {
+				cands = append(cands, cand{c, s.usage[c]})
+			}
+		}
+		if len(cands) < width {
+			return nil, errNoFit
+		}
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].usage != cands[j].usage {
+				return cands[i].usage > cands[j].usage
+			}
+			return cands[i].c < cands[j].c
+		})
+		for i := 0; i < width; i++ {
+			stripe = append(stripe, cands[i].c)
+		}
+		sort.Ints(stripe)
+	default:
+		return nil, fmt.Errorf("wdm: unknown policy %v", policy)
+	}
+	for _, c := range stripe {
+		s.take(c, links)
+	}
+	return stripe, nil
+}
+
+var errNoFit = fmt.Errorf("wdm: demand does not fit in wavelength budget")
+
+func contains(xs []int, x int) bool {
+	for _, v := range xs {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+func orderIndices(t ring.Topology, demands []Demand, order Order) ([]int, error) {
+	idx := make([]int, len(demands))
+	for i := range idx {
+		idx[i] = i
+	}
+	switch order {
+	case AsGiven:
+	case LongestFirst:
+		sort.SliceStable(idx, func(a, b int) bool {
+			return t.Hops(demands[idx[a]].Arc) > t.Hops(demands[idx[b]].Arc)
+		})
+	default:
+		return nil, fmt.Errorf("wdm: unknown order %v", order)
+	}
+	return idx, nil
+}
+
+// Round is one sequential sub-round of a step: the demands (by index into the
+// original slice) that can be carried simultaneously within the wavelength
+// budget, plus their assignment.
+type Round struct {
+	Demands    []int
+	Assignment Assignment
+}
+
+// Rounds splits demands into sequential rounds such that each round's
+// assignment uses at most w wavelengths. Demands are considered in the given
+// order; a demand that does not fit in the open round closes it and starts a
+// new one. A demand whose Width alone exceeds w is an error.
+func Rounds(t ring.Topology, demands []Demand, w int, policy Policy, order Order) ([]Round, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("wdm: wavelength budget %d", w)
+	}
+	idx, err := orderIndices(t, demands, order)
+	if err != nil {
+		return nil, err
+	}
+	var rounds []Round
+	var cur *state
+	var curIdx []int
+	var curStripes [][]int
+	flush := func() {
+		if cur == nil {
+			return
+		}
+		rounds = append(rounds, Round{
+			Demands:    curIdx,
+			Assignment: Assignment{Stripes: curStripes, NumColors: maxColor(curStripes) + 1},
+		})
+		cur, curIdx, curStripes = nil, nil, nil
+	}
+	for _, di := range idx {
+		d := demands[di]
+		if d.Width < 1 {
+			return nil, fmt.Errorf("wdm: demand %v has width %d", d.Arc, d.Width)
+		}
+		if d.Width > w {
+			return nil, fmt.Errorf("wdm: demand %v width %d exceeds budget %d", d.Arc, d.Width, w)
+		}
+		links, err := arcLinks(t, d.Arc)
+		if err != nil {
+			return nil, err
+		}
+		if cur == nil {
+			cur = newState(t)
+		}
+		stripe, err := place(cur, links, d.Width, policy, w)
+		if err == errNoFit {
+			flush()
+			cur = newState(t)
+			stripe, err = place(cur, links, d.Width, policy, w)
+		}
+		if err != nil {
+			return nil, err
+		}
+		curIdx = append(curIdx, di)
+		curStripes = append(curStripes, stripe)
+	}
+	flush()
+	return rounds, nil
+}
+
+// Validate checks that asg is a proper wavelength assignment for demands:
+// every demand received exactly Width distinct colors, and no two demands
+// sharing a directed link share a color.
+func Validate(t ring.Topology, demands []Demand, asg Assignment) error {
+	if len(asg.Stripes) != len(demands) {
+		return fmt.Errorf("wdm: %d stripes for %d demands", len(asg.Stripes), len(demands))
+	}
+	// owner[link][color] = demand index + 1
+	owner := make(map[[2]int]int)
+	for i, d := range demands {
+		stripe := asg.Stripes[i]
+		if len(stripe) != d.Width {
+			return fmt.Errorf("wdm: demand %d got %d colors, want %d", i, len(stripe), d.Width)
+		}
+		seen := make(map[int]bool)
+		links, err := arcLinks(t, d.Arc)
+		if err != nil {
+			return err
+		}
+		for _, c := range stripe {
+			if c < 0 || c >= asg.NumColors {
+				return fmt.Errorf("wdm: demand %d color %d outside [0,%d)", i, c, asg.NumColors)
+			}
+			if seen[c] {
+				return fmt.Errorf("wdm: demand %d repeats color %d", i, c)
+			}
+			seen[c] = true
+			for _, l := range links {
+				key := [2]int{l, c}
+				if prev, ok := owner[key]; ok {
+					return fmt.Errorf("wdm: demands %d and %d both use wavelength %d on link %d",
+						prev-1, i, c, l)
+				}
+				owner[key] = i + 1
+			}
+		}
+	}
+	return nil
+}
+
+// MaxLinkLoad returns the maximum, over directed links, of the total demand
+// width crossing the link. It is a lower bound on the number of wavelengths
+// any assignment needs.
+func MaxLinkLoad(t ring.Topology, demands []Demand) (int, error) {
+	load := make([]int, t.NumLinks())
+	for _, d := range demands {
+		links, err := arcLinks(t, d.Arc)
+		if err != nil {
+			return 0, err
+		}
+		for _, l := range links {
+			load[l] += d.Width
+		}
+	}
+	max := 0
+	for _, v := range load {
+		if v > max {
+			max = v
+		}
+	}
+	return max, nil
+}
+
+// AllToAllDemands builds the demand set for a single-step all-to-all among
+// the given nodes: one transfer per ordered pair, routed along the shortest
+// ring direction, each of the given stripe width. Antipodal ties alternate
+// CW/CCW by source index so the two waveguides carry equal load.
+func AllToAllDemands(t ring.Topology, nodes []int, width int) []Demand {
+	var out []Demand
+	for si, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			cw, ccw := t.Dist(src, dst, ring.CW), t.Dist(src, dst, ring.CCW)
+			dir := ring.CW
+			switch {
+			case ccw < cw:
+				dir = ring.CCW
+			case ccw == cw && si%2 == 1:
+				dir = ring.CCW
+			}
+			out = append(out, Demand{Arc: ring.Arc{Src: src, Dst: dst, Dir: dir}, Width: width})
+		}
+	}
+	return out
+}
+
+// AllToAllDemandsBalanced is AllToAllDemands with load-aware routing: pairs
+// are routed (longest span first) in whichever direction currently yields the
+// smaller maximum link load. This approximates the routing Liang & Shen use
+// to reach the ⌈r²/8⌉ wavelength requirement.
+func AllToAllDemandsBalanced(t ring.Topology, nodes []int, width int) []Demand {
+	type pair struct{ src, dst, span int }
+	var pairs []pair
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			span := t.Dist(src, dst, ring.CW)
+			if c := t.Dist(src, dst, ring.CCW); c < span {
+				span = c
+			}
+			pairs = append(pairs, pair{src, dst, span})
+		}
+	}
+	sort.SliceStable(pairs, func(i, j int) bool { return pairs[i].span > pairs[j].span })
+	load := make([]int, t.NumLinks())
+	peak := func(a ring.Arc) int {
+		m := 0
+		t.VisitLinks(a, func(l int) {
+			if load[l] > m {
+				m = load[l]
+			}
+		})
+		return m
+	}
+	demands := make(map[[2]int]Demand, len(pairs))
+	for _, p := range pairs {
+		cwArc := ring.Arc{Src: p.src, Dst: p.dst, Dir: ring.CW}
+		ccwArc := ring.Arc{Src: p.src, Dst: p.dst, Dir: ring.CCW}
+		hcw, hccw := t.Hops(cwArc), t.Hops(ccwArc)
+		var arc ring.Arc
+		switch {
+		case hcw < hccw:
+			arc = cwArc
+		case hccw < hcw:
+			arc = ccwArc
+		default: // tie: pick the direction with smaller current peak load
+			if peak(cwArc) <= peak(ccwArc) {
+				arc = cwArc
+			} else {
+				arc = ccwArc
+			}
+		}
+		t.VisitLinks(arc, func(l int) { load[l] += width })
+		demands[[2]int{p.src, p.dst}] = Demand{Arc: arc, Width: width}
+	}
+	// Emit in deterministic (src, dst) node order.
+	var out []Demand
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src != dst {
+				out = append(out, demands[[2]int{src, dst}])
+			}
+		}
+	}
+	return out
+}
+
+// AllToAllDemandsNoWrap routes every ordered pair so that no arc crosses
+// the "wrap" span between node N-1 and node 0: ascending pairs travel CW,
+// descending pairs CCW. Combined with Wrht's contiguous (never-wrapping)
+// groups this makes the whole schedule survive a failure of that span —
+// see core.Options.AvoidWrap. Link loads roughly double versus balanced
+// routing; the substrate charges any extra rounds honestly.
+func AllToAllDemandsNoWrap(t ring.Topology, nodes []int, width int) []Demand {
+	var out []Demand
+	for _, src := range nodes {
+		for _, dst := range nodes {
+			if src == dst {
+				continue
+			}
+			dir := ring.CW
+			if src > dst {
+				dir = ring.CCW
+			}
+			out = append(out, Demand{Arc: ring.Arc{Src: src, Dst: dst, Dir: dir}, Width: width})
+		}
+	}
+	return out
+}
+
+// LiangShenBound is the paper's wavelength requirement ⌈r²/8⌉ for one-step
+// all-to-all among r equally spaced nodes on a WDM ring (Liang & Shen).
+func LiangShenBound(r int) int {
+	return (r*r + 7) / 8
+}
+
+// OptimalColors finds the minimum number of wavelengths for width-1 demands
+// by exhaustive search. It is exponential and intended only for validating
+// heuristics on small instances (len(demands) <= ~12).
+func OptimalColors(t ring.Topology, demands []Demand) (int, error) {
+	links := make([][]int, len(demands))
+	for i, d := range demands {
+		if d.Width != 1 {
+			return 0, fmt.Errorf("wdm: OptimalColors supports width-1 demands only")
+		}
+		ls, err := arcLinks(t, d.Arc)
+		if err != nil {
+			return 0, err
+		}
+		links[i] = ls
+	}
+	lb, err := MaxLinkLoad(t, demands)
+	if err != nil {
+		return 0, err
+	}
+	conflict := make([][]bool, len(demands))
+	for i := range conflict {
+		conflict[i] = make([]bool, len(demands))
+		for j := range conflict[i] {
+			if i != j {
+				conflict[i][j] = t.Conflict(demands[i].Arc, demands[j].Arc)
+			}
+		}
+	}
+	colors := make([]int, len(demands))
+	var try func(i, k int) bool
+	try = func(i, k int) bool {
+		if i == len(demands) {
+			return true
+		}
+		for c := 0; c < k; c++ {
+			ok := true
+			for j := 0; j < i; j++ {
+				if conflict[i][j] && colors[j] == c {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				colors[i] = c
+				if try(i+1, k) {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	for k := lb; ; k++ {
+		if try(0, k) {
+			return k, nil
+		}
+		if k > len(demands) {
+			return 0, fmt.Errorf("wdm: OptimalColors failed to converge")
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package wrht
+
+import "testing"
+
+func TestMultiRackTime(t *testing.T) {
+	cfg := DefaultConfig(1) // Nodes ignored by MultiRackTime
+	res, err := MultiRackTime(cfg, 8, 128, MustModel("ResNet50").Bytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntraReduceSec <= 0 || res.InterSec <= 0 || res.IntraBroadcastSec <= 0 {
+		t.Fatalf("non-positive phases: %+v", res)
+	}
+	sum := res.IntraReduceSec + res.InterSec + res.IntraBroadcastSec
+	if res.TotalSec != sum {
+		t.Fatalf("total %v != phase sum %v", res.TotalSec, sum)
+	}
+	if res.TotalSec >= res.FlatERingSec {
+		t.Fatalf("hierarchy %v not under flat E-Ring %v", res.TotalSec, res.FlatERingSec)
+	}
+}
+
+func TestMultiRackValidation(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if _, err := MultiRackTime(cfg, 1, 8, 1024); err == nil {
+		t.Fatal("1 rack accepted")
+	}
+	if _, err := MultiRackTime(cfg, 4, 8, 0); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+}
+
+func TestVerifyMultiRack(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if err := VerifyMultiRack(cfg, 3, 12, 29); err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyMultiRack(cfg, 1, 12, 29); err == nil {
+		t.Fatal("1 rack accepted")
+	}
+}

@@ -1,0 +1,97 @@
+package wrht
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScheduleOutlineWrht(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.WrhtGroupSize = 3
+	steps, err := ScheduleOutline(cfg, AlgWrht, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) == 0 {
+		t.Fatal("no steps")
+	}
+	sawReduce, sawBroadcast := false, false
+	for _, st := range steps {
+		if st.Transfers <= 0 || st.Seconds <= 0 {
+			t.Fatalf("degenerate step: %+v", st)
+		}
+		if st.Wavelengths < 1 || st.Wavelengths > cfg.Optical.Wavelengths {
+			t.Fatalf("step %d wavelengths %d", st.Index, st.Wavelengths)
+		}
+		if strings.HasPrefix(st.Label, "reduce") {
+			sawReduce = true
+		}
+		if strings.HasPrefix(st.Label, "broadcast") {
+			sawBroadcast = true
+		}
+		if len(st.Arcs) == 0 {
+			t.Fatalf("step %d has no arcs", st.Index)
+		}
+	}
+	if !sawReduce || !sawBroadcast {
+		t.Fatalf("missing stages: reduce=%v broadcast=%v", sawReduce, sawBroadcast)
+	}
+}
+
+func TestScheduleOutlineBaselines(t *testing.T) {
+	cfg := DefaultConfig(8)
+	for _, alg := range []Algorithm{AlgORing, AlgORingStriped, AlgERing} {
+		steps, err := ScheduleOutline(cfg, alg, 1<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if len(steps) != 14 { // 2(n-1) ring steps
+			t.Fatalf("%s: %d steps", alg, len(steps))
+		}
+	}
+}
+
+func TestScheduleOutlineValidation(t *testing.T) {
+	cfg := DefaultConfig(8)
+	if _, err := ScheduleOutline(cfg, AlgWrht, 0); err == nil {
+		t.Fatal("zero bytes accepted")
+	}
+	if _, err := ScheduleOutline(cfg, Algorithm("x"), 1); err == nil {
+		t.Fatal("unknown algorithm accepted")
+	}
+}
+
+func TestScheduleOutlinePipelined(t *testing.T) {
+	cfg := DefaultConfig(16)
+	cfg.WrhtGroupSize = 3
+	cfg.PipelineChunks = 4
+	steps, err := ScheduleOutline(cfg, AlgWrhtPipelined, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := ScheduleOutline(cfg, AlgWrhtUnstriped, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) != len(plain)+cfg.PipelineChunks-1 {
+		t.Fatalf("pipelined steps %d, want %d", len(steps), len(plain)+cfg.PipelineChunks-1)
+	}
+}
+
+func TestScheduleOutlineGreedyPolicy(t *testing.T) {
+	cfg := DefaultConfig(128)
+	cfg.WrhtGroupSize = 3
+	greedy := cfg
+	greedy.WrhtGreedyA2A = true
+	sf, err := ScheduleOutline(cfg, AlgWrht, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sg, err := ScheduleOutline(greedy, AlgWrht, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sg) >= len(sf) {
+		t.Fatalf("greedy (%d steps) should have fewer steps than formula (%d)", len(sg), len(sf))
+	}
+}

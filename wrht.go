@@ -1,0 +1,438 @@
+// Package wrht is the public API of this repository: a reproduction of
+// "Efficient All-reduce for Distributed DNN Training in Optical Interconnect
+// Systems" (Dai et al., PPoPP 2023). It plans and prices all-reduce
+// operations for data-parallel DNN training on a WDM optical ring
+// interconnect (the paper's Wrht scheme) and on electrical baselines
+// (ring all-reduce, recursive doubling, and friends), using wavelength- and
+// flow-level simulators underneath.
+//
+// Quick start:
+//
+//	cfg := wrht.DefaultConfig(1024)
+//	res, err := wrht.CommunicationTime(cfg, wrht.AlgWrht, wrht.MustModel("VGG16").Bytes)
+//	fmt.Println(res.Seconds)
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package wrht
+
+import (
+	"fmt"
+
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/dnn"
+	"wrht/internal/electrical"
+	"wrht/internal/model"
+	"wrht/internal/optical"
+	"wrht/internal/runner"
+	"wrht/internal/trace"
+	"wrht/internal/wdm"
+)
+
+// Algorithm names an all-reduce algorithm/substrate combination.
+type Algorithm string
+
+const (
+	// AlgERing is ring all-reduce on the electrical network (paper: E-Ring).
+	AlgERing Algorithm = "e-ring"
+	// AlgRD is recursive doubling on the electrical network (paper: RD).
+	AlgRD Algorithm = "rd"
+	// AlgHD is halving-doubling (Rabenseifner) on the electrical network.
+	AlgHD Algorithm = "hd"
+	// AlgBinomial is a binomial reduce+broadcast tree on the electrical network.
+	AlgBinomial Algorithm = "binomial"
+	// AlgORing is ring all-reduce on the optical ring with one wavelength
+	// per transfer (paper: O-Ring).
+	AlgORing Algorithm = "o-ring"
+	// AlgORingStriped is the ablation variant of O-Ring striping each
+	// transfer across all wavelengths.
+	AlgORingStriped Algorithm = "o-ring-striped"
+	// AlgWrht is the paper's scheme with the optimizer-chosen group size.
+	AlgWrht Algorithm = "wrht"
+	// AlgWrhtUnstriped is Wrht restricted to one wavelength per transfer
+	// (the paper's literal wavelength accounting).
+	AlgWrhtUnstriped Algorithm = "wrht-unstriped"
+	// AlgWrhtPipelined is the chunked-pipeline extension of the unstriped
+	// scheme: chunks flow through the tree stages concurrently on distinct
+	// wavelengths (Config.PipelineChunks; default 64).
+	AlgWrhtPipelined Algorithm = "wrht-pipelined"
+)
+
+// Algorithms returns every supported algorithm in report order.
+func Algorithms() []Algorithm {
+	return []Algorithm{
+		AlgERing, AlgRD, AlgHD, AlgBinomial,
+		AlgORing, AlgORingStriped, AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined,
+	}
+}
+
+// PaperAlgorithms returns the four algorithms of the paper's Figure 2, in
+// the paper's legend order.
+func PaperAlgorithms() []Algorithm {
+	return []Algorithm{AlgERing, AlgRD, AlgORing, AlgWrht}
+}
+
+// Config describes the cluster under test.
+type Config struct {
+	// Nodes is the worker count (the paper sweeps 128–1024).
+	Nodes int
+	// Optical parameterizes the WDM ring (TeraRack-like defaults).
+	Optical optical.Params
+	// Electrical parameterizes the SimGrid-like electrical network.
+	Electrical electrical.Params
+	// BytesPerElem is the gradient element width (4 = FP32).
+	BytesPerElem int
+	// WrhtGroupSize fixes Wrht's m; 0 lets the optimizer choose.
+	WrhtGroupSize int
+	// WrhtGreedyA2A switches Wrht to the greedy all-to-all trigger.
+	WrhtGreedyA2A bool
+	// PipelineChunks sets the chunk count for AlgWrhtPipelined (0 = 64).
+	PipelineChunks int
+}
+
+// DefaultConfig returns the evaluation defaults for n workers (DESIGN.md §4).
+func DefaultConfig(n int) Config {
+	return Config{
+		Nodes:        n,
+		Optical:      optical.DefaultParams(),
+		Electrical:   electrical.DefaultParams(),
+		BytesPerElem: 4,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("wrht: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if err := c.Optical.Validate(); err != nil {
+		return err
+	}
+	if err := c.Electrical.Validate(); err != nil {
+		return err
+	}
+	if c.BytesPerElem < 1 {
+		return fmt.Errorf("wrht: BytesPerElem %d", c.BytesPerElem)
+	}
+	return nil
+}
+
+// Result is the outcome of pricing one algorithm.
+type Result struct {
+	Algorithm Algorithm
+	// Substrate identifies the simulated network.
+	Substrate string
+	// Seconds is the simulated end-to-end communication time.
+	Seconds float64
+	// PredictedSeconds is the closed-form analytic time (model package);
+	// simulation and prediction agree within ~1%.
+	PredictedSeconds float64
+	// Steps is the number of synchronous communication steps.
+	Steps int
+	// MaxWavelengths is the peak number of lit wavelengths (optical only).
+	MaxWavelengths int
+}
+
+// ModelSpec is a catalog entry of the paper's evaluation networks.
+type ModelSpec struct {
+	Name   string
+	Params int64
+	// Bytes is the FP32 gradient size.
+	Bytes int64
+	// Layers is the number of parameterized layers.
+	Layers int
+}
+
+// Models returns the paper's four evaluation networks (AlexNet, VGG16,
+// ResNet50, GoogLeNet) with layer-accurate parameter counts.
+func Models() []ModelSpec {
+	var out []ModelSpec
+	for _, m := range dnn.PaperModels() {
+		out = append(out, ModelSpec{
+			Name:   m.Name,
+			Params: m.TotalParams(),
+			Bytes:  m.GradientBytes(4),
+			Layers: len(m.Layers),
+		})
+	}
+	return out
+}
+
+// MustModel returns the named catalog model or panics; use for the four
+// known names.
+func MustModel(name string) ModelSpec {
+	m, err := dnn.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return ModelSpec{
+		Name:   m.Name,
+		Params: m.TotalParams(),
+		Bytes:  m.GradientBytes(4),
+		Layers: len(m.Layers),
+	}
+}
+
+// buildSchedule constructs the schedule (and optional Wrht plan) for alg.
+func buildSchedule(cfg Config, alg Algorithm, elems int) (*collective.Schedule, *core.Plan, error) {
+	switch alg {
+	case AlgERing, AlgORing, AlgORingStriped:
+		s, err := collective.RingAllReduce(cfg.Nodes, elems)
+		return s, nil, err
+	case AlgRD:
+		s, err := collective.RecursiveDoubling(cfg.Nodes, elems)
+		return s, nil, err
+	case AlgHD:
+		s, err := collective.HalvingDoubling(cfg.Nodes, elems)
+		return s, nil, err
+	case AlgBinomial:
+		s, err := collective.BinomialTree(cfg.Nodes, elems)
+		return s, nil, err
+	case AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined:
+		opts := core.DefaultOptions()
+		opts.Cost = model.CostParamsOf(cfg.Optical)
+		opts.Striping = alg == AlgWrht
+		opts.M = cfg.WrhtGroupSize
+		if cfg.WrhtGreedyA2A {
+			opts.Policy = core.A2AGreedy
+		}
+		plan, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if alg == AlgWrhtPipelined {
+			chunks := cfg.PipelineChunks
+			if chunks == 0 {
+				chunks = 64
+			}
+			s, err := plan.PipelinedSchedule(elems, chunks)
+			return s, plan, err
+		}
+		s, err := plan.Schedule(elems)
+		return s, plan, err
+	default:
+		return nil, nil, fmt.Errorf("wrht: unknown algorithm %q", alg)
+	}
+}
+
+// isElectrical reports whether the algorithm runs on the electrical substrate.
+func isElectrical(alg Algorithm) bool {
+	switch alg {
+	case AlgERing, AlgRD, AlgHD, AlgBinomial:
+		return true
+	default:
+		return false
+	}
+}
+
+// CommunicationTime simulates one all-reduce of `bytes` bytes under alg.
+func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if bytes <= 0 {
+		return Result{}, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
+	}
+	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
+	s, plan, err := buildSchedule(cfg, alg, elems)
+	if err != nil {
+		return Result{}, err
+	}
+	out := Result{Algorithm: alg, Steps: s.NumSteps()}
+	simBytes := int64(elems) * int64(cfg.BytesPerElem)
+
+	if isElectrical(alg) {
+		res, err := runner.RunElectrical(s, runner.ElectricalOptions{
+			Params:       cfg.Electrical,
+			BytesPerElem: cfg.BytesPerElem,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		out.Substrate = res.Substrate
+		out.Seconds = res.TotalSec
+		switch alg {
+		case AlgERing:
+			out.PredictedSeconds = model.ERing(cfg.Nodes, simBytes, cfg.Electrical)
+		case AlgRD:
+			out.PredictedSeconds = model.RD(cfg.Nodes, simBytes, cfg.Electrical)
+		case AlgHD:
+			out.PredictedSeconds = model.HD(cfg.Nodes, simBytes, cfg.Electrical)
+		}
+		return out, nil
+	}
+
+	opts := runner.DefaultOpticalOptions()
+	opts.Params = cfg.Optical
+	opts.BytesPerElem = cfg.BytesPerElem
+	opts.Assigner = wdm.FirstFit
+	if alg == AlgORingStriped {
+		opts.DefaultWidth = cfg.Optical.Wavelengths
+	}
+	res, err := runner.RunOptical(s, opts)
+	if err != nil {
+		return Result{}, err
+	}
+	out.Substrate = res.Substrate
+	out.Seconds = res.TotalSec
+	out.MaxWavelengths = res.MaxWavelengths
+	switch alg {
+	case AlgORing:
+		out.PredictedSeconds = model.ORing(cfg.Nodes, simBytes, cfg.Optical)
+	case AlgORingStriped:
+		out.PredictedSeconds = model.ORingStriped(cfg.Nodes, simBytes, cfg.Optical)
+	case AlgWrht, AlgWrhtUnstriped:
+		out.PredictedSeconds = model.Wrht(plan, simBytes, cfg.Optical)
+	}
+
+	return out, nil
+}
+
+// Compare prices several algorithms on the same buffer.
+func Compare(cfg Config, algs []Algorithm, bytes int64) ([]Result, error) {
+	out := make([]Result, 0, len(algs))
+	for _, a := range algs {
+		r, err := CommunicationTime(cfg, a, bytes)
+		if err != nil {
+			return nil, fmt.Errorf("wrht: %s: %w", a, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// VerifyAlgorithm executes the algorithm's schedule on real buffers with
+// deterministic inputs and confirms every node ends with the exact
+// elementwise sum — the correctness oracle behind every timing claim. Use a
+// small elems (e.g. 64) at large node counts; cost is O(N² · elems) for
+// tree/all-to-all schedules.
+func VerifyAlgorithm(cfg Config, alg Algorithm, elems int) error {
+	if err := cfg.Validate(); err != nil {
+		return err
+	}
+	s, _, err := buildSchedule(cfg, alg, elems)
+	if err != nil {
+		return err
+	}
+	return collective.VerifyAllReduce(s)
+}
+
+// PlanSummary describes the Wrht plan the configuration produces.
+type PlanSummary struct {
+	GroupSize     int
+	Steps         int
+	TreeLevels    int
+	A2AReps       int
+	TreeStripe    int
+	A2AStripe     int
+	StepDemands   []int
+	StepsUpperBnd int
+	Description   string
+}
+
+// Plan returns the Wrht plan summary for the configuration.
+func Plan(cfg Config) (PlanSummary, error) {
+	if err := cfg.Validate(); err != nil {
+		return PlanSummary{}, err
+	}
+	opts := core.DefaultOptions()
+	opts.Cost = model.CostParamsOf(cfg.Optical)
+	opts.M = cfg.WrhtGroupSize
+	if cfg.WrhtGreedyA2A {
+		opts.Policy = core.A2AGreedy
+	}
+	p, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, opts)
+	if err != nil {
+		return PlanSummary{}, err
+	}
+	if err := p.CheckInvariants(); err != nil {
+		return PlanSummary{}, err
+	}
+	return PlanSummary{
+		GroupSize:     p.M,
+		Steps:         p.NumSteps(),
+		TreeLevels:    len(p.ReduceLevels),
+		A2AReps:       len(p.A2AReps),
+		TreeStripe:    p.TreeStripe,
+		A2AStripe:     p.A2AStripe,
+		StepDemands:   p.WavelengthDemands(),
+		StepsUpperBnd: p.StepsUpperBound(),
+		Description:   p.String(),
+	}, nil
+}
+
+// IterationReport is a data-parallel training-iteration simulation outcome.
+type IterationReport struct {
+	Model             string
+	Algorithm         Algorithm
+	IterationSec      float64
+	ComputeSec        float64
+	CommSec           float64
+	ExposedCommSec    float64
+	CommShare         float64
+	ScalingEfficiency float64
+	Buckets           int
+}
+
+// TrainingIteration simulates one bucketed-overlap DDP iteration of the named
+// catalog model with gradients all-reduced by alg (analytic comm model).
+func TrainingIteration(cfg Config, alg Algorithm, modelName string, bucketCapBytes int64) (IterationReport, error) {
+	if err := cfg.Validate(); err != nil {
+		return IterationReport{}, err
+	}
+	m, err := dnn.ByName(modelName)
+	if err != nil {
+		return IterationReport{}, err
+	}
+	timer, err := commTimer(cfg, alg)
+	if err != nil {
+		return IterationReport{}, err
+	}
+	res, err := trace.SimulateIteration(m, trace.DefaultCompute(m), bucketCapBytes, cfg.BytesPerElem, timer)
+	if err != nil {
+		return IterationReport{}, err
+	}
+	return IterationReport{
+		Model:             m.Name,
+		Algorithm:         alg,
+		IterationSec:      res.IterationSec,
+		ComputeSec:        res.ComputeSec,
+		CommSec:           res.CommSec,
+		ExposedCommSec:    res.ExposedCommSec,
+		CommShare:         res.CommShare,
+		ScalingEfficiency: res.ScalingEfficiency,
+		Buckets:           res.Buckets,
+	}, nil
+}
+
+// commTimer builds an analytic per-bucket timer for the algorithm (fast
+// enough to call once per bucket per iteration).
+func commTimer(cfg Config, alg Algorithm) (trace.CommTimer, error) {
+	switch alg {
+	case AlgERing:
+		return func(b int64) float64 { return model.ERing(cfg.Nodes, b, cfg.Electrical) }, nil
+	case AlgRD:
+		return func(b int64) float64 { return model.RD(cfg.Nodes, b, cfg.Electrical) }, nil
+	case AlgHD:
+		return func(b int64) float64 { return model.HD(cfg.Nodes, b, cfg.Electrical) }, nil
+	case AlgORing:
+		return func(b int64) float64 { return model.ORing(cfg.Nodes, b, cfg.Optical) }, nil
+	case AlgORingStriped:
+		return func(b int64) float64 { return model.ORingStriped(cfg.Nodes, b, cfg.Optical) }, nil
+	case AlgWrht, AlgWrhtUnstriped:
+		opts := core.DefaultOptions()
+		opts.Cost = model.CostParamsOf(cfg.Optical)
+		opts.Striping = alg == AlgWrht
+		opts.M = cfg.WrhtGroupSize
+		if cfg.WrhtGreedyA2A {
+			opts.Policy = core.A2AGreedy
+		}
+		plan, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, opts)
+		if err != nil {
+			return nil, err
+		}
+		return func(b int64) float64 { return model.Wrht(plan, b, cfg.Optical) }, nil
+	default:
+		return nil, fmt.Errorf("wrht: no analytic timer for algorithm %q", alg)
+	}
+}
