@@ -1,0 +1,315 @@
+package wrht
+
+import (
+	"fmt"
+	"math"
+
+	"wrht/internal/core"
+	"wrht/internal/dnn"
+	"wrht/internal/fabric"
+)
+
+// JobSpec describes one tenant of a shared optical fabric: an all-reduce
+// workload (a catalog model or a raw byte count) arriving at a given time.
+type JobSpec struct {
+	// Name identifies the job in results; defaults to "job<i>".
+	Name string
+	// Model names a catalog network (see Models, MustModel); when set, its
+	// gradient size overrides Bytes.
+	Model string
+	// Bytes is the all-reduced buffer size when Model is empty.
+	Bytes int64
+	// ArrivalSec is when the job reaches the fabric.
+	ArrivalSec float64
+	// Priority orders jobs under the priority policy (higher preempts).
+	Priority int
+	// Iterations is the number of back-to-back all-reduces (default 1).
+	Iterations int
+	// Algorithm prices the job's all-reduce (default AlgWrht). Electrical
+	// algorithms are rejected — the fabric shares optical wavelengths.
+	Algorithm Algorithm
+	// MinWavelengths (default 1) and MaxWavelengths (default: the whole
+	// budget) bound the stripe grant the job accepts.
+	MinWavelengths int
+	MaxWavelengths int
+}
+
+// FabricPolicy selects how concurrent tenants share the wavelength budget.
+type FabricPolicy struct {
+	// Kind is FabricStatic, FabricFirstFit, or FabricPriority.
+	Kind string
+	// Partitions is the share count for FabricStatic (default 4, clamped
+	// to the budget). Each share is budget/Partitions wavelengths wide;
+	// any remainder of the division stays dark.
+	Partitions int
+}
+
+// Fabric policy kinds.
+const (
+	// FabricStatic splits the wavelength budget into fixed equal shares.
+	FabricStatic = "static"
+	// FabricFirstFit grants wavelengths first-come first-served from a
+	// shared pool; small jobs may overtake a blocked wide job.
+	FabricFirstFit = "first-fit"
+	// FabricPriority serves jobs by priority and preempts lower-priority
+	// tenants when a high-priority job cannot fit.
+	FabricPriority = "priority"
+)
+
+// FabricPolicies returns the supported policies in report order.
+func FabricPolicies() []FabricPolicy {
+	return []FabricPolicy{
+		{Kind: FabricStatic},
+		{Kind: FabricFirstFit},
+		{Kind: FabricPriority},
+	}
+}
+
+func (p FabricPolicy) internal() (fabric.Policy, error) {
+	switch p.Kind {
+	case FabricStatic:
+		return fabric.Policy{Kind: fabric.StaticPartition, Partitions: p.Partitions}, nil
+	case FabricFirstFit:
+		return fabric.Policy{Kind: fabric.FirstFitShare}, nil
+	case FabricPriority:
+		return fabric.Policy{Kind: fabric.PriorityPreempt}, nil
+	default:
+		return fabric.Policy{}, fmt.Errorf("wrht: unknown fabric policy %q", p.Kind)
+	}
+}
+
+// String renders the policy for table headers. An unset Partitions count is
+// not shown (the effective value depends on the budget it is applied to).
+func (p FabricPolicy) String() string {
+	if p.Kind == FabricStatic && p.Partitions != 0 {
+		return fmt.Sprintf("%s/%d", p.Kind, p.Partitions)
+	}
+	return p.Kind
+}
+
+// FabricJobResult is the per-tenant outcome of a fabric co-simulation.
+type FabricJobResult struct {
+	Name     string
+	Rejected bool
+	// ArrivalSec/StartSec/DoneSec are absolute simulation times; QueueSec
+	// is the initial queueing delay and ServiceSec the time spent running.
+	ArrivalSec float64
+	StartSec   float64
+	DoneSec    float64
+	QueueSec   float64
+	ServiceSec float64
+	// Wavelengths is the job's final concrete wavelength set (indices into
+	// the budget); Width is its size.
+	Wavelengths []int
+	Width       int
+	Preemptions int
+	// AloneSec is the job's solo runtime at its widest grant
+	// (MaxWavelengths); Slowdown is (DoneSec-ArrivalSec)/AloneSec, the
+	// price of sharing.
+	AloneSec float64
+	Slowdown float64
+}
+
+// FabricEvent is one entry of the fabric trace.
+type FabricEvent struct {
+	TimeSec float64
+	Job     string
+	// Kind is arrive | reject | start | preempt | resume | finish.
+	Kind        string
+	Wavelengths int
+}
+
+// FabricResult aggregates a multi-tenant fabric co-simulation.
+type FabricResult struct {
+	Policy FabricPolicy
+	// Budget is the fabric-wide wavelength count (cfg.Optical.Wavelengths).
+	Budget int
+	Jobs   []FabricJobResult
+	Events []FabricEvent
+	// MakespanSec is the last completion time.
+	MakespanSec  float64
+	MeanQueueSec float64
+	MaxQueueSec  float64
+	MeanSlowdown float64
+	// Fairness is Jain's index over per-job slowdowns (1 = perfectly fair).
+	Fairness float64
+	// Utilization is lit wavelength-seconds / (budget x makespan).
+	Utilization     float64
+	PeakWavelengths int
+	RejectedJobs    int
+}
+
+// jobBytes resolves the buffer size of a job spec.
+func jobBytes(cfg Config, spec JobSpec) (int64, error) {
+	if spec.Model != "" {
+		m, err := dnn.ByName(spec.Model)
+		if err != nil {
+			return 0, err
+		}
+		return m.GradientBytes(cfg.BytesPerElem), nil
+	}
+	if spec.Bytes <= 0 {
+		return 0, fmt.Errorf("wrht: job %q has no model and non-positive bytes %d",
+			spec.Name, spec.Bytes)
+	}
+	return spec.Bytes, nil
+}
+
+// SimulateFabric co-schedules the jobs on one shared optical ring fabric of
+// cfg.Nodes workers and cfg.Optical.Wavelengths total wavelengths under the
+// policy. Each tenant's all-reduce is priced by the exact single-ring
+// simulation path (CommunicationTime) with the optical budget restricted to
+// the tenant's granted stripe, so a lone job on the fabric reproduces the
+// dedicated-ring numbers. The co-simulation is deterministic.
+func SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy) (FabricResult, error) {
+	return simulateFabric(cfg, jobs, policy, newFabricCache())
+}
+
+// algFloor is the smallest stripe grant the algorithm can run with: a fixed
+// Wrht group size m is only feasible at wavelength budgets w with
+// core.MaxGroupSize(w) >= m; everything else runs on one wavelength.
+func algFloor(cfg Config, alg Algorithm) int {
+	switch alg {
+	case AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined:
+		if m := cfg.WrhtGroupSize; m > 0 {
+			w := 1
+			for core.MaxGroupSize(w) < m {
+				w++
+			}
+			return w
+		}
+	}
+	return 1
+}
+
+func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabricCache) (FabricResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return FabricResult{}, err
+	}
+	pol, err := policy.internal()
+	if err != nil {
+		return FabricResult{}, err
+	}
+	inner := make([]fabric.Job, len(jobs))
+	for i, spec := range jobs {
+		if spec.Name == "" {
+			spec.Name = fmt.Sprintf("job%d", i)
+		}
+		alg := spec.Algorithm
+		if alg == "" {
+			alg = AlgWrht
+		}
+		if isElectrical(alg) {
+			return FabricResult{}, fmt.Errorf("wrht: job %q: electrical algorithm %q cannot share the optical fabric",
+				spec.Name, alg)
+		}
+		bytes, err := jobBytes(cfg, spec)
+		if err != nil {
+			return FabricResult{}, err
+		}
+		if spec.MinWavelengths < 0 {
+			return FabricResult{}, fmt.Errorf("wrht: job %q: negative MinWavelengths %d",
+				spec.Name, spec.MinWavelengths)
+		}
+		// Raise the job's minimum to the algorithm's structural floor so a
+		// narrow grant can never make the runtime function fail mid-run.
+		minW := spec.MinWavelengths
+		if f := algFloor(cfg, alg); f > minW {
+			minW = f
+			if spec.MaxWavelengths != 0 && spec.MaxWavelengths < f {
+				return FabricResult{}, fmt.Errorf(
+					"wrht: job %q: %s with group size m=%d needs at least %d wavelengths, MaxWavelengths is %d",
+					spec.Name, alg, cfg.WrhtGroupSize, f, spec.MaxWavelengths)
+			}
+		}
+		inner[i] = fabric.Job{
+			Name:           spec.Name,
+			ArrivalSec:     spec.ArrivalSec,
+			Priority:       spec.Priority,
+			MinWavelengths: minW,
+			MaxWavelengths: spec.MaxWavelengths,
+			Iterations:     spec.Iterations,
+			Runtime:        cache.runtime(cfg, alg, bytes),
+		}
+	}
+	res, err := fabric.Simulate(cfg.Optical.Wavelengths, inner, pol)
+	if err != nil {
+		return FabricResult{}, err
+	}
+	out := FabricResult{
+		Policy:          policy,
+		Budget:          res.Budget,
+		MakespanSec:     res.MakespanSec,
+		MeanQueueSec:    res.MeanQueueSec,
+		MaxQueueSec:     res.MaxQueueSec,
+		MeanSlowdown:    res.MeanSlowdown,
+		Fairness:        res.Fairness,
+		Utilization:     res.Utilization,
+		PeakWavelengths: res.PeakWavelengths,
+		RejectedJobs:    res.RejectedJobs,
+	}
+	for _, j := range res.Jobs {
+		out.Jobs = append(out.Jobs, FabricJobResult(j))
+	}
+	for _, ev := range res.Events {
+		out.Events = append(out.Events, FabricEvent{
+			TimeSec: ev.TimeSec, Job: ev.Job, Kind: ev.Kind.String(), Wavelengths: ev.Wavelengths,
+		})
+	}
+	return out, nil
+}
+
+// fabricCache memoizes single-ring simulation results across the jobs of
+// one SimulateFabric call and across the policies of CompareFabricPolicies:
+// CommunicationTime is deterministic in (algorithm, bytes, width), and a
+// policy sweep re-prices the same tenants many times.
+type fabricCache struct {
+	times map[fabricCacheKey]float64
+}
+
+type fabricCacheKey struct {
+	alg   Algorithm
+	bytes int64
+	width int
+}
+
+func newFabricCache() *fabricCache {
+	return &fabricCache{times: map[fabricCacheKey]float64{}}
+}
+
+// runtime prices one all-reduce of the job at stripe budget w via the full
+// single-ring simulation path, memoized by (alg, bytes, w).
+func (fc *fabricCache) runtime(cfg Config, alg Algorithm, bytes int64) func(int) (float64, error) {
+	return func(w int) (float64, error) {
+		key := fabricCacheKey{alg, bytes, w}
+		if v, ok := fc.times[key]; ok {
+			return v, nil
+		}
+		c := cfg
+		c.Optical.Wavelengths = w
+		r, err := CommunicationTime(c, alg, bytes)
+		if err != nil {
+			return 0, err
+		}
+		if r.Seconds <= 0 || math.IsNaN(r.Seconds) || math.IsInf(r.Seconds, 0) {
+			return 0, fmt.Errorf("wrht: degenerate runtime %v at width %d", r.Seconds, w)
+		}
+		fc.times[key] = r.Seconds
+		return r.Seconds, nil
+	}
+}
+
+// CompareFabricPolicies runs the same job mix under every policy, sharing
+// one runtime cache across the sweep.
+func CompareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy) ([]FabricResult, error) {
+	cache := newFabricCache()
+	out := make([]FabricResult, 0, len(policies))
+	for _, p := range policies {
+		r, err := simulateFabric(cfg, jobs, p, cache)
+		if err != nil {
+			return nil, fmt.Errorf("wrht: policy %s: %w", p, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

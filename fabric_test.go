@@ -1,0 +1,209 @@
+package wrht
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// fabricTestConfig keeps fabric tests fast: 16 nodes, 16 wavelengths.
+func fabricTestConfig() Config {
+	cfg := DefaultConfig(16)
+	cfg.Optical.Wavelengths = 16
+	return cfg
+}
+
+// TestFabricSingleJobMatchesCommunicationTime is the bridge invariant: one
+// tenant alone on the fabric must reproduce the dedicated single-ring path
+// exactly (same simulator, full budget, zero queueing).
+func TestFabricSingleJobMatchesCommunicationTime(t *testing.T) {
+	cfg := fabricTestConfig()
+	for _, alg := range []Algorithm{AlgWrht, AlgORing, AlgORingStriped} {
+		want, err := CommunicationTime(cfg, alg, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := SimulateFabric(cfg,
+			[]JobSpec{{Name: "solo", Bytes: 1 << 20, Algorithm: alg}},
+			FabricPolicy{Kind: FabricFirstFit})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		j := res.Jobs[0]
+		if j.QueueSec != 0 || j.Width != cfg.Optical.Wavelengths {
+			t.Fatalf("%s: solo job queued or narrowed: %+v", alg, j)
+		}
+		if j.DoneSec != want.Seconds {
+			t.Fatalf("%s: fabric %v != single-ring %v", alg, j.DoneSec, want.Seconds)
+		}
+		if math.Abs(j.Slowdown-1) > 1e-12 {
+			t.Fatalf("%s: solo slowdown %v", alg, j.Slowdown)
+		}
+	}
+}
+
+// fabricTestJobs is a heterogeneous 8-job mix over the catalog models.
+func fabricTestJobs() []JobSpec {
+	models := []string{"AlexNet", "VGG16", "ResNet50", "GoogLeNet"}
+	var jobs []JobSpec
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, JobSpec{
+			Model:          models[i%len(models)],
+			ArrivalSec:     float64(i) * 2e-3,
+			Priority:       i % 3,
+			MaxWavelengths: 4 + (i%3)*6,
+		})
+	}
+	return jobs
+}
+
+func TestFabricPoliciesOnHeterogeneousMix(t *testing.T) {
+	cfg := fabricTestConfig()
+	results, err := CompareFabricPolicies(cfg, fabricTestJobs(), FabricPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results", len(results))
+	}
+	for _, res := range results {
+		if res.RejectedJobs != 0 {
+			t.Fatalf("%s: rejected %d jobs", res.Policy, res.RejectedJobs)
+		}
+		if len(res.Jobs) != 8 {
+			t.Fatalf("%s: %d jobs", res.Policy, len(res.Jobs))
+		}
+		if res.PeakWavelengths > res.Budget {
+			t.Fatalf("%s: peak %d exceeds budget %d", res.Policy, res.PeakWavelengths, res.Budget)
+		}
+		if res.Utilization <= 0 || res.Utilization > 1 {
+			t.Fatalf("%s: utilization %v", res.Policy, res.Utilization)
+		}
+		if res.Fairness <= 0 || res.Fairness > 1 {
+			t.Fatalf("%s: fairness %v", res.Policy, res.Fairness)
+		}
+		for _, j := range res.Jobs {
+			if j.Slowdown < 1-1e-9 {
+				t.Fatalf("%s: job %s slowdown %v < 1", res.Policy, j.Name, j.Slowdown)
+			}
+			if len(j.Wavelengths) != j.Width || j.Width > res.Budget {
+				t.Fatalf("%s: job %s wavelength set %v width %d", res.Policy, j.Name, j.Wavelengths, j.Width)
+			}
+		}
+	}
+}
+
+func TestFabricDeterministic(t *testing.T) {
+	cfg := fabricTestConfig()
+	a, err := SimulateFabric(cfg, fabricTestJobs(), FabricPolicy{Kind: FabricPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateFabric(cfg, fabricTestJobs(), FabricPolicy{Kind: FabricPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical fabric simulations differ")
+	}
+}
+
+func TestFabricPriorityFavorsHighPriority(t *testing.T) {
+	cfg := fabricTestConfig()
+	jobs := []JobSpec{
+		{Name: "bg", Model: "VGG16", Priority: 0, MinWavelengths: 16},
+		{Name: "urgent", Model: "AlexNet", Priority: 5, ArrivalSec: 1e-3, MinWavelengths: 16},
+	}
+	res, err := SimulateFabric(cfg, jobs, FabricPolicy{Kind: FabricPriority})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var bg, urgent FabricJobResult
+	for _, j := range res.Jobs {
+		switch j.Name {
+		case "bg":
+			bg = j
+		case "urgent":
+			urgent = j
+		}
+	}
+	if urgent.QueueSec != 0 || bg.Preemptions == 0 {
+		t.Fatalf("urgent should preempt bg: urgent=%+v bg=%+v", urgent, bg)
+	}
+	if bg.DoneSec <= urgent.DoneSec {
+		t.Fatalf("preempted job finished first: bg=%v urgent=%v", bg.DoneSec, urgent.DoneSec)
+	}
+}
+
+func TestFabricFixedGroupSizeRaisesMinimumGrant(t *testing.T) {
+	// A fixed Wrht group size m structurally needs ⌊m/2⌋ wavelengths. A
+	// tenant with the default minimum must not be dispatched at a narrower
+	// width (which would abort the whole co-simulation mid-run).
+	cfg := fabricTestConfig()
+	cfg.WrhtGroupSize = 8
+	jobs := []JobSpec{
+		{Name: "wide", Bytes: 1 << 20, MaxWavelengths: 14},
+		{Name: "late", Bytes: 1 << 20, ArrivalSec: 1e-6},
+	}
+	res, err := SimulateFabric(cfg, jobs, FabricPolicy{Kind: FabricFirstFit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := res.Jobs[1]
+	if late.Width < 4 {
+		t.Fatalf("late tenant dispatched below the structural floor: %+v", late)
+	}
+	// A cap below the floor is impossible and reported up front.
+	if _, err := SimulateFabric(cfg,
+		[]JobSpec{{Name: "impossible", Model: "AlexNet", MaxWavelengths: 2}},
+		FabricPolicy{Kind: FabricFirstFit}); err == nil {
+		t.Fatal("cap below the structural floor accepted")
+	}
+}
+
+func TestCompareFabricPoliciesSharesRuntimeCache(t *testing.T) {
+	// The cached sweep must produce results identical to independent runs.
+	cfg := fabricTestConfig()
+	swept, err := CompareFabricPolicies(cfg, fabricTestJobs(), FabricPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, pol := range FabricPolicies() {
+		solo, err := SimulateFabric(cfg, fabricTestJobs(), pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(swept[i], solo) {
+			t.Fatalf("%s: cached sweep differs from standalone run", pol)
+		}
+	}
+}
+
+func TestFabricValidation(t *testing.T) {
+	cfg := fabricTestConfig()
+	ok := []JobSpec{{Bytes: 1 << 20}}
+	if _, err := SimulateFabric(cfg, ok, FabricPolicy{Kind: "round-robin"}); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	if _, err := SimulateFabric(cfg, []JobSpec{{Bytes: 1 << 20, Algorithm: AlgERing}},
+		FabricPolicy{Kind: FabricFirstFit}); err == nil {
+		t.Fatal("electrical algorithm accepted on the optical fabric")
+	}
+	if _, err := SimulateFabric(cfg, []JobSpec{{Model: "NoSuchNet"}},
+		FabricPolicy{Kind: FabricFirstFit}); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+	if _, err := SimulateFabric(cfg, []JobSpec{{Bytes: -5}},
+		FabricPolicy{Kind: FabricFirstFit}); err == nil {
+		t.Fatal("negative bytes accepted")
+	}
+	if _, err := SimulateFabric(cfg, []JobSpec{{Bytes: 1 << 20, MinWavelengths: -3}},
+		FabricPolicy{Kind: FabricFirstFit}); err == nil {
+		t.Fatal("negative MinWavelengths accepted")
+	}
+	bad := cfg
+	bad.Nodes = 1
+	if _, err := SimulateFabric(bad, ok, FabricPolicy{Kind: FabricFirstFit}); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}

@@ -1,0 +1,670 @@
+// Package fabric schedules concurrent all-reduce jobs onto one shared WDM
+// optical ring fabric with a global wavelength budget. The paper prices a
+// single all-reduce on a dedicated ring; a production optical interconnect
+// serves many training jobs at once (TopoOpt, RAMP), contending for the same
+// wavelength pool. This package models that regime: jobs arrive over time,
+// pass admission control, receive disjoint sets of concrete wavelength
+// indices under a partitioning policy, run for as long as their all-reduce
+// takes at the granted stripe width, and release the wavelengths for queued
+// tenants.
+//
+// Three policies are provided: a static equal split of the budget into
+// tenant shares, first-fit sharing from a common pool (small jobs may
+// overtake a blocked head-of-line job), and priority scheduling with
+// preemption (a higher-priority arrival reclaims wavelengths from the
+// lowest-priority running tenants; preempted work resumes pro-rata).
+//
+// The co-simulation is a discrete-event program on internal/sim, so runs are
+// deterministic: same jobs, same policy, same trace. Per-job runtimes are
+// supplied by the caller as a function of the granted wavelength count —
+// the public API wires this to the full single-ring simulation path
+// (wavelength assignment via internal/wdm and all), so fabric numbers are
+// consistent with the paper harness by construction.
+package fabric
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wrht/internal/sim"
+	"wrht/internal/stats"
+)
+
+// Job is one tenant: an all-reduce workload arriving at a shared fabric.
+type Job struct {
+	// Name identifies the job in stats and traces; must be unique.
+	Name string
+	// ArrivalSec is when the job enters the fabric.
+	ArrivalSec float64
+	// Priority orders jobs under PriorityPreempt (higher wins). Ignored by
+	// the other policies.
+	Priority int
+	// MinWavelengths is the smallest grant the job accepts (default 1). A
+	// job whose minimum cannot ever be satisfied under the policy is
+	// rejected at arrival (admission control).
+	MinWavelengths int
+	// MaxWavelengths is the grant the job asks for (default: whole budget).
+	MaxWavelengths int
+	// Iterations is the number of back-to-back all-reduces the job runs
+	// (default 1).
+	Iterations int
+	// Runtime prices ONE all-reduce at stripe budget w (MinWavelengths <=
+	// w <= MaxWavelengths). It must be positive and finite; wider grants
+	// should not run slower. Preempted jobs resume pro-rata: remaining
+	// work scales linearly with the fraction of the segment completed.
+	Runtime func(w int) (float64, error)
+}
+
+// PolicyKind selects the wavelength-partitioning discipline.
+type PolicyKind int
+
+const (
+	// StaticPartition splits the budget into Partitions equal shares; a
+	// job occupies exactly one share and queues FIFO when all are busy.
+	StaticPartition PolicyKind = iota
+	// FirstFitShare grants each job min(MaxWavelengths, free) wavelengths
+	// from a common pool, scanning the FIFO queue so a small job may start
+	// while a wide head-of-line job waits.
+	FirstFitShare
+	// PriorityPreempt serves the queue in (priority, arrival) order and
+	// lets a higher-priority job reclaim wavelengths from running
+	// lower-priority tenants; preempted jobs requeue with their remaining
+	// work and resume later.
+	PriorityPreempt
+)
+
+func (k PolicyKind) String() string {
+	switch k {
+	case StaticPartition:
+		return "static"
+	case FirstFitShare:
+		return "first-fit"
+	case PriorityPreempt:
+		return "priority"
+	default:
+		return fmt.Sprintf("PolicyKind(%d)", int(k))
+	}
+}
+
+// Policy is a policy kind plus its parameters.
+type Policy struct {
+	Kind PolicyKind
+	// Partitions is the number of equal shares under StaticPartition
+	// (default 4, clamped to the budget when unset). Must not exceed the
+	// wavelength budget. Each share is budget/Partitions wide; when the
+	// division is not exact, the remaining budget mod Partitions
+	// wavelengths stay dark (they still count in the utilization
+	// denominator — choose Partitions dividing the budget to avoid it).
+	Partitions int
+}
+
+// Validate checks the policy against a wavelength budget.
+func (p Policy) Validate(budget int) error {
+	switch p.Kind {
+	case StaticPartition:
+		parts := p.partitions(budget)
+		if parts < 1 || parts > budget {
+			return fmt.Errorf("fabric: %d partitions for budget %d", parts, budget)
+		}
+	case FirstFitShare, PriorityPreempt:
+	default:
+		return fmt.Errorf("fabric: unknown policy kind %d", int(p.Kind))
+	}
+	return nil
+}
+
+// partitions returns the effective share count for StaticPartition:
+// Partitions when set, else 4 clamped to the budget.
+func (p Policy) partitions(budget int) int {
+	if p.Partitions == 0 {
+		if budget < 4 {
+			return budget
+		}
+		return 4
+	}
+	return p.Partitions
+}
+
+// EventKind tags one entry of the fabric trace.
+type EventKind int
+
+const (
+	EvArrive EventKind = iota
+	EvReject
+	EvStart
+	EvPreempt
+	EvResume
+	EvFinish
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvArrive:
+		return "arrive"
+	case EvReject:
+		return "reject"
+	case EvStart:
+		return "start"
+	case EvPreempt:
+		return "preempt"
+	case EvResume:
+		return "resume"
+	case EvFinish:
+		return "finish"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of the fabric trace: what happened to which job when,
+// and how many wavelengths it held afterwards.
+type Event struct {
+	TimeSec     float64
+	Job         string
+	Kind        EventKind
+	Wavelengths int
+}
+
+// JobStats is the per-tenant outcome of a fabric simulation.
+type JobStats struct {
+	Name     string
+	Rejected bool
+	// ArrivalSec, StartSec and DoneSec are absolute simulation times;
+	// QueueSec = StartSec - ArrivalSec is the initial queueing delay and
+	// ServiceSec the total time actually spent running (across segments).
+	ArrivalSec float64
+	StartSec   float64
+	DoneSec    float64
+	QueueSec   float64
+	ServiceSec float64
+	// Wavelengths is the concrete wavelength index set of the final run
+	// segment; Width is its size.
+	Wavelengths []int
+	Width       int
+	Preemptions int
+	// AloneSec is the job's runtime had it run alone at its widest grant
+	// (MaxWavelengths, clamped to the budget) with no contention;
+	// Slowdown = (DoneSec-ArrivalSec)/AloneSec >= 1 measures what sharing
+	// cost this tenant.
+	AloneSec float64
+	Slowdown float64
+}
+
+// Result is the outcome of co-simulating all jobs on the shared fabric.
+type Result struct {
+	Policy Policy
+	Budget int
+	Jobs   []JobStats
+	Events []Event
+	// MakespanSec is the completion time of the last job.
+	MakespanSec  float64
+	MeanQueueSec float64
+	MaxQueueSec  float64
+	MeanSlowdown float64
+	// Fairness is Jain's index over completed jobs' slowdowns (1 = every
+	// tenant slowed equally).
+	Fairness float64
+	// Utilization is lit wavelength-seconds over budget x makespan.
+	Utilization float64
+	// PeakWavelengths is the most wavelengths simultaneously allocated.
+	PeakWavelengths int
+	RejectedJobs    int
+}
+
+// jobRec is the scheduler's mutable view of one job.
+type jobRec struct {
+	Job
+	idx       int
+	state     int // 0 queued (pre-arrival), 1 waiting, 2 running, 3 done, 4 rejected
+	remaining float64
+	epoch     int
+	waves     []int
+	segStart  float64
+	segLen    float64
+	st        JobStats
+	memo      map[int]float64
+}
+
+const (
+	stWaiting  = 1
+	stRunning  = 2
+	stDone     = 3
+	stRejected = 4
+)
+
+// totalRuntime prices the job's full workload (all iterations) at width w.
+func (j *jobRec) totalRuntime(w int) (float64, error) {
+	if v, ok := j.memo[w]; ok {
+		return v, nil
+	}
+	one, err := j.Runtime(w)
+	if err != nil {
+		return 0, fmt.Errorf("fabric: job %q at width %d: %w", j.Name, w, err)
+	}
+	if one <= 0 || math.IsNaN(one) || math.IsInf(one, 0) {
+		return 0, fmt.Errorf("fabric: job %q runtime %v at width %d", j.Name, one, w)
+	}
+	v := one * float64(j.Iterations)
+	j.memo[w] = v
+	return v, nil
+}
+
+type scheduler struct {
+	eng    sim.Engine
+	pol    Policy
+	budget int
+	free   []bool // free[c] = wavelength c unallocated
+	nfree  int
+	queue  []*jobRec
+	recs   []*jobRec
+	events []Event
+
+	// shareSize is one tenant share under StaticPartition, parts the
+	// effective share count; activeShares counts tenants currently
+	// occupying a share.
+	shareSize    int
+	parts        int
+	activeShares int
+
+	// utilization accounting
+	lastT   float64
+	busySec float64
+	busyNow int
+	peak    int
+
+	err error
+}
+
+// Simulate co-schedules the jobs on a fabric of `budget` wavelengths under
+// the policy and returns per-job and aggregate statistics plus the full
+// event trace. The simulation is deterministic.
+func Simulate(budget int, jobs []Job, pol Policy) (Result, error) {
+	if budget < 1 {
+		return Result{}, fmt.Errorf("fabric: wavelength budget %d", budget)
+	}
+	if len(jobs) == 0 {
+		return Result{}, fmt.Errorf("fabric: no jobs")
+	}
+	if err := pol.Validate(budget); err != nil {
+		return Result{}, err
+	}
+	recs := make([]*jobRec, len(jobs))
+	seen := map[string]bool{}
+	for i, j := range jobs {
+		if j.Name == "" {
+			j.Name = fmt.Sprintf("job%d", i)
+		}
+		if seen[j.Name] {
+			return Result{}, fmt.Errorf("fabric: duplicate job name %q", j.Name)
+		}
+		seen[j.Name] = true
+		if j.ArrivalSec < 0 || math.IsNaN(j.ArrivalSec) || math.IsInf(j.ArrivalSec, 0) {
+			return Result{}, fmt.Errorf("fabric: job %q arrival %v", j.Name, j.ArrivalSec)
+		}
+		if j.MinWavelengths == 0 {
+			j.MinWavelengths = 1
+		}
+		if j.MinWavelengths < 1 ||
+			(j.MaxWavelengths != 0 && j.MaxWavelengths < j.MinWavelengths) {
+			return Result{}, fmt.Errorf("fabric: job %q wavelength range [%d,%d]",
+				j.Name, j.MinWavelengths, j.MaxWavelengths)
+		}
+		// A minimum beyond the budget is not a spec error: admission
+		// control rejects that job at arrival while the rest of the mix
+		// still runs.
+		if j.MaxWavelengths == 0 || j.MaxWavelengths > budget {
+			j.MaxWavelengths = budget
+		}
+		if j.Iterations == 0 {
+			j.Iterations = 1
+		}
+		if j.Iterations < 1 {
+			return Result{}, fmt.Errorf("fabric: job %q iterations %d", j.Name, j.Iterations)
+		}
+		if j.Runtime == nil {
+			return Result{}, fmt.Errorf("fabric: job %q has no runtime function", j.Name)
+		}
+		recs[i] = &jobRec{
+			Job: j, idx: i, remaining: 1,
+			st:   JobStats{Name: j.Name, ArrivalSec: j.ArrivalSec},
+			memo: map[int]float64{},
+		}
+	}
+
+	s := &scheduler{pol: pol, budget: budget, free: make([]bool, budget), nfree: budget, recs: recs}
+	for c := range s.free {
+		s.free[c] = true
+	}
+	if pol.Kind == StaticPartition {
+		s.parts = pol.partitions(budget)
+		s.shareSize = budget / s.parts
+	}
+	for _, r := range recs {
+		r := r
+		s.eng.At(r.ArrivalSec, func() { s.arrive(r) })
+	}
+	s.eng.Run()
+	if s.err != nil {
+		return Result{}, s.err
+	}
+
+	return s.finalize(recs)
+}
+
+// fail aborts the simulation at the first runtime-function error; remaining
+// events become no-ops.
+func (s *scheduler) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+func (s *scheduler) emit(r *jobRec, kind EventKind, width int) {
+	s.events = append(s.events, Event{
+		TimeSec: s.eng.Now(), Job: r.Name, Kind: kind, Wavelengths: width,
+	})
+}
+
+// account integrates lit wavelength-seconds up to the current time.
+func (s *scheduler) account() {
+	now := s.eng.Now()
+	s.busySec += float64(s.busyNow) * (now - s.lastT)
+	s.lastT = now
+}
+
+// maxGrant is the widest allocation any job can ever receive.
+func (s *scheduler) maxGrant() int {
+	if s.pol.Kind == StaticPartition {
+		return s.shareSize
+	}
+	return s.budget
+}
+
+func (s *scheduler) arrive(r *jobRec) {
+	if s.err != nil {
+		return
+	}
+	s.emit(r, EvArrive, 0)
+	if r.MinWavelengths > s.maxGrant() {
+		// Admission control: this job can never be satisfied here.
+		r.state = stRejected
+		r.st.Rejected = true
+		s.emit(r, EvReject, 0)
+		return
+	}
+	r.state = stWaiting
+	s.queue = append(s.queue, r)
+	s.dispatch()
+}
+
+// allocate takes `width` lowest-indexed free wavelengths (first fit).
+func (s *scheduler) allocate(width int) []int {
+	waves := make([]int, 0, width)
+	for c := 0; c < s.budget && len(waves) < width; c++ {
+		if s.free[c] {
+			s.free[c] = false
+			waves = append(waves, c)
+		}
+	}
+	if len(waves) != width {
+		panic(fmt.Sprintf("fabric: allocated %d of %d requested wavelengths", len(waves), width))
+	}
+	s.nfree -= width
+	return waves
+}
+
+func (s *scheduler) release(waves []int) {
+	for _, c := range waves {
+		if s.free[c] {
+			panic(fmt.Sprintf("fabric: double free of wavelength %d", c))
+		}
+		s.free[c] = true
+	}
+	s.nfree += len(waves)
+}
+
+// start grants `width` wavelengths to r and schedules its (remaining) run.
+func (s *scheduler) start(r *jobRec, width int) {
+	seg, err := r.totalRuntime(width)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	s.account()
+	r.waves = s.allocate(width)
+	r.state = stRunning
+	r.segStart = s.eng.Now()
+	r.segLen = seg * r.remaining
+	r.st.Width = width
+	r.st.Wavelengths = append([]int(nil), r.waves...)
+	kind := EvStart
+	if r.st.Preemptions > 0 {
+		kind = EvResume
+	} else {
+		r.st.StartSec = s.eng.Now()
+		r.st.QueueSec = r.st.StartSec - r.ArrivalSec
+	}
+	s.busyNow += width
+	if s.busyNow > s.peak {
+		s.peak = s.busyNow
+	}
+	s.emit(r, kind, width)
+	r.epoch++
+	epoch := r.epoch
+	s.eng.After(r.segLen, func() { s.complete(r, epoch) })
+}
+
+func (s *scheduler) complete(r *jobRec, epoch int) {
+	if s.err != nil || r.epoch != epoch || r.state != stRunning {
+		return // stale completion of a preempted segment
+	}
+	s.account()
+	r.state = stDone
+	r.remaining = 0
+	r.st.ServiceSec += r.segLen
+	r.st.DoneSec = s.eng.Now()
+	s.busyNow -= len(r.waves)
+	s.release(r.waves)
+	r.waves = nil
+	if s.pol.Kind == StaticPartition {
+		s.activeShares--
+	}
+	s.emit(r, EvFinish, 0)
+	s.dispatch()
+}
+
+// preempt pauses a running job, returning its wavelengths to the pool and
+// requeueing its remaining work.
+func (s *scheduler) preempt(r *jobRec) {
+	s.account()
+	now := s.eng.Now()
+	if r.segLen > 0 {
+		frac := (now - r.segStart) / r.segLen
+		if frac > 1 {
+			frac = 1
+		}
+		r.remaining *= 1 - frac
+	} else {
+		r.remaining = 0
+	}
+	r.st.ServiceSec += now - r.segStart
+	r.st.Preemptions++
+	r.epoch++ // invalidate the pending completion event
+	s.busyNow -= len(r.waves)
+	s.release(r.waves)
+	r.waves = nil
+	r.state = stWaiting
+	s.queue = append(s.queue, r)
+	s.emit(r, EvPreempt, 0)
+}
+
+// dispatch runs the policy's scheduling pass over the wait queue.
+func (s *scheduler) dispatch() {
+	if s.err != nil {
+		return
+	}
+	switch s.pol.Kind {
+	case StaticPartition:
+		s.dispatchStatic()
+	case FirstFitShare:
+		s.dispatchFirstFit()
+	case PriorityPreempt:
+		s.dispatchPriority()
+	}
+}
+
+// dispatchStatic starts FIFO-queued jobs while a tenant share is free. A
+// job narrower than its share runs at its own MaxWavelengths cap; the rest
+// of the share stays dark (static isolation: at most Partitions tenants).
+func (s *scheduler) dispatchStatic() {
+	for len(s.queue) > 0 && s.activeShares < s.parts {
+		r := s.queue[0]
+		s.queue = s.queue[1:]
+		width := s.shareSize
+		if r.MaxWavelengths < width {
+			width = r.MaxWavelengths
+		}
+		s.activeShares++
+		s.start(r, width)
+		if s.err != nil {
+			return
+		}
+	}
+}
+
+// dispatchFirstFit scans the queue in arrival order and starts every job
+// whose minimum fits the remaining pool, granting up to its maximum.
+func (s *scheduler) dispatchFirstFit() {
+	var keep []*jobRec
+	for _, r := range s.queue {
+		if s.err == nil && r.MinWavelengths <= s.nfree {
+			width := r.MaxWavelengths
+			if width > s.nfree {
+				width = s.nfree
+			}
+			s.start(r, width)
+			continue
+		}
+		keep = append(keep, r)
+	}
+	s.queue = keep
+}
+
+// dispatchPriority serves the queue in (priority desc, arrival asc) order,
+// preempting strictly lower-priority running jobs when the pool is short.
+func (s *scheduler) dispatchPriority() {
+	for s.err == nil && len(s.queue) > 0 {
+		sort.SliceStable(s.queue, func(a, b int) bool {
+			if s.queue[a].Priority != s.queue[b].Priority {
+				return s.queue[a].Priority > s.queue[b].Priority
+			}
+			if s.queue[a].ArrivalSec != s.queue[b].ArrivalSec {
+				return s.queue[a].ArrivalSec < s.queue[b].ArrivalSec
+			}
+			return s.queue[a].idx < s.queue[b].idx
+		})
+		head := s.queue[0]
+		if head.MinWavelengths > s.nfree {
+			// Reclaimable width from strictly lower-priority tenants.
+			victims := s.victimsFor(head)
+			reclaim := 0
+			for _, v := range victims {
+				reclaim += len(v.waves)
+			}
+			if s.nfree+reclaim < head.MinWavelengths {
+				return // even preempting everything eligible is not enough
+			}
+			for _, v := range victims {
+				if s.nfree >= head.MinWavelengths {
+					break
+				}
+				s.preempt(v)
+			}
+		}
+		s.queue = s.queue[1:]
+		width := head.MaxWavelengths
+		if width > s.nfree {
+			width = s.nfree
+		}
+		s.start(head, width)
+	}
+}
+
+// victimsFor lists running jobs preemptible by r: strictly lower priority,
+// cheapest first (lowest priority, then latest arrival). A job whose
+// segment is already due to complete at the current instant is not a
+// victim — its pending completion event (same timestamp, later sequence)
+// will free the wavelengths anyway, and preempting it would spuriously
+// discard a finished run.
+func (s *scheduler) victimsFor(r *jobRec) []*jobRec {
+	now := s.eng.Now()
+	var out []*jobRec
+	for _, v := range s.running() {
+		if v.Priority < r.Priority && now < v.segStart+v.segLen {
+			out = append(out, v)
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool {
+		if out[a].Priority != out[b].Priority {
+			return out[a].Priority < out[b].Priority
+		}
+		if out[a].ArrivalSec != out[b].ArrivalSec {
+			return out[a].ArrivalSec > out[b].ArrivalSec
+		}
+		return out[a].idx > out[b].idx
+	})
+	return out
+}
+
+func (s *scheduler) running() []*jobRec {
+	var out []*jobRec
+	for _, r := range s.recs {
+		if r.state == stRunning {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func (s *scheduler) finalize(recs []*jobRec) (Result, error) {
+	res := Result{
+		Policy: s.pol, Budget: s.budget,
+		Events:          s.events,
+		PeakWavelengths: s.peak,
+	}
+	var queues, slowdowns []float64
+	for _, r := range recs {
+		if r.state == stRejected {
+			res.RejectedJobs++
+			res.Jobs = append(res.Jobs, r.st)
+			continue
+		}
+		if r.state != stDone {
+			return Result{}, fmt.Errorf("fabric: job %q never completed (deadlock?)", r.Name)
+		}
+		alone, err := r.totalRuntime(r.MaxWavelengths)
+		if err != nil {
+			return Result{}, err
+		}
+		r.st.AloneSec = alone
+		r.st.Slowdown = (r.st.DoneSec - r.st.ArrivalSec) / alone
+		if r.st.DoneSec > res.MakespanSec {
+			res.MakespanSec = r.st.DoneSec
+		}
+		queues = append(queues, r.st.QueueSec)
+		slowdowns = append(slowdowns, r.st.Slowdown)
+		res.Jobs = append(res.Jobs, r.st)
+	}
+	if len(slowdowns) == 0 {
+		return Result{}, fmt.Errorf("fabric: every job was rejected")
+	}
+	res.MeanQueueSec = stats.Mean(queues)
+	res.MaxQueueSec = stats.Max(queues)
+	res.MeanSlowdown = stats.Mean(slowdowns)
+	res.Fairness = stats.JainIndex(slowdowns)
+	if res.MakespanSec > 0 {
+		res.Utilization = s.busySec / (float64(s.budget) * res.MakespanSec)
+	}
+	return res, nil
+}

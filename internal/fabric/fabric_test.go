@@ -1,0 +1,462 @@
+package fabric
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// perfectScaling returns a Runtime pricing `work` wavelength-seconds with
+// ideal speedup: runtime(w) = work/w. It makes expected times exact.
+func perfectScaling(work float64) func(int) (float64, error) {
+	return func(w int) (float64, error) { return work / float64(w), nil }
+}
+
+func approx(a, b float64) bool { return math.Abs(a-b) <= 1e-9*(1+math.Abs(b)) }
+
+func mustSimulate(t *testing.T, budget int, jobs []Job, pol Policy) Result {
+	t.Helper()
+	res, err := Simulate(budget, jobs, pol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func jobByName(t *testing.T, res Result, name string) JobStats {
+	t.Helper()
+	for _, j := range res.Jobs {
+		if j.Name == name {
+			return j
+		}
+	}
+	t.Fatalf("no job %q in result", name)
+	return JobStats{}
+}
+
+func TestSingleJobGetsWholeBudget(t *testing.T) {
+	for _, pol := range []Policy{{Kind: FirstFitShare}, {Kind: PriorityPreempt}} {
+		res := mustSimulate(t, 8, []Job{{Name: "a", Runtime: perfectScaling(8)}}, pol)
+		a := jobByName(t, res, "a")
+		if a.Width != 8 || a.QueueSec != 0 || !approx(a.DoneSec, 1.0) {
+			t.Fatalf("%v: %+v", pol.Kind, a)
+		}
+		if !approx(a.Slowdown, 1.0) || !approx(res.Utilization, 1.0) {
+			t.Fatalf("%v: slowdown %v utilization %v", pol.Kind, a.Slowdown, res.Utilization)
+		}
+	}
+}
+
+func TestStaticPartitionShares(t *testing.T) {
+	// Budget 8 split 4 ways: each tenant gets exactly 2 wavelengths.
+	jobs := []Job{
+		{Name: "a", Runtime: perfectScaling(2)},
+		{Name: "b", Runtime: perfectScaling(2)},
+		{Name: "c", Runtime: perfectScaling(2)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	for _, name := range []string{"a", "b", "c"} {
+		j := jobByName(t, res, name)
+		if j.Width != 2 || j.QueueSec != 0 || !approx(j.DoneSec, 1.0) {
+			t.Fatalf("%s: %+v", name, j)
+		}
+	}
+	if res.PeakWavelengths != 6 {
+		t.Fatalf("peak %d, want 6", res.PeakWavelengths)
+	}
+}
+
+func TestStaticPartitionQueues(t *testing.T) {
+	// Five equal jobs on four shares: the fifth waits for the first finisher.
+	var jobs []Job
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		jobs = append(jobs, Job{Name: n, Runtime: perfectScaling(2)})
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	e := jobByName(t, res, "e")
+	if !approx(e.QueueSec, 1.0) || !approx(e.DoneSec, 2.0) {
+		t.Fatalf("queued job: %+v", e)
+	}
+	if !approx(res.MaxQueueSec, 1.0) || !approx(res.MakespanSec, 2.0) {
+		t.Fatalf("aggregates: %+v", res)
+	}
+}
+
+func TestStaticPartitionRespectsMaxWavelengths(t *testing.T) {
+	// Shares are 2 wide but the job only accepts 1 wavelength: it must run
+	// at width 1 (the share's second wavelength stays dark), and it still
+	// occupies a whole tenant share.
+	jobs := []Job{
+		{Name: "narrow", MaxWavelengths: 1, Runtime: perfectScaling(2)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	j := jobByName(t, res, "narrow")
+	if j.Width != 1 || !approx(j.DoneSec, 2.0) {
+		t.Fatalf("narrow job: %+v", j)
+	}
+}
+
+func TestStaticPartitionCapsTenants(t *testing.T) {
+	// Five width-1 tenants on four shares: even though wavelengths remain
+	// free, static isolation admits at most Partitions concurrent tenants.
+	var jobs []Job
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		jobs = append(jobs, Job{Name: n, MaxWavelengths: 1, Runtime: perfectScaling(1)})
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	if res.PeakWavelengths != 4 {
+		t.Fatalf("peak %d, want 4 (one per share)", res.PeakWavelengths)
+	}
+	e := jobByName(t, res, "e")
+	if !approx(e.QueueSec, 1.0) {
+		t.Fatalf("fifth tenant should wait for a share: %+v", e)
+	}
+}
+
+func TestStaticPartitionDefaultClampsToSmallBudget(t *testing.T) {
+	// Unset Partitions defaults to 4, clamped to the budget: a 2-wavelength
+	// fabric still supports the static policy with two 1-wide shares.
+	jobs := []Job{
+		{Name: "a", Runtime: perfectScaling(1)},
+		{Name: "b", Runtime: perfectScaling(1)},
+		{Name: "c", Runtime: perfectScaling(1)},
+	}
+	res := mustSimulate(t, 2, jobs, Policy{Kind: StaticPartition})
+	a, c := jobByName(t, res, "a"), jobByName(t, res, "c")
+	if a.Width != 1 || !approx(a.DoneSec, 1.0) {
+		t.Fatalf("a: %+v", a)
+	}
+	if !approx(c.QueueSec, 1.0) {
+		t.Fatalf("third tenant should queue on two shares: %+v", c)
+	}
+}
+
+func TestAloneSecUsesJobWidthCap(t *testing.T) {
+	// A job capped at 2 wavelengths alone on an 8-wavelength fabric is not
+	// "slowed down" by its own cap: alone time is priced at its cap.
+	res := mustSimulate(t, 8,
+		[]Job{{Name: "capped", MaxWavelengths: 2, Runtime: perfectScaling(8)}},
+		Policy{Kind: FirstFitShare})
+	j := jobByName(t, res, "capped")
+	if !approx(j.AloneSec, 4.0) || !approx(j.Slowdown, 1.0) {
+		t.Fatalf("capped solo job: alone %v slowdown %v", j.AloneSec, j.Slowdown)
+	}
+}
+
+func TestFirstFitSharesPool(t *testing.T) {
+	// a takes the whole pool; b must wait; when a finishes, b and c start
+	// together and split what they ask for.
+	jobs := []Job{
+		{Name: "a", Runtime: perfectScaling(8)}, // runs 0..1 at width 8
+		{Name: "b", ArrivalSec: 0.25, MinWavelengths: 4, Runtime: perfectScaling(8)},
+		{Name: "c", ArrivalSec: 0.5, MaxWavelengths: 2, Runtime: perfectScaling(2)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: FirstFitShare})
+	b, c := jobByName(t, res, "b"), jobByName(t, res, "c")
+	if !approx(b.StartSec, 1.0) || b.Width != 8 {
+		t.Fatalf("b: %+v", b)
+	}
+	// b grabbed everything free at t=1 (its max defaults to the budget), so
+	// c waits for b despite asking for only 2 wavelengths.
+	if !approx(c.StartSec, 2.0) || c.Width != 2 {
+		t.Fatalf("c: %+v", c)
+	}
+}
+
+func TestFirstFitSmallJobOvertakes(t *testing.T) {
+	// a holds 6 of 8; b needs 4 and blocks; c needs 2 and overtakes b.
+	jobs := []Job{
+		{Name: "a", MaxWavelengths: 6, Runtime: perfectScaling(6)},
+		{Name: "b", ArrivalSec: 0.1, MinWavelengths: 4, Runtime: perfectScaling(4)},
+		{Name: "c", ArrivalSec: 0.2, MaxWavelengths: 2, Runtime: perfectScaling(1)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: FirstFitShare})
+	b, c := jobByName(t, res, "b"), jobByName(t, res, "c")
+	if !approx(c.StartSec, 0.2) || c.Width != 2 {
+		t.Fatalf("small job should start immediately: %+v", c)
+	}
+	if !approx(b.StartSec, 1.0) {
+		t.Fatalf("wide job should wait for a: %+v", b)
+	}
+}
+
+func TestPriorityPreemption(t *testing.T) {
+	// Low-priority a owns the fabric; high-priority b arrives halfway and
+	// needs everything, so a is preempted and resumes pro-rata after b.
+	jobs := []Job{
+		{Name: "a", Priority: 0, Runtime: perfectScaling(8)},
+		{Name: "b", Priority: 1, ArrivalSec: 0.5, MinWavelengths: 8, Runtime: perfectScaling(8)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: PriorityPreempt})
+	a, b := jobByName(t, res, "a"), jobByName(t, res, "b")
+	if !approx(b.StartSec, 0.5) || !approx(b.QueueSec, 0) || !approx(b.DoneSec, 1.5) {
+		t.Fatalf("high priority should run immediately: %+v", b)
+	}
+	if a.Preemptions != 1 || !approx(a.DoneSec, 2.0) || !approx(a.ServiceSec, 1.0) {
+		t.Fatalf("preempted job: %+v", a)
+	}
+	var kinds []EventKind
+	for _, ev := range res.Events {
+		if ev.Job == "a" {
+			kinds = append(kinds, ev.Kind)
+		}
+	}
+	want := []EventKind{EvArrive, EvStart, EvPreempt, EvResume, EvFinish}
+	if !reflect.DeepEqual(kinds, want) {
+		t.Fatalf("a's trace %v, want %v", kinds, want)
+	}
+}
+
+func TestPriorityArrivalAtExactCompletionDoesNotPreempt(t *testing.T) {
+	// v's completion is due at exactly t=1.0, the same instant the
+	// high-priority job arrives. The arrival event fires first (lower
+	// sequence number), but v's finished run must not be discarded as a
+	// preemption: v completes at 1.0 and h starts at 1.0.
+	jobs := []Job{
+		{Name: "v", Priority: 0, Runtime: perfectScaling(8)},
+		{Name: "h", Priority: 5, ArrivalSec: 1.0, MinWavelengths: 8, Runtime: perfectScaling(8)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: PriorityPreempt})
+	v, h := jobByName(t, res, "v"), jobByName(t, res, "h")
+	if v.Preemptions != 0 || !approx(v.DoneSec, 1.0) || !approx(v.Slowdown, 1.0) {
+		t.Fatalf("finished job spuriously preempted: %+v", v)
+	}
+	if !approx(h.StartSec, 1.0) || !approx(h.QueueSec, 0) {
+		t.Fatalf("arrival at completion instant should start immediately: %+v", h)
+	}
+}
+
+func TestPriorityEqualDoesNotPreempt(t *testing.T) {
+	jobs := []Job{
+		{Name: "a", Priority: 1, Runtime: perfectScaling(8)},
+		{Name: "b", Priority: 1, ArrivalSec: 0.5, Runtime: perfectScaling(8)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: PriorityPreempt})
+	a, b := jobByName(t, res, "a"), jobByName(t, res, "b")
+	if a.Preemptions != 0 || !approx(b.StartSec, 1.0) {
+		t.Fatalf("equal priority must not preempt: a=%+v b=%+v", a, b)
+	}
+}
+
+func TestAdmissionControlRejects(t *testing.T) {
+	// Static shares are 2 wide; a job demanding 3 can never be placed.
+	jobs := []Job{
+		{Name: "ok", Runtime: perfectScaling(2)},
+		{Name: "wide", MinWavelengths: 3, Runtime: perfectScaling(3)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	if res.RejectedJobs != 1 || !jobByName(t, res, "wide").Rejected {
+		t.Fatalf("want one rejection: %+v", res)
+	}
+	if jobByName(t, res, "ok").Rejected {
+		t.Fatal("feasible job rejected")
+	}
+}
+
+func TestAdmissionControlRejectsUnderPooledPolicies(t *testing.T) {
+	// A minimum beyond the whole budget rejects that job at arrival; the
+	// feasible tenants still run and produce results.
+	for _, pol := range []Policy{{Kind: FirstFitShare}, {Kind: PriorityPreempt}} {
+		jobs := []Job{
+			{Name: "ok", Runtime: perfectScaling(2)},
+			{Name: "greedy", MinWavelengths: 9, Runtime: perfectScaling(2)},
+		}
+		res := mustSimulate(t, 8, jobs, pol)
+		if res.RejectedJobs != 1 || !jobByName(t, res, "greedy").Rejected {
+			t.Fatalf("%v: want one rejection: %+v", pol.Kind, res)
+		}
+		if ok := jobByName(t, res, "ok"); ok.Rejected || ok.DoneSec <= 0 {
+			t.Fatalf("%v: feasible job did not complete: %+v", pol.Kind, ok)
+		}
+	}
+}
+
+func TestSimulateValidation(t *testing.T) {
+	ok := Job{Name: "a", Runtime: perfectScaling(1)}
+	cases := []struct {
+		name   string
+		budget int
+		jobs   []Job
+		pol    Policy
+	}{
+		{"zero budget", 0, []Job{ok}, Policy{Kind: FirstFitShare}},
+		{"no jobs", 8, nil, Policy{Kind: FirstFitShare}},
+		{"bad policy kind", 8, []Job{ok}, Policy{Kind: PolicyKind(99)}},
+		{"too many partitions", 8, []Job{ok}, Policy{Kind: StaticPartition, Partitions: 9}},
+		{"negative partitions", 8, []Job{ok}, Policy{Kind: StaticPartition, Partitions: -1}},
+		{"duplicate names", 8, []Job{ok, ok}, Policy{Kind: FirstFitShare}},
+		{"negative arrival", 8, []Job{{Name: "a", ArrivalSec: -1, Runtime: perfectScaling(1)}}, Policy{Kind: FirstFitShare}},
+		{"NaN arrival", 8, []Job{{Name: "a", ArrivalSec: math.NaN(), Runtime: perfectScaling(1)}}, Policy{Kind: FirstFitShare}},
+		{"inverted range", 8, []Job{{Name: "a", MinWavelengths: 4, MaxWavelengths: 2, Runtime: perfectScaling(1)}}, Policy{Kind: FirstFitShare}},
+		{"negative iterations", 8, []Job{{Name: "a", Iterations: -1, Runtime: perfectScaling(1)}}, Policy{Kind: FirstFitShare}},
+		{"nil runtime", 8, []Job{{Name: "a"}}, Policy{Kind: FirstFitShare}},
+		{"all rejected", 8, []Job{{Name: "a", MinWavelengths: 5, Runtime: perfectScaling(1)}}, Policy{Kind: StaticPartition}},
+	}
+	for _, tc := range cases {
+		if _, err := Simulate(tc.budget, tc.jobs, tc.pol); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestRuntimeErrorsPropagate(t *testing.T) {
+	bad := func(w int) (float64, error) { return 0, errTest }
+	if _, err := Simulate(8, []Job{{Name: "a", Runtime: bad}}, Policy{Kind: FirstFitShare}); err == nil {
+		t.Fatal("runtime error swallowed")
+	}
+	negative := func(w int) (float64, error) { return -1, nil }
+	if _, err := Simulate(8, []Job{{Name: "a", Runtime: negative}}, Policy{Kind: FirstFitShare}); err == nil {
+		t.Fatal("non-positive runtime accepted")
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "synthetic runtime failure" }
+
+// heavyMix is a deterministic 9-job heterogeneous workload used by the
+// property tests below.
+func heavyMix() []Job {
+	var jobs []Job
+	works := []float64{8, 2, 16, 4, 1, 12, 3, 6, 2}
+	for i, w := range works {
+		jobs = append(jobs, Job{
+			Name:           "j" + string(rune('0'+i)),
+			ArrivalSec:     float64(i) * 0.15,
+			Priority:       i % 3,
+			MinWavelengths: 1 + i%2,
+			MaxWavelengths: 2 + (i*3)%7,
+			Iterations:     1 + i%2,
+			Runtime:        perfectScaling(w),
+		})
+	}
+	return jobs
+}
+
+// TestBudgetNeverExceeded replays the event trace and checks the core
+// physical invariant: the sum of allocated wavelengths never exceeds the
+// budget, and PeakWavelengths reports the true maximum.
+func TestBudgetNeverExceeded(t *testing.T) {
+	for _, pol := range []Policy{
+		{Kind: StaticPartition, Partitions: 4},
+		{Kind: FirstFitShare},
+		{Kind: PriorityPreempt},
+	} {
+		const budget = 8
+		res := mustSimulate(t, budget, heavyMix(), pol)
+		held := map[string]int{}
+		total, peak := 0, 0
+		for _, ev := range res.Events {
+			switch ev.Kind {
+			case EvStart, EvResume:
+				if held[ev.Job] != 0 {
+					t.Fatalf("%v: %s started while holding %d wavelengths", pol.Kind, ev.Job, held[ev.Job])
+				}
+				held[ev.Job] = ev.Wavelengths
+				total += ev.Wavelengths
+			case EvPreempt, EvFinish:
+				total -= held[ev.Job]
+				held[ev.Job] = 0
+			}
+			if total > budget || total < 0 {
+				t.Fatalf("%v: %d wavelengths allocated at t=%v (budget %d)", pol.Kind, total, ev.TimeSec, budget)
+			}
+			if total > peak {
+				peak = total
+			}
+		}
+		if total != 0 {
+			t.Fatalf("%v: %d wavelengths still held at end", pol.Kind, total)
+		}
+		if peak != res.PeakWavelengths {
+			t.Fatalf("%v: replayed peak %d, reported %d", pol.Kind, peak, res.PeakWavelengths)
+		}
+		if res.Utilization <= 0 || res.Utilization > 1 {
+			t.Fatalf("%v: utilization %v", pol.Kind, res.Utilization)
+		}
+		if res.Fairness <= 0 || res.Fairness > 1 {
+			t.Fatalf("%v: fairness %v", pol.Kind, res.Fairness)
+		}
+		for _, j := range res.Jobs {
+			if j.Rejected {
+				continue
+			}
+			if j.Slowdown < 1-1e-9 {
+				t.Fatalf("%v: job %s finished faster than alone (slowdown %v)", pol.Kind, j.Name, j.Slowdown)
+			}
+			if j.QueueSec < 0 || j.ServiceSec <= 0 || j.DoneSec < j.StartSec {
+				t.Fatalf("%v: inconsistent stats %+v", pol.Kind, j)
+			}
+		}
+	}
+}
+
+// TestWorkConservation checks that under perfect scaling, every job receives
+// exactly its work in wavelength-seconds across all run segments, even
+// through preemptions.
+func TestWorkConservation(t *testing.T) {
+	jobs := heavyMix()
+	want := map[string]float64{}
+	for i, w := range []float64{8, 2, 16, 4, 1, 12, 3, 6, 2} {
+		want[jobs[i].Name] = w * float64(jobs[i].Iterations)
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: PriorityPreempt})
+	got := map[string]float64{}
+	holdW := map[string]int{}
+	holdT := map[string]float64{}
+	for _, ev := range res.Events {
+		switch ev.Kind {
+		case EvStart, EvResume:
+			holdW[ev.Job] = ev.Wavelengths
+			holdT[ev.Job] = ev.TimeSec
+		case EvPreempt, EvFinish:
+			got[ev.Job] += float64(holdW[ev.Job]) * (ev.TimeSec - holdT[ev.Job])
+			holdW[ev.Job] = 0
+		}
+	}
+	for name, w := range want {
+		if !approx(got[name], w) {
+			t.Fatalf("job %s did %v wavelength-seconds of work, want %v", name, got[name], w)
+		}
+	}
+}
+
+// TestDeterminism runs the same heavy workload twice per policy and requires
+// bit-identical results (the sim engine breaks ties deterministically).
+func TestDeterminism(t *testing.T) {
+	for _, pol := range []Policy{
+		{Kind: StaticPartition, Partitions: 4},
+		{Kind: FirstFitShare},
+		{Kind: PriorityPreempt},
+	} {
+		a := mustSimulate(t, 8, heavyMix(), pol)
+		b := mustSimulate(t, 8, heavyMix(), pol)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%v: two runs differ", pol.Kind)
+		}
+	}
+}
+
+func TestIterationsScaleRuntime(t *testing.T) {
+	one := mustSimulate(t, 8,
+		[]Job{{Name: "a", Runtime: perfectScaling(8)}}, Policy{Kind: FirstFitShare})
+	three := mustSimulate(t, 8,
+		[]Job{{Name: "a", Iterations: 3, Runtime: perfectScaling(8)}}, Policy{Kind: FirstFitShare})
+	if !approx(three.MakespanSec, 3*one.MakespanSec) {
+		t.Fatalf("3 iterations took %v, one took %v", three.MakespanSec, one.MakespanSec)
+	}
+}
+
+func TestPolicyAndEventStrings(t *testing.T) {
+	if StaticPartition.String() != "static" || FirstFitShare.String() != "first-fit" ||
+		PriorityPreempt.String() != "priority" {
+		t.Fatal("policy names changed")
+	}
+	for _, k := range []EventKind{EvArrive, EvReject, EvStart, EvPreempt, EvResume, EvFinish} {
+		if k.String() == "" {
+			t.Fatalf("event kind %d has no name", int(k))
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package report
+
+import (
+	"fmt"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+// FabricPolicyTable summarizes one job mix under several policies: one row
+// per policy with makespan, queueing, slowdown, fairness and utilization.
+// cmd/fabricsim renders it as text, markdown, or CSV.
+func FabricPolicyTable(title string, results []wrht.FabricResult) *stats.Table {
+	tb := stats.NewTable(title,
+		"policy", "makespan", "mean queue", "max queue",
+		"mean slowdown", "fairness", "utilization", "peak λ", "rejected")
+	for _, r := range results {
+		tb.AddRow(
+			r.Policy.String(),
+			stats.FormatSeconds(r.MakespanSec),
+			stats.FormatSeconds(r.MeanQueueSec),
+			stats.FormatSeconds(r.MaxQueueSec),
+			fmt.Sprintf("%.2fx", r.MeanSlowdown),
+			fmt.Sprintf("%.3f", r.Fairness),
+			fmt.Sprintf("%.1f%%", 100*r.Utilization),
+			fmt.Sprintf("%d/%d", r.PeakWavelengths, r.Budget),
+			fmt.Sprintf("%d", r.RejectedJobs),
+		)
+	}
+	return tb
+}
+
+// FabricJobsTable details every tenant of one fabric run.
+func FabricJobsTable(res wrht.FabricResult) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("per-job outcome under %s (budget %d λ)", res.Policy, res.Budget),
+		"job", "arrival", "queue", "service", "done", "λ", "preempts", "slowdown")
+	for _, j := range res.Jobs {
+		if j.Rejected {
+			tb.AddRow(j.Name, stats.FormatSeconds(j.ArrivalSec),
+				"-", "-", "rejected", "-", "-", "-")
+			continue
+		}
+		tb.AddRow(
+			j.Name,
+			stats.FormatSeconds(j.ArrivalSec),
+			stats.FormatSeconds(j.QueueSec),
+			stats.FormatSeconds(j.ServiceSec),
+			stats.FormatSeconds(j.DoneSec),
+			fmt.Sprintf("%d", j.Width),
+			fmt.Sprintf("%d", j.Preemptions),
+			fmt.Sprintf("%.2fx", j.Slowdown),
+		)
+	}
+	return tb
+}

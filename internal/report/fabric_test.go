@@ -1,0 +1,57 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"wrht"
+)
+
+func fabricMix() []wrht.JobSpec {
+	return []wrht.JobSpec{
+		{Name: "cv", Model: "ResNet50"},
+		{Name: "nlp", Model: "VGG16", ArrivalSec: 1e-3, Priority: 1},
+		{Name: "tiny", Bytes: 1 << 20, ArrivalSec: 2e-3, MaxWavelengths: 2},
+	}
+}
+
+func TestFabricPolicyTable(t *testing.T) {
+	cfg := wrht.DefaultConfig(16)
+	cfg.Optical.Wavelengths = 16
+	results, err := wrht.CompareFabricPolicies(cfg, fabricMix(), wrht.FabricPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := FabricPolicyTable("policy comparison", results)
+	if len(tb.Rows) != 3 {
+		t.Fatalf("%d rows", len(tb.Rows))
+	}
+	out := tb.String()
+	for _, want := range []string{"static", "first-fit", "priority", "fairness"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table missing %q:\n%s", want, out)
+		}
+	}
+	if csv := tb.CSV(); !strings.Contains(csv, "policy,makespan") {
+		t.Fatalf("bad CSV header:\n%s", csv)
+	}
+}
+
+func TestFabricJobsTable(t *testing.T) {
+	cfg := wrht.DefaultConfig(16)
+	cfg.Optical.Wavelengths = 16
+	jobs := append(fabricMix(),
+		wrht.JobSpec{Name: "toowide", Bytes: 1 << 20, MinWavelengths: 9})
+	res, err := wrht.SimulateFabric(cfg, jobs,
+		wrht.FabricPolicy{Kind: wrht.FabricStatic, Partitions: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := FabricJobsTable(res)
+	if len(tb.Rows) != len(jobs) {
+		t.Fatalf("%d rows for %d jobs", len(tb.Rows), len(jobs))
+	}
+	if out := tb.String(); !strings.Contains(out, "rejected") {
+		t.Fatalf("rejected job not marked:\n%s", out)
+	}
+}

@@ -173,6 +173,38 @@ func Median(xs []float64) float64 {
 	return (c[mid-1] + c[mid]) / 2
 }
 
+// JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for non-negative
+// allocations or slowdowns: 1 when all values are equal, approaching 1/n as
+// one value dominates. Empty or all-zero input returns 0.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum, sumSq := 0.0, 0.0
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// Max returns the maximum value (0 for empty input).
+func Max(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
 // Normalize divides every value by unit (the paper's figures use a common
 // time unit across subplots). unit must be non-zero.
 func Normalize(xs []float64, unit float64) []float64 {

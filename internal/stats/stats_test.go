@@ -112,3 +112,32 @@ func TestFormatBytes(t *testing.T) {
 		}
 	}
 }
+
+func TestJainIndex(t *testing.T) {
+	if got := JainIndex(nil); got != 0 {
+		t.Fatalf("JainIndex(nil) = %v", got)
+	}
+	if got := JainIndex([]float64{0, 0}); got != 0 {
+		t.Fatalf("all-zero input = %v", got)
+	}
+	if got := JainIndex([]float64{3, 3, 3, 3}); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("equal allocations = %v, want 1", got)
+	}
+	// One tenant hogging everything approaches 1/n.
+	if got := JainIndex([]float64{100, 1e-9, 1e-9, 1e-9}); math.Abs(got-0.25) > 1e-6 {
+		t.Fatalf("dominated allocations = %v, want ~0.25", got)
+	}
+	// Known closed form: {1,2,3} -> 36/(3*14).
+	if got, want := JainIndex([]float64{1, 2, 3}), 36.0/42.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("JainIndex({1,2,3}) = %v, want %v", got, want)
+	}
+}
+
+func TestMax(t *testing.T) {
+	if got := Max(nil); got != 0 {
+		t.Fatalf("Max(nil) = %v", got)
+	}
+	if got := Max([]float64{-3, 2.5, 1}); got != 2.5 {
+		t.Fatalf("Max = %v", got)
+	}
+}

@@ -30,6 +30,48 @@ func TestMultiRackValidation(t *testing.T) {
 	}
 }
 
+func TestMultiRackErrorPaths(t *testing.T) {
+	badOptical := DefaultConfig(1)
+	badOptical.Optical.Wavelengths = 0
+	badElectrical := DefaultConfig(1)
+	badElectrical.Electrical.LinkGbps = -1
+	cases := []struct {
+		name         string
+		cfg          Config
+		racks, nodes int
+		bytes        int64
+	}{
+		{"negative bytes", DefaultConfig(1), 4, 8, -1},
+		{"zero racks", DefaultConfig(1), 0, 8, 1024},
+		{"negative racks", DefaultConfig(1), -2, 8, 1024},
+		{"zero nodes per rack", DefaultConfig(1), 4, 0, 1024},
+		{"one node per rack", DefaultConfig(1), 4, 1, 1024},
+		{"negative nodes per rack", DefaultConfig(1), 4, -3, 1024},
+		{"invalid optical", badOptical, 4, 8, 1024},
+		{"invalid electrical", badElectrical, 4, 8, 1024},
+	}
+	for _, tc := range cases {
+		if _, err := MultiRackTime(tc.cfg, tc.racks, tc.nodes, tc.bytes); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestVerifyMultiRackErrorPaths(t *testing.T) {
+	cfg := DefaultConfig(1)
+	if err := VerifyMultiRack(cfg, 0, 8, 16); err == nil {
+		t.Error("zero racks accepted")
+	}
+	if err := VerifyMultiRack(cfg, 4, 0, 16); err == nil {
+		t.Error("zero nodes per rack accepted")
+	}
+	bad := cfg
+	bad.Optical.Wavelengths = 0
+	if err := VerifyMultiRack(bad, 4, 8, 16); err == nil {
+		t.Error("invalid optical config accepted")
+	}
+}
+
 func TestVerifyMultiRack(t *testing.T) {
 	cfg := DefaultConfig(1)
 	if err := VerifyMultiRack(cfg, 3, 12, 29); err != nil {

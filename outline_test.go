@@ -61,6 +61,36 @@ func TestScheduleOutlineValidation(t *testing.T) {
 	}
 }
 
+func TestScheduleOutlineErrorPaths(t *testing.T) {
+	badNodes := DefaultConfig(1)
+	badOptical := DefaultConfig(8)
+	badOptical.Optical.Wavelengths = 0
+	badRate := DefaultConfig(8)
+	badRate.Optical.GbpsPerWavelength = -1
+	badElectrical := DefaultConfig(8)
+	badElectrical.Electrical.LinkGbps = 0
+	badElems := DefaultConfig(8)
+	badElems.BytesPerElem = 0
+	cases := []struct {
+		name  string
+		cfg   Config
+		alg   Algorithm
+		bytes int64
+	}{
+		{"negative bytes", DefaultConfig(8), AlgORing, -7},
+		{"one node", badNodes, AlgWrht, 1 << 20},
+		{"invalid optical wavelengths", badOptical, AlgWrht, 1 << 20},
+		{"invalid optical rate", badRate, AlgORing, 1 << 20},
+		{"invalid electrical", badElectrical, AlgERing, 1 << 20},
+		{"invalid bytes per elem", badElems, AlgORing, 1 << 20},
+	}
+	for _, tc := range cases {
+		if _, err := ScheduleOutline(tc.cfg, tc.alg, tc.bytes); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
 func TestScheduleOutlinePipelined(t *testing.T) {
 	cfg := DefaultConfig(16)
 	cfg.WrhtGroupSize = 3

@@ -6,13 +6,28 @@
 // (ring all-reduce, recursive doubling, and friends), using wavelength- and
 // flow-level simulators underneath.
 //
-// Quick start:
+// Quick start — price one all-reduce on a dedicated ring:
 //
 //	cfg := wrht.DefaultConfig(1024)
 //	res, err := wrht.CommunicationTime(cfg, wrht.AlgWrht, wrht.MustModel("VGG16").Bytes)
 //	fmt.Println(res.Seconds)
 //
-// See examples/ for runnable programs and DESIGN.md for the system map.
+// Multi-tenant fabric — co-schedule concurrent jobs sharing one ring's
+// wavelength budget under static, first-fit, or priority-preemption
+// partitioning (see fabric.go and DESIGN.md §3):
+//
+//	jobs := []wrht.JobSpec{
+//		{Name: "serve", Model: "AlexNet", Priority: 2, MaxWavelengths: 16},
+//		{Name: "train", Model: "VGG16", ArrivalSec: 1e-3},
+//	}
+//	fr, err := wrht.SimulateFabric(cfg, jobs, wrht.FabricPolicy{Kind: wrht.FabricPriority})
+//	fmt.Println(fr.MakespanSec, fr.Fairness, fr.Utilization)
+//
+// Other surfaces: MultiRackTime (hierarchical rings), TrainingIteration
+// (DDP overlap), ScheduleOutline (per-step inspection), EnergyReport.
+// Runnable programs live in examples/ (quickstart, multi_tenant,
+// ddp_training, …) and cmd/ (figure2, sweep, fabricsim, wrhtsim, wrhtviz);
+// DESIGN.md holds the system map and evaluation defaults.
 package wrht
 
 import (
