@@ -21,10 +21,77 @@ import (
 
 var figure2Scales = []int{128, 256, 512, 1024}
 
+// skipInShort marks the benchmarks whose single iteration simulates
+// 512–1024-node ring schedules or GB-scale buffers; the CI smoke run
+// (-short -benchtime=1x) exercises the rest.
+func skipInShort(b *testing.B) {
+	if testing.Short() {
+		b.Skip("heavy simulation; skipped in short mode")
+	}
+}
+
+// BenchmarkSweepEngine compares the historical serial point-by-point pricing
+// loop against the concurrent engine with its shared plan cache on the same
+// 48-point grid (3 scales × 2 wavelength budgets × 4 models × 2 Wrht
+// variants). ns/op is the wall clock; planBuilds/op counts core.BuildPlan
+// invocations (the optimizer issues hundreds of candidate builds per
+// distinct (nodes, wavelengths) pair, which the cache pays once instead of
+// once per point).
+func BenchmarkSweepEngine(b *testing.B) {
+	nodes := []int{64, 128, 256}
+	waves := []int{32, 64}
+	algs := []wrht.Algorithm{wrht.AlgWrht, wrht.AlgWrhtUnstriped}
+	models := wrht.Models()
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		start := core.PlanBuildCount()
+		for i := 0; i < b.N; i++ {
+			for _, n := range nodes {
+				for _, w := range waves {
+					for _, m := range models {
+						for _, alg := range algs {
+							cfg := wrht.DefaultConfig(n)
+							cfg.Optical.Wavelengths = w
+							if _, err := wrht.CommunicationTime(cfg, alg, m.Bytes); err != nil {
+								b.Fatal(err)
+							}
+						}
+					}
+				}
+			}
+		}
+		b.ReportMetric(float64(core.PlanBuildCount()-start)/float64(b.N), "planBuilds/op")
+	})
+	b.Run("engine", func(b *testing.B) {
+		spec := wrht.SweepSpec{
+			Nodes:       nodes,
+			Wavelengths: waves,
+			Models:      names,
+			Algorithms:  algs,
+		}
+		start := core.PlanBuildCount()
+		for i := 0; i < b.N; i++ {
+			res, err := wrht.RunSweep(spec)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := res.Err(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(core.PlanBuildCount()-start)/float64(b.N), "planBuilds/op")
+	})
+}
+
 // BenchmarkFigure2 regenerates Figure 2: per (model, N), the communication
 // time of the paper's four algorithms, reported in milliseconds of simulated
 // time (the paper's "normalized time" unit is ≈1 ms; see EXPERIMENTS.md).
 func BenchmarkFigure2(b *testing.B) {
+	skipInShort(b)
 	for _, m := range wrht.Models() {
 		for _, n := range figure2Scales {
 			b.Run(fmt.Sprintf("%s/N%d", m.Name, n), func(b *testing.B) {
@@ -53,6 +120,7 @@ func BenchmarkFigure2(b *testing.B) {
 // communication time by 75.76% vs the electrical algorithms and 91.86% vs
 // the optical ring (averaged over Figure 2's 4 models × 4 scales).
 func BenchmarkHeadlineReduction(b *testing.B) {
+	skipInShort(b)
 	var vsERing, vsElec, vsORing float64
 	for i := 0; i < b.N; i++ {
 		vsERing, vsElec, vsORing = 0, 0, 0
@@ -156,6 +224,7 @@ func BenchmarkWavelengthDemand(b *testing.B) {
 // how a striped ring baseline would compare (the paper's O-Ring is
 // unstriped by definition).
 func BenchmarkAblationStriping(b *testing.B) {
+	skipInShort(b)
 	m := wrht.MustModel("VGG16")
 	for _, n := range []int{128, 1024} {
 		b.Run(fmt.Sprintf("N%d", n), func(b *testing.B) {
@@ -262,6 +331,7 @@ func BenchmarkTrainingIteration(b *testing.B) {
 // BenchmarkSimulatorThroughput measures the simulators themselves (ns/op is
 // the honest metric here): a full Figure-2 cell at the largest scale.
 func BenchmarkSimulatorThroughput(b *testing.B) {
+	skipInShort(b)
 	m := wrht.MustModel("GoogLeNet")
 	cfg := wrht.DefaultConfig(1024)
 	for _, alg := range wrht.PaperAlgorithms() {
@@ -279,6 +349,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 // transformer workloads — BERT-Large (1.34 GB gradients) and GPT-2 XL
 // (6.23 GB) — showing the paper's ordering survives at modern model sizes.
 func BenchmarkExtensionFigure(b *testing.B) {
+	skipInShort(b)
 	for _, name := range []string{"BERT-Large", "GPT-2-XL"} {
 		m := wrht.MustModel(name)
 		for _, n := range []int{128, 1024} {
@@ -307,6 +378,7 @@ func BenchmarkExtensionFigure(b *testing.B) {
 // BenchmarkAblationPipelining (A5, beyond the paper): the chunked-pipeline
 // extension versus plain Wrht, in both striping regimes, VGG16 at N=1024.
 func BenchmarkAblationPipelining(b *testing.B) {
+	skipInShort(b)
 	m := wrht.MustModel("VGG16")
 	cases := []struct {
 		name   string
@@ -342,6 +414,7 @@ func BenchmarkAblationPipelining(b *testing.B) {
 // power cost" motivation, quantified with silicon-photonics vs 100GbE
 // energy constants.
 func BenchmarkEnergy(b *testing.B) {
+	skipInShort(b)
 	m := wrht.MustModel("VGG16")
 	for _, alg := range []wrht.Algorithm{wrht.AlgERing, wrht.AlgORing, wrht.AlgWrht} {
 		b.Run(string(alg), func(b *testing.B) {
@@ -364,6 +437,7 @@ func BenchmarkEnergy(b *testing.B) {
 // BenchmarkAsyncVsBarrier (extension): what dropping global step barriers
 // would buy a runtime, via the message-level event simulator.
 func BenchmarkAsyncVsBarrier(b *testing.B) {
+	skipInShort(b)
 	m := wrht.MustModel("ResNet50")
 	cfg := wrht.DefaultConfig(256)
 	var barrier, async float64
@@ -385,6 +459,7 @@ func BenchmarkAsyncVsBarrier(b *testing.B) {
 // BenchmarkMultiRack (E12, beyond the paper): hierarchical all-reduce over
 // 8 racks × 128 nodes vs the flat electrical ring.
 func BenchmarkMultiRack(b *testing.B) {
+	skipInShort(b)
 	m := wrht.MustModel("VGG16")
 	cfg := wrht.DefaultConfig(1)
 	var res wrht.MultiRackResult

@@ -27,15 +27,16 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit one CSV with all series")
 		summary   = flag.Bool("summary", false, "print only the headline reductions")
 		extension = flag.Bool("extension", false, "include BERT-Large and GPT-2 XL")
+		parallel  = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	cells, err := report.Figure2()
+	cells, err := report.Figure2(*parallel)
 	if err != nil {
 		fail(err)
 	}
 	if *extension {
-		ext, err := report.ExtensionFigure()
+		ext, err := report.ExtensionFigure(*parallel)
 		if err != nil {
 			fail(err)
 		}

@@ -1,6 +1,10 @@
 // Command sweep runs the ablation parameter sweeps behind EXPERIMENTS.md:
 // Wrht's group size m, the wavelength budget w, and the message-size
-// crossover against the striped optical ring.
+// crossover against the striped optical ring. The canonical grids live in
+// internal/report (shared with cmd/experiments, so EXPERIMENTS.md cannot
+// drift from what this command prints) and ride the concurrent experiment
+// engine (wrht.RunSweep): points are priced in parallel with a shared plan
+// cache while the output order stays deterministic.
 //
 // Usage:
 //
@@ -15,7 +19,7 @@ import (
 	"os"
 
 	"wrht"
-	"wrht/internal/stats"
+	"wrht/internal/report"
 )
 
 func main() {
@@ -23,91 +27,29 @@ func main() {
 		kind      = flag.String("kind", "m", "sweep kind: m | wavelengths | size")
 		nodes     = flag.Int("nodes", 1024, "number of workers")
 		modelName = flag.String("model", "VGG16", "catalog model")
+		parallel  = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
-	m := wrht.MustModel(*modelName)
 	switch *kind {
 	case "m":
-		sweepGroupSize(*nodes, m)
+		tb, summary, err := report.GroupSizeSweep(wrht.DefaultConfig(*nodes), *modelName, *parallel)
+		must(err)
+		fmt.Print(tb.String())
+		fmt.Println(summary)
 	case "wavelengths":
-		sweepWavelengths(*nodes, m)
+		tb, err := report.WavelengthSweep(*nodes, *modelName, *parallel)
+		must(err)
+		fmt.Print(tb.String())
 	case "size":
-		sweepSize(*nodes)
+		tb, err := report.SizeSweep(*nodes, *parallel)
+		must(err)
+		fmt.Print(tb.String())
+		fmt.Println("(the paper's O-Ring baseline is unstriped; this ablation bounds any ring schedule)")
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
 		os.Exit(1)
 	}
-}
-
-func sweepGroupSize(nodes int, m wrht.ModelSpec) {
-	cfg := wrht.DefaultConfig(nodes)
-	tb := stats.NewTable(
-		fmt.Sprintf("Wrht group-size sweep: %s on %d nodes (w=%d)", m.Name, nodes, cfg.Optical.Wavelengths),
-		"m", "steps", "tree stripe", "time", "vs optimizer")
-	opt, err := wrht.CommunicationTime(cfg, wrht.AlgWrht, m.Bytes)
-	must(err)
-	for _, gs := range []int{2, 3, 5, 9, 17, 33, 65, 129} {
-		c := cfg
-		c.WrhtGroupSize = gs
-		r, err := wrht.CommunicationTime(c, wrht.AlgWrht, m.Bytes)
-		if err != nil {
-			continue // infeasible for this w
-		}
-		p, err := wrht.Plan(c)
-		must(err)
-		tb.AddRow(fmt.Sprintf("%d", gs), fmt.Sprintf("%d", p.Steps),
-			fmt.Sprintf("x%d", p.TreeStripe),
-			stats.FormatSeconds(r.Seconds),
-			fmt.Sprintf("%.2fx", r.Seconds/opt.Seconds))
-	}
-	autoPlan, err := wrht.Plan(cfg)
-	must(err)
-	fmt.Print(tb.String())
-	fmt.Printf("optimizer choice: m=%d, %s (%s)\n",
-		autoPlan.GroupSize, stats.FormatSeconds(opt.Seconds), autoPlan.Description)
-}
-
-func sweepWavelengths(nodes int, m wrht.ModelSpec) {
-	tb := stats.NewTable(
-		fmt.Sprintf("wavelength sweep: %s on %d nodes", m.Name, nodes),
-		"w", "wrht", "o-ring", "reduction")
-	for _, w := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
-		cfg := wrht.DefaultConfig(nodes)
-		cfg.Optical.Wavelengths = w
-		rw, err := wrht.CommunicationTime(cfg, wrht.AlgWrht, m.Bytes)
-		must(err)
-		ro, err := wrht.CommunicationTime(cfg, wrht.AlgORing, m.Bytes)
-		must(err)
-		tb.AddRow(fmt.Sprintf("%d", w),
-			stats.FormatSeconds(rw.Seconds),
-			stats.FormatSeconds(ro.Seconds),
-			fmt.Sprintf("%.1f%%", 100*(1-rw.Seconds/ro.Seconds)))
-	}
-	fmt.Print(tb.String())
-}
-
-func sweepSize(nodes int) {
-	cfg := wrht.DefaultConfig(nodes)
-	tb := stats.NewTable(
-		fmt.Sprintf("message-size sweep on %d nodes: Wrht vs striped optical ring", nodes),
-		"bytes", "wrht", "o-ring-striped", "winner")
-	for _, bytes := range []int64{64 << 10, 1 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30} {
-		rw, err := wrht.CommunicationTime(cfg, wrht.AlgWrht, bytes)
-		must(err)
-		rs, err := wrht.CommunicationTime(cfg, wrht.AlgORingStriped, bytes)
-		must(err)
-		winner := "wrht"
-		if rs.Seconds < rw.Seconds {
-			winner = "o-ring-striped"
-		}
-		tb.AddRow(stats.FormatBytes(bytes),
-			stats.FormatSeconds(rw.Seconds),
-			stats.FormatSeconds(rs.Seconds),
-			winner)
-	}
-	fmt.Print(tb.String())
-	fmt.Println("(the paper's O-Ring baseline is unstriped; this ablation bounds any ring schedule)")
 }
 
 func must(err error) {

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 
+	"wrht/internal/core"
 	"wrht/internal/energy"
 	"wrht/internal/opticalsim"
 )
@@ -30,12 +31,9 @@ type EnergyReport struct {
 // the same simulated schedules CommunicationTime uses. It quantifies the
 // paper's "low power cost" motivation.
 func EnergyEstimate(cfg Config, alg Algorithm, bytes int64) (EnergyReport, error) {
-	res, err := CommunicationTime(cfg, alg, bytes)
-	if err != nil {
-		return EnergyReport{}, err
-	}
-	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	s, _, err := buildSchedule(cfg, alg, elems)
+	// One communicationTime call yields both the simulated duration and the
+	// schedule it was simulated from, so the schedule is built exactly once.
+	res, s, err := communicationTime(cfg, alg, bytes, core.BuildPlan)
 	if err != nil {
 		return EnergyReport{}, err
 	}
@@ -74,7 +72,7 @@ func EventLevelTime(cfg Config, alg Algorithm, bytes int64, async bool) (Result,
 		return Result{}, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
 	}
 	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	s, _, err := buildSchedule(cfg, alg, elems)
+	s, _, err := buildSchedule(cfg, alg, elems, core.BuildPlan)
 	if err != nil {
 		return Result{}, err
 	}

@@ -124,3 +124,22 @@ func TestLoadConfigRejectsGarbage(t *testing.T) {
 func writeFile(path, content string) error {
 	return os.WriteFile(path, []byte(content), 0o644)
 }
+
+func TestEnergyEstimateConsistentWithCommunicationTime(t *testing.T) {
+	// EnergyEstimate builds the schedule once and must integrate the static
+	// term over exactly the duration CommunicationTime reports.
+	cfg := DefaultConfig(64)
+	for _, alg := range []Algorithm{AlgERing, AlgWrht} {
+		rep, err := EnergyEstimate(cfg, alg, 16<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ct, err := CommunicationTime(cfg, alg, 16<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Seconds != ct.Seconds {
+			t.Fatalf("%s: energy over %.9g s, communication %.9g s", alg, rep.Seconds, ct.Seconds)
+		}
+	}
+}

@@ -3,6 +3,7 @@ package wrht
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"wrht/internal/core"
 	"wrht/internal/dnn"
@@ -260,42 +261,68 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 }
 
 // fabricCache memoizes single-ring simulation results across the jobs of
-// one SimulateFabric call and across the policies of CompareFabricPolicies:
-// CommunicationTime is deterministic in (algorithm, bytes, width), and a
-// policy sweep re-prices the same tenants many times.
+// one SimulateFabric call, across the policies of CompareFabricPolicies, and
+// across the concurrent points of a fabric-mode RunSweep (hence the mutex):
+// CommunicationTime is deterministic in (nodes, algorithm, bytes, width), and
+// a policy sweep re-prices the same tenants many times. Plan construction
+// goes through the injected builder so sweeps can share their plan cache.
 type fabricCache struct {
-	times map[fabricCacheKey]float64
+	mu      sync.Mutex
+	entries map[fabricCacheKey]*fabricCacheEntry
+	build   planBuilder
 }
 
 type fabricCacheKey struct {
+	nodes int
 	alg   Algorithm
 	bytes int64
 	width int
 }
 
+// fabricCacheEntry computes under its own sync.Once so concurrent sweep
+// workers requesting the same key share one simulation instead of racing to
+// duplicate it (the same pattern as internal/exp's PlanCache).
+type fabricCacheEntry struct {
+	once sync.Once
+	sec  float64
+	err  error
+}
+
 func newFabricCache() *fabricCache {
-	return &fabricCache{times: map[fabricCacheKey]float64{}}
+	return newFabricCacheWith(core.BuildPlan)
+}
+
+func newFabricCacheWith(build planBuilder) *fabricCache {
+	return &fabricCache{entries: map[fabricCacheKey]*fabricCacheEntry{}, build: build}
 }
 
 // runtime prices one all-reduce of the job at stripe budget w via the full
-// single-ring simulation path, memoized by (alg, bytes, w).
+// single-ring simulation path, memoized by (nodes, alg, bytes, w).
 func (fc *fabricCache) runtime(cfg Config, alg Algorithm, bytes int64) func(int) (float64, error) {
 	return func(w int) (float64, error) {
-		key := fabricCacheKey{alg, bytes, w}
-		if v, ok := fc.times[key]; ok {
-			return v, nil
+		key := fabricCacheKey{cfg.Nodes, alg, bytes, w}
+		fc.mu.Lock()
+		e, ok := fc.entries[key]
+		if !ok {
+			e = &fabricCacheEntry{}
+			fc.entries[key] = e
 		}
-		c := cfg
-		c.Optical.Wavelengths = w
-		r, err := CommunicationTime(c, alg, bytes)
-		if err != nil {
-			return 0, err
-		}
-		if r.Seconds <= 0 || math.IsNaN(r.Seconds) || math.IsInf(r.Seconds, 0) {
-			return 0, fmt.Errorf("wrht: degenerate runtime %v at width %d", r.Seconds, w)
-		}
-		fc.times[key] = r.Seconds
-		return r.Seconds, nil
+		fc.mu.Unlock()
+		e.once.Do(func() {
+			c := cfg
+			c.Optical.Wavelengths = w
+			r, _, err := communicationTime(c, alg, bytes, fc.build)
+			if err != nil {
+				e.err = err
+				return
+			}
+			if r.Seconds <= 0 || math.IsNaN(r.Seconds) || math.IsInf(r.Seconds, 0) {
+				e.err = fmt.Errorf("wrht: degenerate runtime %v at width %d", r.Seconds, w)
+				return
+			}
+			e.sec = r.Seconds
+		})
+		return e.sec, e.err
 	}
 }
 

@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"wrht/internal/ring"
 	"wrht/internal/wdm"
@@ -158,8 +159,18 @@ func MStar(n, m int) int {
 // step needs ⌊m/2⌋ ≤ w, so m ≤ 2w+1.
 func MaxGroupSize(w int) int { return 2*w + 1 }
 
+// planBuilds counts every BuildPlan invocation process-wide, including the
+// optimizer's internal candidate builds (ChooseM issues one per feasible
+// group size and policy). Benchmarks diff it to quantify what plan caching
+// saves on wide sweeps.
+var planBuilds atomic.Int64
+
+// PlanBuildCount returns the process-wide number of BuildPlan invocations.
+func PlanBuildCount() int64 { return planBuilds.Load() }
+
 // BuildPlan constructs a Wrht plan for n nodes and w wavelengths.
 func BuildPlan(n, w int, opts Options) (*Plan, error) {
+	planBuilds.Add(1)
 	if n < 2 {
 		return nil, fmt.Errorf("core: need at least 2 nodes, got %d", n)
 	}

@@ -1,0 +1,66 @@
+package exp
+
+import (
+	"sync"
+
+	"wrht/internal/core"
+)
+
+// PlanKey identifies one Wrht plan: core.BuildPlan is a pure function of
+// these fields, so equal keys always yield identical plans.
+type PlanKey struct {
+	N, W int
+	Opts core.Options
+}
+
+type planEntry struct {
+	once sync.Once
+	plan *core.Plan
+	err  error
+}
+
+// PlanCache memoizes core.BuildPlan across concurrent sweep workers. The map
+// is mutex-guarded; each entry builds under its own sync.Once, so concurrent
+// requests for the same key share a single BuildPlan call (and distinct keys
+// build in parallel) and every caller receives the same *core.Plan. Plans are
+// immutable after construction, so sharing one pointer across goroutines is
+// safe. Build errors are memoized too: an infeasible key fails once, not once
+// per point.
+type PlanCache struct {
+	mu      sync.Mutex
+	entries map[PlanKey]*planEntry
+	hits    int64
+}
+
+// NewPlanCache returns an empty cache.
+func NewPlanCache() *PlanCache {
+	return &PlanCache{entries: map[PlanKey]*planEntry{}}
+}
+
+// Plan returns the memoized plan for (n, w, opts), building it on first use.
+func (c *PlanCache) Plan(n, w int, opts core.Options) (*core.Plan, error) {
+	key := PlanKey{N: n, W: w, Opts: opts}
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		e = &planEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.plan, e.err = core.BuildPlan(n, w, opts)
+	})
+	return e.plan, e.err
+}
+
+// Stats returns the number of cache hits and misses so far. Misses equal the
+// number of distinct keys requested (= BuildPlan invocations issued through
+// the cache); both are deterministic for a fixed request multiset, whatever
+// the parallelism.
+func (c *PlanCache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, int64(len(c.entries))
+}

@@ -1,0 +1,150 @@
+package exp
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"wrht/internal/core"
+)
+
+func TestGridSizeAndDeterministicOrder(t *testing.T) {
+	g := Grid{
+		Nodes:        []int{16, 32},
+		MessageBytes: []int64{1 << 10, 1 << 20, 1 << 30},
+		Algorithms:   []string{"wrht", "o-ring"},
+	}
+	if got := g.Size(); got != 12 {
+		t.Fatalf("Size() = %d, want 12", got)
+	}
+	pts := g.Points()
+	if len(pts) != 12 {
+		t.Fatalf("%d points", len(pts))
+	}
+	for i, p := range pts {
+		if p.Index != i {
+			t.Fatalf("point %d has Index %d", i, p.Index)
+		}
+	}
+	// Fixed nesting: nodes outermost, then message sizes, then algorithms.
+	want := Point{Index: 1, Nodes: 16, MessageBytes: 1 << 10, Algorithm: "o-ring"}
+	if pts[1] != want {
+		t.Fatalf("pts[1] = %+v, want %+v", pts[1], want)
+	}
+	want = Point{Index: 8, Nodes: 32, MessageBytes: 1 << 20, Algorithm: "wrht"}
+	if pts[8] != want {
+		t.Fatalf("pts[8] = %+v, want %+v", pts[8], want)
+	}
+	if !reflect.DeepEqual(pts, g.Points()) {
+		t.Fatal("re-enumeration changed the point list")
+	}
+}
+
+func TestGridEmptyAxesCollapse(t *testing.T) {
+	pts := Grid{}.Points()
+	if len(pts) != 1 || pts[0] != (Point{}) {
+		t.Fatalf("empty grid: %+v", pts)
+	}
+}
+
+func TestRunStableOrderAndErrorCapture(t *testing.T) {
+	const n = 100
+	var want []int
+	for i := 0; i < n; i++ {
+		want = append(want, i*i)
+	}
+	for _, par := range []int{0, 1, 3, 16, 200} {
+		res, errs := Run(n, par, func(i int) (int, error) {
+			if i%7 == 0 {
+				return -1, fmt.Errorf("point %d failed", i)
+			}
+			return i * i, nil
+		})
+		for i := 0; i < n; i++ {
+			if i%7 == 0 {
+				if errs[i] == nil {
+					t.Fatalf("par=%d: point %d error not captured", par, i)
+				}
+				continue
+			}
+			if errs[i] != nil || res[i] != want[i] {
+				t.Fatalf("par=%d: point %d = (%d, %v), want (%d, nil)",
+					par, i, res[i], errs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestPlanCachePointerIdentity(t *testing.T) {
+	c := NewPlanCache()
+	opts := core.DefaultOptions()
+	p1, err := c.Plan(64, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := c.Plan(64, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("repeated key did not return the pointer-identical plan")
+	}
+	p3, err := c.Plan(64, 16, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p3 == p1 {
+		t.Fatal("distinct keys share a plan")
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = (%d hits, %d misses), want (1, 2)", hits, misses)
+	}
+}
+
+func TestPlanCacheConcurrentSharing(t *testing.T) {
+	c := NewPlanCache()
+	const workers = 64
+	plans := make([]*core.Plan, workers)
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			p, err := c.Plan(128, 16, core.DefaultOptions())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			plans[i] = p
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < workers; i++ {
+		if plans[i] != plans[0] {
+			t.Fatal("concurrent callers received different plans for one key")
+		}
+	}
+	hits, misses := c.Stats()
+	if misses != 1 || hits != workers-1 {
+		t.Fatalf("stats = (%d hits, %d misses), want (%d, 1)", hits, misses, workers-1)
+	}
+}
+
+func TestPlanCacheMemoizesErrors(t *testing.T) {
+	c := NewPlanCache()
+	opts := core.DefaultOptions()
+	opts.M = 9 // ⌊9/2⌋ = 4 wavelengths needed; a budget of 1 is infeasible
+	_, err1 := c.Plan(64, 1, opts)
+	if err1 == nil {
+		t.Fatal("infeasible key built")
+	}
+	_, err2 := c.Plan(64, 1, opts)
+	if err2 != err1 {
+		t.Fatal("error not memoized")
+	}
+	if _, misses := c.Stats(); misses != 1 {
+		t.Fatalf("%d misses, want 1", misses)
+	}
+}

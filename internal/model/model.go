@@ -72,6 +72,16 @@ func log2(pow2 int) int {
 	return l
 }
 
+// Binomial predicts the electrical binomial reduce+broadcast tree:
+// 2⌈log2 n⌉ steps, each moving the full buffer between disjoint node pairs —
+// so on the non-blocking cluster every flow runs at line rate and the closed
+// form matches the flow-level simulation exactly.
+func Binomial(n int, bytes int64, p electrical.Params) float64 {
+	steps := float64(2 * core.CeilLogM(2, n))
+	fullBits := float64(bytes) * 8
+	return steps * (p.PerStepLatencySec + fullBits/(p.LinkGbps*1e9))
+}
+
 // ORing predicts the paper's optical ring baseline "O-Ring": the electrical
 // ring schedule executed on the WDM ring with a single wavelength per
 // transfer (the baseline's defining constraint).
@@ -107,6 +117,12 @@ func CostParamsOf(p optical.Params) core.CostParams {
 // Wrht predicts the Wrht plan's communication time on the optical substrate.
 func Wrht(plan *core.Plan, bytes int64, p optical.Params) float64 {
 	return plan.PredictTime(CostParamsOf(p), bytes)
+}
+
+// WrhtPipelined predicts the chunked-pipeline variant's communication time
+// (core.PredictPipelinedTime's documented round-splitting approximation).
+func WrhtPipelined(plan *core.Plan, bytes int64, p optical.Params, chunks int) float64 {
+	return plan.PredictPipelinedTime(CostParamsOf(p), bytes, chunks)
 }
 
 // WrhtAuto builds the optimizer-chosen plan for (n, w implied by p) and

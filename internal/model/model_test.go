@@ -257,3 +257,84 @@ func TestHeadlineReductionsNearPaper(t *testing.T) {
 	}
 	t.Logf("measured headline reductions: vs electrical %.2f%%, vs O-Ring %.2f%%", 100*ae, 100*ao)
 }
+
+func TestBinomialMatchesSimulator(t *testing.T) {
+	p := electrical.DefaultParams()
+	for _, n := range []int{8, 24, 64, 100} {
+		bytes := int64(1 << 22)
+		s, err := collective.BinomialTree(n, bytesToElems(bytes))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := runner.RunElectrical(s, runner.ElectricalOptions{Params: p})
+		if err != nil {
+			t.Fatal(err)
+		}
+		pred := Binomial(n, bytes, p)
+		if !almost(res.TotalSec, pred, 0.01) {
+			t.Errorf("n=%d: Binomial sim %.6g vs model %.6g", n, res.TotalSec, pred)
+		}
+	}
+}
+
+// pipelinedSim prices a pipelined plan's schedule through the wavelength
+// simulator for comparison with the analytic predictor.
+func pipelinedSim(t *testing.T, plan *core.Plan, p optical.Params, bytes int64, chunks int) float64 {
+	t.Helper()
+	s, err := plan.PipelinedSchedule(bytesToElems(bytes), chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := runner.DefaultOpticalOptions()
+	opts.Params = p
+	res, err := runner.RunOptical(s, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.TotalSec
+}
+
+func TestWrhtPipelinedPredictor(t *testing.T) {
+	// Exact when every pipeline step's aggregate demand fits the wavelength
+	// budget (the evaluation regimes); a documented approximation when steps
+	// split into rounds. chunks <= 1 degrades to the unpipelined predictor.
+	p := optical.DefaultParams()
+	p.Wavelengths = 8
+	opts := core.DefaultOptions()
+	opts.Cost = CostParamsOf(p)
+	opts.Striping = false
+	opts.M = 3
+	plan, err := core.BuildPlan(64, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytes := int64(32 << 20)
+
+	if got, want := WrhtPipelined(plan, bytes, p, 1), Wrht(plan, bytes, p); got != want {
+		t.Fatalf("chunks=1: %.9g, want unpipelined %.9g", got, want)
+	}
+	if sim, pred := pipelinedSim(t, plan, p, bytes, 64), WrhtPipelined(plan, bytes, p, 64); !almost(sim, pred, 1e-9) {
+		t.Errorf("fit-budget regime: sim %.9g vs model %.9g", sim, pred)
+	}
+	if a, b := WrhtPipelined(plan, bytes, p, 64), WrhtPipelined(plan, 2*bytes, p, 64); b <= a {
+		t.Errorf("not monotone in bytes: %.6g then %.6g", a, b)
+	}
+
+	// Round-splitting regime: a narrow budget forces concurrent stages to
+	// serialize; the uniform-split model is only loosely accurate there.
+	pn := optical.DefaultParams()
+	pn.Wavelengths = 4
+	optsN := core.DefaultOptions()
+	optsN.Cost = CostParamsOf(pn)
+	optsN.Striping = false
+	optsN.M = 3
+	narrow, err := core.BuildPlan(27, 4, optsN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := pipelinedSim(t, narrow, pn, 4<<20, 16)
+	pred := WrhtPipelined(narrow, 4<<20, pn, 16)
+	if pred <= 0 || !almost(sim, pred, 0.7) {
+		t.Errorf("round-split regime: sim %.6g vs model %.6g outside the documented band", sim, pred)
+	}
+}

@@ -31,16 +31,25 @@ type Plan struct {
 	LeaderLocal int
 }
 
+// PlanBuilder mirrors core.BuildPlan's signature so sweeps can inject a
+// shared memoized plan cache for the intra-rack plan.
+type PlanBuilder func(n, w int, opts core.Options) (*core.Plan, error)
+
 // BuildPlan constructs the hierarchy: a Wrht plan per rack plus leader
 // selection. wavelengths is the per-rack WDM budget.
 func BuildPlan(racks, nodesPerRack, wavelengths int, opts core.Options) (*Plan, error) {
+	return BuildPlanWith(racks, nodesPerRack, wavelengths, opts, core.BuildPlan)
+}
+
+// BuildPlanWith is BuildPlan with an injectable intra-rack plan builder.
+func BuildPlanWith(racks, nodesPerRack, wavelengths int, opts core.Options, build PlanBuilder) (*Plan, error) {
 	if racks < 2 {
 		return nil, fmt.Errorf("multiring: need >= 2 racks, got %d", racks)
 	}
 	if nodesPerRack < 2 {
 		return nil, fmt.Errorf("multiring: need >= 2 nodes per rack, got %d", nodesPerRack)
 	}
-	intra, err := core.BuildPlan(nodesPerRack, wavelengths, opts)
+	intra, err := build(nodesPerRack, wavelengths, opts)
 	if err != nil {
 		return nil, err
 	}

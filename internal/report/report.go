@@ -24,31 +24,43 @@ type Cell struct {
 }
 
 // Figure2 measures the paper's Figure 2 (4 models × 4 scales × 4 algorithms)
-// with the default configuration.
-func Figure2() ([]Cell, error) {
-	return grid(wrht.Models(), Scales, wrht.PaperAlgorithms())
+// with the default configuration. parallelism bounds the engine's worker
+// pool (<= 0 selects GOMAXPROCS); the cells are identical either way.
+func Figure2(parallelism int) ([]Cell, error) {
+	return grid(wrht.Models(), Scales, wrht.PaperAlgorithms(), parallelism)
 }
 
 // ExtensionFigure measures the transformer extension workloads (BERT-Large,
 // GPT-2 XL) on the same grid — gradients 2.4×–11× larger than VGG16.
-func ExtensionFigure() ([]Cell, error) {
+func ExtensionFigure(parallelism int) ([]Cell, error) {
 	models := []wrht.ModelSpec{wrht.MustModel("BERT-Large"), wrht.MustModel("GPT-2-XL")}
-	return grid(models, Scales, wrht.PaperAlgorithms())
+	return grid(models, Scales, wrht.PaperAlgorithms(), parallelism)
 }
 
-func grid(models []wrht.ModelSpec, scales []int, algs []wrht.Algorithm) ([]Cell, error) {
-	var out []Cell
-	for _, m := range models {
-		for _, n := range scales {
-			cfg := wrht.DefaultConfig(n)
-			for _, alg := range algs {
-				r, err := wrht.CommunicationTime(cfg, alg, m.Bytes)
-				if err != nil {
-					return nil, fmt.Errorf("report: %s/%d/%s: %w", m.Name, n, alg, err)
-				}
-				out = append(out, Cell{Model: m.Name, Nodes: n, Alg: alg, Seconds: r.Seconds})
-			}
+func grid(models []wrht.ModelSpec, scales []int, algs []wrht.Algorithm, parallelism int) ([]Cell, error) {
+	names := make([]string, len(models))
+	for i, m := range models {
+		names[i] = m.Name
+	}
+	// The concurrent engine prices the whole grid through the exact
+	// CommunicationTime path with a shared plan cache; cells come back in
+	// deterministic grid order, and every consumer looks cells up by
+	// (model, nodes, algorithm) key.
+	res, err := wrht.RunSweep(wrht.SweepSpec{
+		Nodes:       scales,
+		Models:      names,
+		Algorithms:  algs,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("report: %w", err)
+	}
+	out := make([]Cell, 0, len(res.Cells))
+	for _, c := range res.Cells {
+		if c.Err != nil {
+			return nil, fmt.Errorf("report: %s/%d/%s: %w", c.Model, c.Nodes, c.Algorithm, c.Err)
 		}
+		out = append(out, Cell{Model: c.Model, Nodes: c.Nodes, Alg: c.Algorithm, Seconds: c.Seconds})
 	}
 	return out, nil
 }

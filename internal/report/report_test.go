@@ -28,7 +28,7 @@ var golden = []struct {
 }
 
 func TestFigure2Golden(t *testing.T) {
-	cells, err := Figure2()
+	cells, err := Figure2(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestFigure2Golden(t *testing.T) {
 }
 
 func TestHeadlineGolden(t *testing.T) {
-	cells, err := Figure2()
+	cells, err := Figure2(0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestExtensionFigureShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large-gradient grid")
 	}
-	cells, err := ExtensionFigure()
+	cells, err := ExtensionFigure(0)
 	if err != nil {
 		t.Fatal(err)
 	}

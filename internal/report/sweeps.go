@@ -1,0 +1,153 @@
+package report
+
+import (
+	"fmt"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+// The canonical ablation grids. cmd/sweep prints them interactively and
+// cmd/experiments commits them to EXPERIMENTS.md, so they are defined once
+// here: editing a grid changes both surfaces together and the committed
+// file cannot drift from what the command prints.
+var (
+	// CanonicalGroupSizes is the A3 axis (0 = the optimizer's choice).
+	CanonicalGroupSizes = []int{0, 2, 3, 5, 9, 17, 33, 65, 129}
+	// CanonicalWavelengths is the A6 axis.
+	CanonicalWavelengths = []int{1, 2, 4, 8, 16, 32, 64, 128}
+	// CanonicalMessageSizes is the A1 axis.
+	CanonicalMessageSizes = []int64{64 << 10, 1 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}
+)
+
+// GroupSizeSweep runs the canonical group-size ablation (A3) for the model
+// on cfg's ring and renders it with the plan shape per row, plus a summary
+// line naming the optimizer's choice. Infeasible group sizes are skipped,
+// matching the historical serial sweep.
+func GroupSizeSweep(cfg wrht.Config, model string, parallelism int) (*stats.Table, string, error) {
+	res, err := wrht.RunSweep(wrht.SweepSpec{
+		Base:        cfg,
+		Models:      []string{model},
+		GroupSizes:  CanonicalGroupSizes,
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return nil, "", err
+	}
+	opt, err := res.Lookup(func(c wrht.SweepCell) bool { return c.GroupSize == 0 })
+	if err != nil {
+		return nil, "", err
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("Wrht group-size sweep: %s on %d nodes (w=%d)",
+			model, cfg.Nodes, cfg.Optical.Wavelengths),
+		"m", "steps", "tree stripe", "time", "vs optimizer")
+	for _, c := range res.Cells {
+		if c.GroupSize == 0 || c.Err != nil {
+			continue // the optimizer row is the summary; infeasible m for this w
+		}
+		cc := cfg
+		cc.WrhtGroupSize = c.GroupSize
+		p, err := wrht.Plan(cc)
+		if err != nil {
+			return nil, "", err
+		}
+		tb.AddRow(fmt.Sprintf("%d", c.GroupSize), fmt.Sprintf("%d", p.Steps),
+			fmt.Sprintf("x%d", p.TreeStripe),
+			stats.FormatSeconds(c.Seconds),
+			fmt.Sprintf("%.2fx", c.Seconds/opt.Seconds))
+	}
+	autoPlan, err := wrht.Plan(cfg)
+	if err != nil {
+		return nil, "", err
+	}
+	summary := fmt.Sprintf("optimizer choice: m=%d, %s (%s)",
+		autoPlan.GroupSize, stats.FormatSeconds(opt.Seconds), autoPlan.Description)
+	return tb, summary, nil
+}
+
+// WavelengthSweep runs the canonical wavelength-budget sweep (A6): Wrht vs
+// the unstriped optical ring for the model at every budget.
+func WavelengthSweep(nodes int, model string, parallelism int) (*stats.Table, error) {
+	res, err := wrht.RunSweep(wrht.SweepSpec{
+		Base:        wrht.DefaultConfig(nodes),
+		Wavelengths: CanonicalWavelengths,
+		Models:      []string{model},
+		Algorithms:  []wrht.Algorithm{wrht.AlgWrht, wrht.AlgORing},
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("wavelength sweep: %s on %d nodes", model, nodes),
+		"w", "wrht", "o-ring", "reduction")
+	// Pair cells by key rather than position so the table survives grid
+	// edits (extra algorithms or models) without silent mis-pairing.
+	for _, w := range CanonicalWavelengths {
+		rw, err := res.Lookup(func(c wrht.SweepCell) bool {
+			return c.Wavelengths == w && c.Algorithm == wrht.AlgWrht
+		})
+		if err != nil {
+			return nil, err
+		}
+		ro, err := res.Lookup(func(c wrht.SweepCell) bool {
+			return c.Wavelengths == w && c.Algorithm == wrht.AlgORing
+		})
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmt.Sprintf("%d", w),
+			stats.FormatSeconds(rw.Seconds),
+			stats.FormatSeconds(ro.Seconds),
+			fmt.Sprintf("%.1f%%", 100*(1-rw.Seconds/ro.Seconds)))
+	}
+	return tb, nil
+}
+
+// SizeSweep runs the canonical message-size crossover (A1): Wrht vs the
+// fully striped optical ring, the bandwidth-optimal bound on any ring
+// schedule.
+func SizeSweep(nodes, parallelism int) (*stats.Table, error) {
+	res, err := wrht.RunSweep(wrht.SweepSpec{
+		Base:         wrht.DefaultConfig(nodes),
+		MessageBytes: CanonicalMessageSizes,
+		Algorithms:   []wrht.Algorithm{wrht.AlgWrht, wrht.AlgORingStriped},
+		Parallelism:  parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("message-size sweep on %d nodes: Wrht vs striped optical ring", nodes),
+		"bytes", "wrht", "o-ring-striped", "winner")
+	for _, bytes := range CanonicalMessageSizes {
+		rw, err := res.Lookup(func(c wrht.SweepCell) bool {
+			return c.Bytes == bytes && c.Algorithm == wrht.AlgWrht
+		})
+		if err != nil {
+			return nil, err
+		}
+		rs, err := res.Lookup(func(c wrht.SweepCell) bool {
+			return c.Bytes == bytes && c.Algorithm == wrht.AlgORingStriped
+		})
+		if err != nil {
+			return nil, err
+		}
+		winner := "wrht"
+		if rs.Seconds < rw.Seconds {
+			winner = "o-ring-striped"
+		}
+		tb.AddRow(stats.FormatBytes(rw.Bytes),
+			stats.FormatSeconds(rw.Seconds),
+			stats.FormatSeconds(rs.Seconds),
+			winner)
+	}
+	return tb, nil
+}

@@ -29,6 +29,12 @@ type MultiRackResult struct {
 // all-reduced over cfg.Electrical. cfg.Nodes is ignored (the worker count is
 // racks × nodesPerRack).
 func MultiRackTime(cfg Config, racks, nodesPerRack int, bytes int64) (MultiRackResult, error) {
+	return multiRackTime(cfg, racks, nodesPerRack, bytes, core.BuildPlan)
+}
+
+// multiRackTime is MultiRackTime with an injectable intra-rack plan builder
+// (RunSweep shares its memoized cache across multi-rack points).
+func multiRackTime(cfg Config, racks, nodesPerRack int, bytes int64, build planBuilder) (MultiRackResult, error) {
 	if err := cfg.Optical.Validate(); err != nil {
 		return MultiRackResult{}, err
 	}
@@ -42,13 +48,20 @@ func MultiRackTime(cfg Config, racks, nodesPerRack int, bytes int64) (MultiRackR
 	if bpe == 0 {
 		bpe = 4
 	}
+	if bpe < 1 {
+		// Same validation CommunicationTime applies (via Config.Validate);
+		// only the zero value means "default", a negative width is an error,
+		// not a silent negative element count.
+		return MultiRackResult{}, fmt.Errorf("wrht: BytesPerElem %d", cfg.BytesPerElem)
+	}
 	opts := core.DefaultOptions()
 	opts.Cost = model.CostParamsOf(cfg.Optical)
 	opts.M = cfg.WrhtGroupSize
 	if cfg.WrhtGreedyA2A {
 		opts.Policy = core.A2AGreedy
 	}
-	plan, err := multiring.BuildPlan(racks, nodesPerRack, cfg.Optical.Wavelengths, opts)
+	plan, err := multiring.BuildPlanWith(racks, nodesPerRack, cfg.Optical.Wavelengths, opts,
+		multiring.PlanBuilder(build))
 	if err != nil {
 		return MultiRackResult{}, err
 	}

@@ -81,3 +81,29 @@ func TestVerifyMultiRack(t *testing.T) {
 		t.Fatal("1 rack accepted")
 	}
 }
+
+func TestMultiRackBytesPerElemValidation(t *testing.T) {
+	// Regression: a negative element width used to flow straight into the
+	// element count; it must be rejected exactly like CommunicationTime
+	// rejects it, while 0 still means the FP32 default.
+	bad := DefaultConfig(1)
+	bad.BytesPerElem = -4
+	if _, err := MultiRackTime(bad, 2, 8, 1<<20); err == nil {
+		t.Fatal("negative BytesPerElem accepted")
+	}
+	zero := DefaultConfig(1)
+	zero.BytesPerElem = 0
+	four := DefaultConfig(1)
+	four.BytesPerElem = 4
+	rz, err := MultiRackTime(zero, 2, 8, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf, err := MultiRackTime(four, 2, 8, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rz != rf {
+		t.Fatalf("zero width %+v != default width %+v", rz, rf)
+	}
+}

@@ -3,6 +3,7 @@ package wrht
 import (
 	"fmt"
 
+	"wrht/internal/core"
 	"wrht/internal/ring"
 	"wrht/internal/runner"
 	"wrht/internal/wdm"
@@ -35,7 +36,7 @@ func ScheduleOutline(cfg Config, alg Algorithm, bytes int64) ([]StepOutline, err
 		return nil, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
 	}
 	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	s, _, err := buildSchedule(cfg, alg, elems)
+	s, _, err := buildSchedule(cfg, alg, elems, core.BuildPlan)
 	if err != nil {
 		return nil, err
 	}

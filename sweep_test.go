@@ -1,0 +1,239 @@
+package wrht
+
+import (
+	"reflect"
+	"testing"
+)
+
+// sweepTestSpec exercises every communication axis at test-friendly scales,
+// including a group size that is infeasible at both wavelength budgets so
+// error capture is part of what determinism is asserted over.
+func sweepTestSpec() SweepSpec {
+	return SweepSpec{
+		Nodes:       []int{16, 24},
+		Wavelengths: []int{8, 16},
+		Models:      []string{"AlexNet", "ResNet50"},
+		Algorithms:  []Algorithm{AlgWrht, AlgORing, AlgERing},
+		GroupSizes:  []int{0, 3, 129},
+	}
+}
+
+// TestRunSweepDeterministicAcrossParallelism is the engine's golden test:
+// the cells (values, order, and captured errors) and the plan-cache counters
+// of a parallel run must be identical to the serial run's.
+func TestRunSweepDeterministicAcrossParallelism(t *testing.T) {
+	serial := sweepTestSpec()
+	serial.Parallelism = 1
+	parallel := sweepTestSpec()
+	parallel.Parallelism = 8
+
+	r1, err := RunSweep(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunSweep(parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Cells) != 2*2*2*3*3 {
+		t.Fatalf("%d cells", len(r1.Cells))
+	}
+	if !reflect.DeepEqual(r1.Cells, r2.Cells) {
+		for i := range r1.Cells {
+			if !reflect.DeepEqual(r1.Cells[i], r2.Cells[i]) {
+				t.Fatalf("cell %d differs:\nserial:   %+v\nparallel: %+v",
+					i, r1.Cells[i], r2.Cells[i])
+			}
+		}
+		t.Fatal("cells differ")
+	}
+	if r1.PlanBuilds != r2.PlanBuilds || r1.PlanHits != r2.PlanHits {
+		t.Fatalf("cache counters differ: serial (%d builds, %d hits), parallel (%d builds, %d hits)",
+			r1.PlanBuilds, r1.PlanHits, r2.PlanBuilds, r2.PlanHits)
+	}
+	if r1.Failed == 0 {
+		t.Fatal("expected the infeasible group size to fail some points")
+	}
+	failed := 0
+	for i, c := range r1.Cells {
+		if c.Index != i {
+			t.Fatalf("cell %d has Index %d", i, c.Index)
+		}
+		if c.Err != nil {
+			failed++
+			continue
+		}
+		if c.Seconds <= 0 || c.Comm == nil {
+			t.Fatalf("cell %d: %+v", i, c)
+		}
+	}
+	if failed != r1.Failed {
+		t.Fatalf("Failed = %d, cells with Err = %d", r1.Failed, failed)
+	}
+	// The infeasible m=129 must fail exactly the Wrht points (⌊m/2⌋ = 64
+	// exceeds both budgets) and leave the electrical/ring points alone.
+	for _, c := range r1.Cells {
+		wantErr := c.GroupSize == 129 && c.Algorithm == AlgWrht
+		if (c.Err != nil) != wantErr {
+			t.Fatalf("cell %d (%s m=%d): err = %v", c.Index, c.Algorithm, c.GroupSize, c.Err)
+		}
+	}
+}
+
+// TestRunSweepMatchesCommunicationTime pins the engine to the serial public
+// path: same config, same algorithm, bit-identical seconds.
+func TestRunSweepMatchesCommunicationTime(t *testing.T) {
+	res, err := RunSweep(SweepSpec{
+		Base:         DefaultConfig(16),
+		Wavelengths:  []int{8, 16},
+		MessageBytes: []int64{1 << 20},
+		Algorithms:   []Algorithm{AlgWrht, AlgHD},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Cells {
+		cfg := DefaultConfig(16)
+		cfg.Optical.Wavelengths = c.Wavelengths
+		direct, err := CommunicationTime(cfg, c.Algorithm, c.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if direct.Seconds != c.Seconds {
+			t.Fatalf("cell %d (%s w=%d): engine %.9g, direct %.9g",
+				c.Index, c.Algorithm, c.Wavelengths, c.Seconds, direct.Seconds)
+		}
+		if !reflect.DeepEqual(*c.Comm, direct) {
+			t.Fatalf("cell %d: result detail differs", c.Index)
+		}
+	}
+}
+
+func TestRunSweepPlanCacheIsShared(t *testing.T) {
+	// 4 models × 1 node count × 1 budget through AlgWrht share one plan key:
+	// exactly one build, three hits.
+	res, err := RunSweep(SweepSpec{
+		Nodes:  []int{24},
+		Models: []string{"AlexNet", "VGG16", "ResNet50", "GoogLeNet"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if res.PlanBuilds != 1 || res.PlanHits != 3 {
+		t.Fatalf("cache counters (%d builds, %d hits), want (1, 3)", res.PlanBuilds, res.PlanHits)
+	}
+}
+
+func TestRunSweepFabricMode(t *testing.T) {
+	cfg := fabricTestConfig()
+	mix := FabricMix{Jobs: []JobSpec{
+		{Name: "a", Bytes: 1 << 20},
+		{Name: "b", Bytes: 4 << 20, ArrivalSec: 1e-4, Priority: 1},
+		{Name: "c", Bytes: 2 << 20, ArrivalSec: 2e-4, MaxWavelengths: 4},
+	}}
+	res, err := RunSweep(SweepSpec{Base: cfg, FabricMixes: []FabricMix{mix}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != len(FabricPolicies()) {
+		t.Fatalf("%d cells, want one per default policy", len(res.Cells))
+	}
+	direct, err := CompareFabricPolicies(cfg, mix.Jobs, FabricPolicies())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Cells {
+		if c.Fabric == nil || c.FabricMix != "mix0" {
+			t.Fatalf("cell %d: %+v", i, c)
+		}
+		if c.Seconds != direct[i].MakespanSec {
+			t.Fatalf("policy %s: engine makespan %.9g, direct %.9g",
+				c.FabricPolicy, c.Seconds, direct[i].MakespanSec)
+		}
+	}
+}
+
+func TestRunSweepMultiRackMode(t *testing.T) {
+	res, err := RunSweep(SweepSpec{
+		Racks:        []int{2, 4},
+		NodesPerRack: []int{8},
+		MessageBytes: []int64{1 << 20},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("%d cells", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		direct, err := MultiRackTime(DefaultConfig(2), c.Racks, c.NodesPerRack, c.Bytes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.MultiRack == nil || c.Seconds != direct.TotalSec {
+			t.Fatalf("racks %d: engine %.9g, direct %.9g", c.Racks, c.Seconds, direct.TotalSec)
+		}
+		if c.Nodes != c.Racks*c.NodesPerRack {
+			t.Fatalf("cell worker count %d", c.Nodes)
+		}
+	}
+	// The intra-rack plan goes through the shared cache: both rack counts
+	// share one (nodesPerRack, wavelengths, options) key.
+	if res.PlanBuilds != 1 || res.PlanHits != 1 {
+		t.Fatalf("cache counters (%d builds, %d hits), want (1, 1)", res.PlanBuilds, res.PlanHits)
+	}
+}
+
+func TestRunSweepSpecValidation(t *testing.T) {
+	cases := map[string]SweepSpec{
+		"no workload":       {Nodes: []int{16}},
+		"two workload axes": {Nodes: []int{16}, Models: []string{"VGG16"}, MessageBytes: []int64{1}},
+		"no nodes":          {Models: []string{"VGG16"}},
+		"fabric plus multirack": {
+			FabricMixes: []FabricMix{{}},
+			Racks:       []int{2}, NodesPerRack: []int{8},
+		},
+		"fabric with comm axes": {
+			Nodes:       []int{16},
+			FabricMixes: []FabricMix{{}},
+			Models:      []string{"VGG16"},
+		},
+		"fabric without mixes": {Nodes: []int{16}, FabricPolicies: FabricPolicies()},
+		"multirack with nodes axis": {
+			Nodes: []int{16}, Racks: []int{2}, NodesPerRack: []int{8},
+			MessageBytes: []int64{1 << 20},
+		},
+		"multirack without workload": {Racks: []int{2}, NodesPerRack: []int{8}},
+		"multirack without racks":    {NodesPerRack: []int{8}, MessageBytes: []int64{1 << 20}},
+	}
+	for name, spec := range cases {
+		if _, err := RunSweep(spec); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRunSweepCapturesBadModel(t *testing.T) {
+	res, err := RunSweep(SweepSpec{Nodes: []int{16}, Models: []string{"nope"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failed != 1 || res.Cells[0].Err == nil {
+		t.Fatalf("unknown model not captured per point: %+v", res.Cells[0])
+	}
+	if res.Err() == nil {
+		t.Fatal("Err() nil with a failed cell")
+	}
+}

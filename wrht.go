@@ -23,11 +23,19 @@
 //	fr, err := wrht.SimulateFabric(cfg, jobs, wrht.FabricPolicy{Kind: wrht.FabricPriority})
 //	fmt.Println(fr.MakespanSec, fr.Fairness, fr.Utilization)
 //
+// Multi-axis experiments — declare a grid and let the concurrent engine
+// price it with a shared plan cache (see sweep.go and DESIGN.md §6):
+//
+//	res, err := wrht.RunSweep(wrht.SweepSpec{
+//		Nodes:  []int{128, 256, 512, 1024},
+//		Models: []string{"AlexNet", "VGG16"},
+//	})
+//
 // Other surfaces: MultiRackTime (hierarchical rings), TrainingIteration
 // (DDP overlap), ScheduleOutline (per-step inspection), EnergyReport.
 // Runnable programs live in examples/ (quickstart, multi_tenant,
-// ddp_training, …) and cmd/ (figure2, sweep, fabricsim, wrhtsim, wrhtviz);
-// DESIGN.md holds the system map and evaluation defaults.
+// ddp_training, …) and cmd/ (figure2, sweep, experiments, fabricsim,
+// wrhtsim, wrhtviz); DESIGN.md holds the system map and evaluation defaults.
 package wrht
 
 import (
@@ -188,8 +196,34 @@ func MustModel(name string) ModelSpec {
 	}
 }
 
+// planBuilder abstracts core.BuildPlan so sweeps can inject a shared
+// memoized plan cache (internal/exp) into the pricing path; the default is
+// core.BuildPlan itself.
+type planBuilder func(n, w int, opts core.Options) (*core.Plan, error)
+
+// wrhtOptions lowers the configuration to planner options for alg (striping
+// is an algorithm property: only AlgWrht rides residual WDM capacity).
+func wrhtOptions(cfg Config, alg Algorithm) core.Options {
+	opts := core.DefaultOptions()
+	opts.Cost = model.CostParamsOf(cfg.Optical)
+	opts.Striping = alg == AlgWrht
+	opts.M = cfg.WrhtGroupSize
+	if cfg.WrhtGreedyA2A {
+		opts.Policy = core.A2AGreedy
+	}
+	return opts
+}
+
+// pipelineChunks resolves the chunk count for AlgWrhtPipelined.
+func pipelineChunks(cfg Config) int {
+	if cfg.PipelineChunks == 0 {
+		return 64
+	}
+	return cfg.PipelineChunks
+}
+
 // buildSchedule constructs the schedule (and optional Wrht plan) for alg.
-func buildSchedule(cfg Config, alg Algorithm, elems int) (*collective.Schedule, *core.Plan, error) {
+func buildSchedule(cfg Config, alg Algorithm, elems int, build planBuilder) (*collective.Schedule, *core.Plan, error) {
 	switch alg {
 	case AlgERing, AlgORing, AlgORingStriped:
 		s, err := collective.RingAllReduce(cfg.Nodes, elems)
@@ -204,23 +238,12 @@ func buildSchedule(cfg Config, alg Algorithm, elems int) (*collective.Schedule, 
 		s, err := collective.BinomialTree(cfg.Nodes, elems)
 		return s, nil, err
 	case AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined:
-		opts := core.DefaultOptions()
-		opts.Cost = model.CostParamsOf(cfg.Optical)
-		opts.Striping = alg == AlgWrht
-		opts.M = cfg.WrhtGroupSize
-		if cfg.WrhtGreedyA2A {
-			opts.Policy = core.A2AGreedy
-		}
-		plan, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, opts)
+		plan, err := build(cfg.Nodes, cfg.Optical.Wavelengths, wrhtOptions(cfg, alg))
 		if err != nil {
 			return nil, nil, err
 		}
 		if alg == AlgWrhtPipelined {
-			chunks := cfg.PipelineChunks
-			if chunks == 0 {
-				chunks = 64
-			}
-			s, err := plan.PipelinedSchedule(elems, chunks)
+			s, err := plan.PipelinedSchedule(elems, pipelineChunks(cfg))
 			return s, plan, err
 		}
 		s, err := plan.Schedule(elems)
@@ -242,16 +265,25 @@ func isElectrical(alg Algorithm) bool {
 
 // CommunicationTime simulates one all-reduce of `bytes` bytes under alg.
 func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
+	res, _, err := communicationTime(cfg, alg, bytes, core.BuildPlan)
+	return res, err
+}
+
+// communicationTime is CommunicationTime with an injectable plan builder
+// (RunSweep shares one memoized cache across its workers). It also returns
+// the simulated schedule so callers like EnergyEstimate can account per-step
+// costs without building the schedule a second time.
+func communicationTime(cfg Config, alg Algorithm, bytes int64, build planBuilder) (Result, *collective.Schedule, error) {
 	if err := cfg.Validate(); err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	if bytes <= 0 {
-		return Result{}, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
+		return Result{}, nil, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
 	}
 	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	s, plan, err := buildSchedule(cfg, alg, elems)
+	s, plan, err := buildSchedule(cfg, alg, elems, build)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	out := Result{Algorithm: alg, Steps: s.NumSteps()}
 	simBytes := int64(elems) * int64(cfg.BytesPerElem)
@@ -262,7 +294,7 @@ func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
 			BytesPerElem: cfg.BytesPerElem,
 		})
 		if err != nil {
-			return Result{}, err
+			return Result{}, nil, err
 		}
 		out.Substrate = res.Substrate
 		out.Seconds = res.TotalSec
@@ -273,8 +305,10 @@ func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
 			out.PredictedSeconds = model.RD(cfg.Nodes, simBytes, cfg.Electrical)
 		case AlgHD:
 			out.PredictedSeconds = model.HD(cfg.Nodes, simBytes, cfg.Electrical)
+		case AlgBinomial:
+			out.PredictedSeconds = model.Binomial(cfg.Nodes, simBytes, cfg.Electrical)
 		}
-		return out, nil
+		return out, s, nil
 	}
 
 	opts := runner.DefaultOpticalOptions()
@@ -286,7 +320,7 @@ func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
 	}
 	res, err := runner.RunOptical(s, opts)
 	if err != nil {
-		return Result{}, err
+		return Result{}, nil, err
 	}
 	out.Substrate = res.Substrate
 	out.Seconds = res.TotalSec
@@ -298,9 +332,11 @@ func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
 		out.PredictedSeconds = model.ORingStriped(cfg.Nodes, simBytes, cfg.Optical)
 	case AlgWrht, AlgWrhtUnstriped:
 		out.PredictedSeconds = model.Wrht(plan, simBytes, cfg.Optical)
+	case AlgWrhtPipelined:
+		out.PredictedSeconds = model.WrhtPipelined(plan, simBytes, cfg.Optical, pipelineChunks(cfg))
 	}
 
-	return out, nil
+	return out, s, nil
 }
 
 // Compare prices several algorithms on the same buffer.
@@ -325,7 +361,7 @@ func VerifyAlgorithm(cfg Config, alg Algorithm, elems int) error {
 	if err := cfg.Validate(); err != nil {
 		return err
 	}
-	s, _, err := buildSchedule(cfg, alg, elems)
+	s, _, err := buildSchedule(cfg, alg, elems, core.BuildPlan)
 	if err != nil {
 		return err
 	}
@@ -350,13 +386,7 @@ func Plan(cfg Config) (PlanSummary, error) {
 	if err := cfg.Validate(); err != nil {
 		return PlanSummary{}, err
 	}
-	opts := core.DefaultOptions()
-	opts.Cost = model.CostParamsOf(cfg.Optical)
-	opts.M = cfg.WrhtGroupSize
-	if cfg.WrhtGreedyA2A {
-		opts.Policy = core.A2AGreedy
-	}
-	p, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, opts)
+	p, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, wrhtOptions(cfg, AlgWrht))
 	if err != nil {
 		return PlanSummary{}, err
 	}
@@ -399,7 +429,7 @@ func TrainingIteration(cfg Config, alg Algorithm, modelName string, bucketCapByt
 	if err != nil {
 		return IterationReport{}, err
 	}
-	timer, err := commTimer(cfg, alg)
+	timer, err := commTimer(cfg, alg, core.BuildPlan)
 	if err != nil {
 		return IterationReport{}, err
 	}
@@ -421,8 +451,11 @@ func TrainingIteration(cfg Config, alg Algorithm, modelName string, bucketCapByt
 }
 
 // commTimer builds an analytic per-bucket timer for the algorithm (fast
-// enough to call once per bucket per iteration).
-func commTimer(cfg Config, alg Algorithm) (trace.CommTimer, error) {
+// enough to call once per bucket per iteration). Every Algorithm has an arm:
+// the electrical trees and rings use their closed forms, the Wrht variants a
+// plan built once and priced per bucket (the pipelined variant through the
+// documented round-splitting approximation in core.PredictPipelinedTime).
+func commTimer(cfg Config, alg Algorithm, build planBuilder) (trace.CommTimer, error) {
 	switch alg {
 	case AlgERing:
 		return func(b int64) float64 { return model.ERing(cfg.Nodes, b, cfg.Electrical) }, nil
@@ -430,21 +463,25 @@ func commTimer(cfg Config, alg Algorithm) (trace.CommTimer, error) {
 		return func(b int64) float64 { return model.RD(cfg.Nodes, b, cfg.Electrical) }, nil
 	case AlgHD:
 		return func(b int64) float64 { return model.HD(cfg.Nodes, b, cfg.Electrical) }, nil
+	case AlgBinomial:
+		return func(b int64) float64 { return model.Binomial(cfg.Nodes, b, cfg.Electrical) }, nil
 	case AlgORing:
 		return func(b int64) float64 { return model.ORing(cfg.Nodes, b, cfg.Optical) }, nil
 	case AlgORingStriped:
 		return func(b int64) float64 { return model.ORingStriped(cfg.Nodes, b, cfg.Optical) }, nil
-	case AlgWrht, AlgWrhtUnstriped:
-		opts := core.DefaultOptions()
-		opts.Cost = model.CostParamsOf(cfg.Optical)
-		opts.Striping = alg == AlgWrht
-		opts.M = cfg.WrhtGroupSize
-		if cfg.WrhtGreedyA2A {
-			opts.Policy = core.A2AGreedy
-		}
-		plan, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, opts)
+	case AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined:
+		plan, err := build(cfg.Nodes, cfg.Optical.Wavelengths, wrhtOptions(cfg, alg))
 		if err != nil {
 			return nil, err
+		}
+		if alg == AlgWrhtPipelined {
+			chunks := pipelineChunks(cfg)
+			if chunks < 1 {
+				// Mirror CommunicationTime, which rejects the same value in
+				// PipelinedSchedule, instead of silently pricing unpipelined.
+				return nil, fmt.Errorf("wrht: pipeline chunks %d", chunks)
+			}
+			return func(b int64) float64 { return model.WrhtPipelined(plan, b, cfg.Optical, chunks) }, nil
 		}
 		return func(b int64) float64 { return model.Wrht(plan, b, cfg.Optical) }, nil
 	default:

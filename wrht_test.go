@@ -173,3 +173,39 @@ func TestWrhtStripingAblationViaConfig(t *testing.T) {
 		t.Fatalf("striping should help: %v vs %v", striped.Seconds, unstriped.Seconds)
 	}
 }
+
+func TestTrainingIterationAllAlgorithms(t *testing.T) {
+	// Regression: AlgBinomial and AlgWrhtPipelined used to fail because
+	// commTimer had no arm for them even though CommunicationTime supports
+	// both. Every public algorithm must now produce a coherent iteration.
+	cfg := DefaultConfig(64)
+	for _, alg := range Algorithms() {
+		rep, err := TrainingIteration(cfg, alg, "ResNet50", 25<<20)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if rep.IterationSec <= 0 || rep.CommSec <= 0 || rep.Buckets <= 0 {
+			t.Fatalf("%s: degenerate report %+v", alg, rep)
+		}
+		if rep.IterationSec < rep.ComputeSec {
+			t.Fatalf("%s: iteration %.6g shorter than compute %.6g",
+				alg, rep.IterationSec, rep.ComputeSec)
+		}
+		if rep.ExposedCommSec < 0 || rep.CommShare <= 0 || rep.CommShare >= 1 {
+			t.Fatalf("%s: bad overlap accounting %+v", alg, rep)
+		}
+	}
+}
+
+func TestTrainingIterationRejectsNegativePipelineChunks(t *testing.T) {
+	// Regression: a negative chunk count used to be priced silently with the
+	// unpipelined model while CommunicationTime rejected it.
+	cfg := DefaultConfig(64)
+	cfg.PipelineChunks = -1
+	if _, err := TrainingIteration(cfg, AlgWrhtPipelined, "ResNet50", 25<<20); err == nil {
+		t.Fatal("negative PipelineChunks accepted")
+	}
+	if _, err := CommunicationTime(cfg, AlgWrhtPipelined, 1<<20); err == nil {
+		t.Fatal("CommunicationTime accepted negative PipelineChunks")
+	}
+}
