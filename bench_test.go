@@ -328,14 +328,21 @@ func BenchmarkTrainingIteration(b *testing.B) {
 	}
 }
 
-// BenchmarkSimulatorThroughput measures the simulators themselves (ns/op is
-// the honest metric here): a full Figure-2 cell at the largest scale.
+// BenchmarkSimulatorThroughput measures the simulators themselves (ns/op
+// and allocs/op are the honest metrics here): a full Figure-2 cell at the
+// largest scale, or — in short mode, so CI's allocation-regression gate can
+// run it on every push — at N=128. Sub-benchmark names carry the scale so
+// cmd/bench's committed ceilings compare like with like.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	skipInShort(b)
+	n := 1024
+	if testing.Short() {
+		n = 128
+	}
 	m := wrht.MustModel("GoogLeNet")
-	cfg := wrht.DefaultConfig(1024)
+	cfg := wrht.DefaultConfig(n)
 	for _, alg := range wrht.PaperAlgorithms() {
-		b.Run(string(alg), func(b *testing.B) {
+		b.Run(fmt.Sprintf("%s/N%d", alg, n), func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := wrht.CommunicationTime(cfg, alg, m.Bytes); err != nil {
 					b.Fatal(err)
@@ -343,6 +350,55 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkOpticalsimThroughput measures the message-level discrete-event
+// simulator (the typed 4-ary heap engine) in both modes on a Wrht schedule.
+func BenchmarkOpticalsimThroughput(b *testing.B) {
+	n := 256
+	if testing.Short() {
+		n = 64
+	}
+	m := wrht.MustModel("ResNet50")
+	cfg := wrht.DefaultConfig(n)
+	for _, async := range []bool{false, true} {
+		name := fmt.Sprintf("barrier/N%d", n)
+		if async {
+			name = fmt.Sprintf("async/N%d", n)
+		}
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := wrht.EventLevelTime(cfg, wrht.AlgWrht, m.Bytes, async); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFabricCoSim measures the multi-tenant fabric co-simulation: a
+// three-policy comparison over a mixed job set, the path that exercises the
+// plan, schedule, and simulation caches together.
+func BenchmarkFabricCoSim(b *testing.B) {
+	n := 64
+	if testing.Short() {
+		n = 16
+	}
+	cfg := wrht.DefaultConfig(n)
+	jobs := []wrht.JobSpec{
+		{Name: "serve", Model: "AlexNet", Priority: 2, MaxWavelengths: 16},
+		{Name: "train", Model: "VGG16", ArrivalSec: 1e-3},
+		{Name: "batch", Bytes: 8 << 20, Algorithm: wrht.AlgORing},
+	}
+	b.Run(fmt.Sprintf("3policies/N%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := wrht.CompareFabricPolicies(cfg, jobs, wrht.FabricPolicies()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkExtensionFigure (beyond the paper): the Figure-2 grid on

@@ -1,0 +1,170 @@
+// Command bench runs the repository's headline performance benchmarks with
+// -benchmem and emits a machine-readable report (BENCH_PR3.json by default):
+// ns/op, B/op, allocs/op, and every custom metric for the sweep engine, the
+// simulator throughput path, the message-level optical simulator, and the
+// multi-tenant fabric co-simulation.
+//
+// It is also the allocation-regression gate: committed per-benchmark
+// allocs/op ceilings (cmd/bench/ceilings.json) are checked against the fresh
+// numbers, and any benchmark above its ceiling fails the run. CI invokes it
+// in -short mode on every push:
+//
+//	go run ./cmd/bench -short -benchtime 1x
+//
+// Regenerate the committed full-scale report with:
+//
+//	go run ./cmd/bench -out BENCH_PR3.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// headline selects the benchmarks the report covers.
+const headline = "BenchmarkSweepEngine|BenchmarkSimulatorThroughput|BenchmarkOpticalsimThroughput|BenchmarkFabricCoSim"
+
+// Result is one benchmark line of the report.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int64              `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Bench     string   `json:"bench"`
+	Short     bool     `json:"short"`
+	Benchtime string   `json:"benchtime"`
+	Results   []Result `json:"results"`
+}
+
+func main() {
+	short := flag.Bool("short", false, "run benchmarks in -short mode (CI smoke scales)")
+	benchtime := flag.String("benchtime", "2x", "benchtime passed to go test")
+	bench := flag.String("bench", headline, "benchmark regex")
+	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	ceilingsPath := flag.String("ceilings", "cmd/bench/ceilings.json", "allocs/op ceilings (empty disables the gate)")
+	flag.Parse()
+
+	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
+	if *short {
+		args = append(args, "-short")
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	raw, err := cmd.Output()
+	if err != nil {
+		fatalf("go test -bench failed: %v", err)
+	}
+	fmt.Print(string(raw))
+
+	report := Report{Bench: *bench, Short: *short, Benchtime: *benchtime}
+	for _, line := range strings.Split(string(raw), "\n") {
+		if r, ok := parseLine(line); ok {
+			report.Results = append(report.Results, r)
+		}
+	}
+	if len(report.Results) == 0 {
+		fatalf("no benchmark results parsed")
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatalf("marshal: %v", err)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fatalf("write %s: %v", *out, err)
+	}
+	fmt.Fprintf(os.Stderr, "bench: wrote %d results to %s\n", len(report.Results), *out)
+
+	if *ceilingsPath != "" {
+		if err := checkCeilings(*ceilingsPath, *bench, report.Results); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// gomaxprocsSuffix strips the trailing "-8"-style processor-count suffix go
+// test appends to benchmark names, so ceilings are machine-independent.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// parseLine parses one "BenchmarkX/sub-8  N  123 ns/op  4 B/op ..." line.
+func parseLine(line string) (Result, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	r := Result{Name: gomaxprocsSuffix.ReplaceAllString(fields[0], ""), Iterations: iters}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			r.NsPerOp = v
+		case "B/op":
+			r.BytesPerOp = v
+		case "allocs/op":
+			r.AllocsPerOp = v
+		default:
+			if r.Metrics == nil {
+				r.Metrics = map[string]float64{}
+			}
+			r.Metrics[unit] = v
+		}
+	}
+	return r, true
+}
+
+// checkCeilings fails when any result exceeds its committed allocs/op
+// ceiling. Ceiling keys are full benchmark names without the GOMAXPROCS
+// suffix; keys with no matching result are ignored (full-scale entries
+// during a -short run and vice versa).
+func checkCeilings(path, bench string, results []Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read ceilings %s: %w", path, err)
+	}
+	var ceilings map[string]float64
+	if err := json.Unmarshal(data, &ceilings); err != nil {
+		return fmt.Errorf("parse ceilings %s: %w", path, err)
+	}
+	checked := 0
+	for _, r := range results {
+		ceiling, ok := ceilings[r.Name]
+		if !ok {
+			continue
+		}
+		checked++
+		if r.AllocsPerOp > ceiling {
+			return fmt.Errorf("allocation regression: %s at %.0f allocs/op exceeds the committed ceiling %.0f",
+				r.Name, r.AllocsPerOp, ceiling)
+		}
+		fmt.Fprintf(os.Stderr, "bench: %s %.0f allocs/op <= ceiling %.0f\n", r.Name, r.AllocsPerOp, ceiling)
+	}
+	if checked == 0 {
+		return fmt.Errorf("ceiling gate matched no benchmark (ran %q); the gate would be vacuous — pass -ceilings '' to skip it for ad-hoc selections", bench)
+	}
+	return nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "bench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"os"
 
-	"wrht/internal/core"
 	"wrht/internal/energy"
 	"wrht/internal/opticalsim"
 )
@@ -33,10 +32,11 @@ type EnergyReport struct {
 func EnergyEstimate(cfg Config, alg Algorithm, bytes int64) (EnergyReport, error) {
 	// One communicationTime call yields both the simulated duration and the
 	// schedule it was simulated from, so the schedule is built exactly once.
-	res, s, err := communicationTime(cfg, alg, bytes, core.BuildPlan)
+	res, s, err := communicationTime(cfg, alg, bytes, nil)
 	if err != nil {
 		return EnergyReport{}, err
 	}
+	defer s.Release() // session-free: the transient schedule is ours to recycle
 	var b energy.Breakdown
 	if isElectrical(alg) {
 		b, err = energy.Electrical(s, res.Seconds, energy.DefaultElectricalCosts(), cfg.BytesPerElem)
@@ -72,10 +72,11 @@ func EventLevelTime(cfg Config, alg Algorithm, bytes int64, async bool) (Result,
 		return Result{}, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
 	}
 	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	s, _, err := buildSchedule(cfg, alg, elems, core.BuildPlan)
+	cs, _, _, err := buildCompactSchedule(cfg, alg, elems, nil)
 	if err != nil {
 		return Result{}, err
 	}
+	defer cs.Release()
 	opts := opticalsim.DefaultOptions()
 	opts.Params = cfg.Optical
 	opts.BytesPerElem = cfg.BytesPerElem
@@ -85,7 +86,7 @@ func EventLevelTime(cfg Config, alg Algorithm, bytes int64, async bool) (Result,
 	if async {
 		opts.Mode = opticalsim.Async
 	}
-	r, err := opticalsim.Run(s, opts)
+	r, err := opticalsim.RunCompact(cs, opts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -93,7 +94,7 @@ func EventLevelTime(cfg Config, alg Algorithm, bytes int64, async bool) (Result,
 		Algorithm: alg,
 		Substrate: fmt.Sprintf("optical-ring(w=%d,%s)", cfg.Optical.Wavelengths, r.Mode),
 		Seconds:   r.TotalSec,
-		Steps:     s.NumSteps(),
+		Steps:     cs.NumSteps(),
 	}, nil
 }
 

@@ -163,7 +163,7 @@ func jobBytes(cfg Config, spec JobSpec) (int64, error) {
 // the tenant's granted stripe, so a lone job on the fabric reproduces the
 // dedicated-ring numbers. The co-simulation is deterministic.
 func SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy) (FabricResult, error) {
-	return simulateFabric(cfg, jobs, policy, newFabricCache())
+	return simulateFabric(cfg, jobs, policy, newSession().fabric)
 }
 
 // algFloor is the smallest stripe grant the algorithm can run with: a fixed
@@ -264,12 +264,14 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 // one SimulateFabric call, across the policies of CompareFabricPolicies, and
 // across the concurrent points of a fabric-mode RunSweep (hence the mutex):
 // CommunicationTime is deterministic in (nodes, algorithm, bytes, width), and
-// a policy sweep re-prices the same tenants many times. Plan construction
-// goes through the injected builder so sweeps can share their plan cache.
+// a policy sweep re-prices the same tenants many times. Pricing runs through
+// the owning session, so plans, lowered schedules, and substrate simulations
+// are additionally shared with every other consumer of the same session
+// (different grant widths of one tenant reuse one lowered ring schedule).
 type fabricCache struct {
 	mu      sync.Mutex
 	entries map[fabricCacheKey]*fabricCacheEntry
-	build   planBuilder
+	sess    *session
 }
 
 type fabricCacheKey struct {
@@ -288,12 +290,8 @@ type fabricCacheEntry struct {
 	err  error
 }
 
-func newFabricCache() *fabricCache {
-	return newFabricCacheWith(core.BuildPlan)
-}
-
-func newFabricCacheWith(build planBuilder) *fabricCache {
-	return &fabricCache{entries: map[fabricCacheKey]*fabricCacheEntry{}, build: build}
+func newFabricCacheWith(sess *session) *fabricCache {
+	return &fabricCache{entries: map[fabricCacheKey]*fabricCacheEntry{}, sess: sess}
 }
 
 // runtime prices one all-reduce of the job at stripe budget w via the full
@@ -311,7 +309,7 @@ func (fc *fabricCache) runtime(cfg Config, alg Algorithm, bytes int64) func(int)
 		e.once.Do(func() {
 			c := cfg
 			c.Optical.Wavelengths = w
-			r, _, err := communicationTime(c, alg, bytes, fc.build)
+			r, _, err := communicationTime(c, alg, bytes, fc.sess)
 			if err != nil {
 				e.err = err
 				return
@@ -329,7 +327,7 @@ func (fc *fabricCache) runtime(cfg Config, alg Algorithm, bytes int64) func(int)
 // CompareFabricPolicies runs the same job mix under every policy, sharing
 // one runtime cache across the sweep.
 func CompareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy) ([]FabricResult, error) {
-	cache := newFabricCache()
+	cache := newSession().fabric
 	out := make([]FabricResult, 0, len(policies))
 	for _, p := range policies {
 		r, err := simulateFabric(cfg, jobs, p, cache)

@@ -81,6 +81,10 @@ type Schedule struct {
 // NumSteps returns the number of synchronous steps.
 func (s *Schedule) NumSteps() int { return len(s.Steps) }
 
+// Nodes returns N (as a method, so code generic over boxed and compact
+// schedules — e.g. energy accounting — can accept either).
+func (s *Schedule) Nodes() int { return s.N }
+
 // TotalTransfers returns the number of point-to-point transfers.
 func (s *Schedule) TotalTransfers() int {
 	n := 0

@@ -316,6 +316,34 @@ func (p *Plan) WavelengthDemands() []int {
 	return out
 }
 
+// PlanSig is a comparable value that fully determines a plan's schedule:
+// two plans with equal signatures lower to identical schedules for any
+// elems, whatever path built them (BuildPlan is deterministic in these
+// fields — partitioning, representative choice, and all-to-all routing are
+// pure functions of them). Cross-run schedule and simulation caches key on
+// it so the optimizer's chosen plan and the same plan requested with an
+// explicit group size share entries.
+type PlanSig struct {
+	N, W, M    int
+	Policy     A2APolicy
+	Striping   bool
+	AvoidWrap  bool
+	TreeStripe int
+	A2AStripe  int
+}
+
+// Sig returns the plan's schedule-identity signature.
+func (p *Plan) Sig() PlanSig {
+	return PlanSig{
+		N: p.N, W: p.W, M: p.M,
+		Policy:     p.Policy,
+		Striping:   p.Striping,
+		AvoidWrap:  p.AvoidWrap,
+		TreeStripe: p.TreeStripe,
+		A2AStripe:  p.A2AStripe,
+	}
+}
+
 // String summarizes the plan shape.
 func (p *Plan) String() string {
 	a2a := "none"

@@ -46,8 +46,9 @@ type Network struct {
 	numNodes int
 	// capBps[l] is link l's capacity in bits/s.
 	capBps []float64
-	// route returns the link indices a src→dst flow traverses.
-	route func(src, dst int) []int
+	// route appends the link indices a src→dst flow traverses to buf and
+	// returns the grown slice (append-style so hot paths can reuse arenas).
+	route func(src, dst int, buf []int) []int
 }
 
 // Name identifies the topology (for reports).
@@ -60,7 +61,7 @@ func (nw *Network) NumNodes() int { return nw.numNodes }
 func (nw *Network) NumLinks() int { return len(nw.capBps) }
 
 // Route exposes the path of a flow (for tests).
-func (nw *Network) Route(src, dst int) []int { return nw.route(src, dst) }
+func (nw *Network) Route(src, dst int) []int { return nw.route(src, dst, nil) }
 
 // NewSwitchedCluster models n hosts on a non-blocking switch: each host has
 // one uplink and one downlink of linkGbps; the crossbar itself is not a
@@ -80,8 +81,8 @@ func NewSwitchedCluster(n int, linkGbps float64) (*Network, error) {
 		name:     fmt.Sprintf("switched-cluster(%d)", n),
 		numNodes: n,
 		capBps:   caps,
-		route: func(src, dst int) []int {
-			return []int{src, n + dst}
+		route: func(src, dst int, buf []int) []int {
+			return append(buf, src, n+dst)
 		},
 	}, nil
 }
@@ -104,22 +105,21 @@ func NewRingNetwork(n int, linkGbps float64) (*Network, error) {
 		name:     fmt.Sprintf("ring(%d)", n),
 		numNodes: n,
 		capBps:   caps,
-		route: func(src, dst int) []int {
+		route: func(src, dst int, buf []int) []int {
 			cw := ((dst-src)%n + n) % n
 			ccw := n - cw
-			var links []int
 			if cw <= ccw {
 				for k, cur := 0, src; k < cw; k++ {
-					links = append(links, cur)
+					buf = append(buf, cur)
 					cur = (cur + 1) % n
 				}
 			} else {
 				for k, cur := 0, src; k < ccw; k++ {
-					links = append(links, n+cur)
+					buf = append(buf, n+cur)
 					cur = (cur - 1 + n) % n
 				}
 			}
-			return links
+			return buf
 		},
 	}, nil
 }
@@ -151,12 +151,12 @@ func NewFatTree(n, podSize int, linkGbps, oversub float64) (*Network, error) {
 		name:     fmt.Sprintf("fat-tree(%d,pod=%d,os=%.1f)", n, podSize, oversub),
 		numNodes: n,
 		capBps:   caps,
-		route: func(src, dst int) []int {
+		route: func(src, dst int, buf []int) []int {
 			ps, pd := src/podSize, dst/podSize
 			if ps == pd {
-				return []int{src, n + dst}
+				return append(buf, src, n+dst)
 			}
-			return []int{src, 2*n + ps, 2*n + pods + pd, n + dst}
+			return append(buf, src, 2*n+ps, 2*n+pods+pd, n+dst)
 		},
 	}, nil
 }
@@ -171,107 +171,198 @@ type Flow struct {
 // completion time of each plus the makespan. Rates follow max-min fairness,
 // re-solved at every flow completion (progressive filling).
 func (nw *Network) FlowTimes(flows []Flow) (makespan float64, done []float64, err error) {
-	type state struct {
-		path      []int
-		remaining float64
-		done      float64
-		active    bool
+	s := NewSolver(nw)
+	makespan, err = s.run(flows)
+	if err != nil {
+		return 0, nil, err
 	}
-	sts := make([]state, len(flows))
+	done = make([]float64, len(flows))
+	copy(done, s.doneAt)
+	return makespan, done, nil
+}
+
+// StepCost prices one synchronous step: fixed per-step latency plus the
+// makespan of the step's flows under max-min sharing. For multi-step
+// schedules, a Solver amortizes the fluid-model scratch across steps.
+func (nw *Network) StepCost(p Params, flows []Flow) (float64, error) {
+	return NewSolver(nw).StepCost(p, flows)
+}
+
+// Solver is a reusable flow-level solver bound to one network: the routing
+// arena and fluid-model scratch persist across calls, so pricing a
+// 1000-step schedule performs no per-flow allocation after the first step.
+// Not safe for concurrent use.
+type Solver struct {
+	nw *Network
+	// pathArena holds every flow's links back to back; flow i's path is
+	// pathArena[pathOff[i]:pathOff[i+1]].
+	pathArena []int
+	pathOff   []int
+	remaining []float64
+	doneAt    []float64
+	rates     []float64
+	active    []bool
+	frozen    []bool
+	residual  []float64
+	count     []int
+	nonEmpty  []Flow
+}
+
+// NewSolver returns an empty solver for the network.
+func NewSolver(nw *Network) *Solver {
+	return &Solver{nw: nw}
+}
+
+// StepCost prices one synchronous step on the solver's scratch.
+func (s *Solver) StepCost(p Params, flows []Flow) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	nonEmpty := s.nonEmpty[:0]
+	for _, f := range flows {
+		if f.Bits > 0 {
+			nonEmpty = append(nonEmpty, f)
+		}
+	}
+	s.nonEmpty = nonEmpty
+	if len(nonEmpty) == 0 {
+		return p.PerStepLatencySec, nil
+	}
+	makespan, err := s.run(nonEmpty)
+	if err != nil {
+		return 0, err
+	}
+	return p.PerStepLatencySec + makespan, nil
+}
+
+// grow sizes the per-flow and per-link scratch for n flows.
+func (s *Solver) grow(n int) {
+	if cap(s.remaining) < n {
+		s.remaining = make([]float64, n)
+		s.doneAt = make([]float64, n)
+		s.rates = make([]float64, n)
+		s.active = make([]bool, n)
+		s.frozen = make([]bool, n)
+	}
+	s.remaining = s.remaining[:n]
+	s.doneAt = s.doneAt[:n]
+	s.rates = s.rates[:n]
+	s.active = s.active[:n]
+	s.frozen = s.frozen[:n]
+	if cap(s.pathOff) < n+1 {
+		s.pathOff = make([]int, 0, n+1)
+	}
+	s.pathOff = s.pathOff[:0]
+	s.pathArena = s.pathArena[:0]
+	links := len(s.nw.capBps)
+	if cap(s.residual) < links {
+		s.residual = make([]float64, links)
+		s.count = make([]int, links)
+	}
+	s.residual = s.residual[:links]
+	s.count = s.count[:links]
+}
+
+// run simulates the flows, leaving per-flow completion times in s.doneAt.
+func (s *Solver) run(flows []Flow) (makespan float64, err error) {
+	nw := s.nw
+	s.grow(len(flows))
+	s.pathOff = append(s.pathOff, 0)
 	for i, f := range flows {
 		if f.Src < 0 || f.Src >= nw.numNodes || f.Dst < 0 || f.Dst >= nw.numNodes {
-			return 0, nil, fmt.Errorf("electrical: flow %d endpoints (%d,%d) out of range", i, f.Src, f.Dst)
+			return 0, fmt.Errorf("electrical: flow %d endpoints (%d,%d) out of range", i, f.Src, f.Dst)
 		}
 		if f.Src == f.Dst {
-			return 0, nil, fmt.Errorf("electrical: flow %d is a self-flow", i)
+			return 0, fmt.Errorf("electrical: flow %d is a self-flow", i)
 		}
 		if f.Bits < 0 || math.IsNaN(f.Bits) {
-			return 0, nil, fmt.Errorf("electrical: flow %d has %v bits", i, f.Bits)
+			return 0, fmt.Errorf("electrical: flow %d has %v bits", i, f.Bits)
 		}
-		sts[i] = state{path: nw.route(f.Src, f.Dst), remaining: f.Bits, active: f.Bits > 0}
+		s.pathArena = nw.route(f.Src, f.Dst, s.pathArena)
+		s.pathOff = append(s.pathOff, len(s.pathArena))
+		s.remaining[i] = f.Bits
+		s.active[i] = f.Bits > 0
+		s.doneAt[i] = 0
 	}
 
 	now := 0.0
-	rates := make([]float64, len(flows))
-	paths := make([][]int, len(flows))
-	active := make([]bool, len(flows))
-	for i := range sts {
-		paths[i] = sts[i].path
-		active[i] = sts[i].active
-	}
 	for {
 		activeCount := 0
-		for i := range sts {
-			if sts[i].active {
+		for i := range flows {
+			if s.active[i] {
 				activeCount++
 			}
 		}
 		if activeCount == 0 {
 			break
 		}
-		nw.maxMinRates(paths, active, rates)
+		s.maxMinRates()
 		// Advance to the next completion.
 		dt := math.Inf(1)
-		for i := range sts {
-			if !sts[i].active {
+		for i := range flows {
+			if !s.active[i] {
 				continue
 			}
-			if rates[i] <= 0 {
-				return 0, nil, fmt.Errorf("electrical: flow %d starved (zero rate)", i)
+			if s.rates[i] <= 0 {
+				return 0, fmt.Errorf("electrical: flow %d starved (zero rate)", i)
 			}
-			if d := sts[i].remaining / rates[i]; d < dt {
+			if d := s.remaining[i] / s.rates[i]; d < dt {
 				dt = d
 			}
 		}
 		now += dt
-		for i := range sts {
-			if !sts[i].active {
+		for i := range flows {
+			if !s.active[i] {
 				continue
 			}
-			sts[i].remaining -= rates[i] * dt
-			if sts[i].remaining <= 1e-6 { // sub-bit residue: finished
-				sts[i].remaining = 0
-				sts[i].active = false
-				active[i] = false
-				sts[i].done = now
+			s.remaining[i] -= s.rates[i] * dt
+			if s.remaining[i] <= 1e-6 { // sub-bit residue: finished
+				s.remaining[i] = 0
+				s.active[i] = false
+				s.doneAt[i] = now
 			}
 		}
 	}
-	done = make([]float64, len(flows))
-	for i := range sts {
-		done[i] = sts[i].done
-		if done[i] > makespan {
-			makespan = done[i]
+	for i := range flows {
+		if s.doneAt[i] > makespan {
+			makespan = s.doneAt[i]
 		}
 	}
-	return makespan, done, nil
+	return makespan, nil
+}
+
+// path returns flow i's links.
+func (s *Solver) path(i int) []int {
+	return s.pathArena[s.pathOff[i]:s.pathOff[i+1]]
 }
 
 // maxMinRates fills rates for active flows via progressive filling:
 // repeatedly saturate the link with the smallest fair share and freeze the
 // flows crossing it. The result is the max-min fair allocation.
-func (nw *Network) maxMinRates(paths [][]int, active []bool, rates []float64) {
-	residual := make([]float64, len(nw.capBps))
-	copy(residual, nw.capBps)
-	count := make([]int, len(nw.capBps))
-	frozen := make([]bool, len(paths))
-	for i := range paths {
-		rates[i] = 0
-		if !active[i] {
-			frozen[i] = true
+func (s *Solver) maxMinRates() {
+	n := len(s.rates)
+	copy(s.residual, s.nw.capBps)
+	for l := range s.count {
+		s.count[l] = 0
+	}
+	for i := 0; i < n; i++ {
+		s.rates[i] = 0
+		if !s.active[i] {
+			s.frozen[i] = true
 			continue
 		}
-		for _, l := range paths[i] {
-			count[l]++
+		s.frozen[i] = false
+		for _, l := range s.path(i) {
+			s.count[l]++
 		}
 	}
 	for {
 		// Find the bottleneck link's fair share.
 		share := math.Inf(1)
-		for l := range residual {
-			if count[l] > 0 {
-				if s := residual[l] / float64(count[l]); s < share {
-					share = s
+		for l := range s.residual {
+			if s.count[l] > 0 {
+				if sh := s.residual[l] / float64(s.count[l]); sh < share {
+					share = sh
 				}
 			}
 		}
@@ -280,13 +371,13 @@ func (nw *Network) maxMinRates(paths [][]int, active []bool, rates []float64) {
 		}
 		// Freeze every unfrozen flow crossing a saturating link.
 		progress := false
-		for i := range paths {
-			if frozen[i] {
+		for i := 0; i < n; i++ {
+			if s.frozen[i] {
 				continue
 			}
 			bottlenecked := false
-			for _, l := range paths[i] {
-				if count[l] > 0 && residual[l]/float64(count[l]) <= share*(1+1e-12) {
+			for _, l := range s.path(i) {
+				if s.count[l] > 0 && s.residual[l]/float64(s.count[l]) <= share*(1+1e-12) {
 					bottlenecked = true
 					break
 				}
@@ -294,41 +385,19 @@ func (nw *Network) maxMinRates(paths [][]int, active []bool, rates []float64) {
 			if !bottlenecked {
 				continue
 			}
-			rates[i] = share
-			frozen[i] = true
+			s.rates[i] = share
+			s.frozen[i] = true
 			progress = true
-			for _, l := range paths[i] {
-				residual[l] -= share
-				if residual[l] < 0 {
-					residual[l] = 0
+			for _, l := range s.path(i) {
+				s.residual[l] -= share
+				if s.residual[l] < 0 {
+					s.residual[l] = 0
 				}
-				count[l]--
+				s.count[l]--
 			}
 		}
 		if !progress {
 			return
 		}
 	}
-}
-
-// StepCost prices one synchronous step: fixed per-step latency plus the
-// makespan of the step's flows under max-min sharing.
-func (nw *Network) StepCost(p Params, flows []Flow) (float64, error) {
-	if err := p.Validate(); err != nil {
-		return 0, err
-	}
-	nonEmpty := flows[:0:0]
-	for _, f := range flows {
-		if f.Bits > 0 {
-			nonEmpty = append(nonEmpty, f)
-		}
-	}
-	if len(nonEmpty) == 0 {
-		return p.PerStepLatencySec, nil
-	}
-	makespan, _, err := nw.FlowTimes(nonEmpty)
-	if err != nil {
-		return 0, err
-	}
-	return p.PerStepLatencySec + makespan, nil
 }

@@ -186,8 +186,16 @@ func TestMaxMinFairnessProperty(t *testing.T) {
 			paths[i] = nw.Route(src, dst)
 			active[i] = true
 		}
-		rates := make([]float64, nf)
-		nw.maxMinRates(paths, active, rates)
+		s := NewSolver(nw)
+		s.grow(nf)
+		s.pathOff = append(s.pathOff, 0)
+		for i := range flows {
+			s.pathArena = append(s.pathArena, paths[i]...)
+			s.pathOff = append(s.pathOff, len(s.pathArena))
+			s.active[i] = active[i]
+		}
+		s.maxMinRates()
+		rates := s.rates
 
 		// No link oversubscribed.
 		load := make([]float64, nw.NumLinks())

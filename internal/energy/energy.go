@@ -9,9 +9,19 @@ package energy
 
 import (
 	"fmt"
-
-	"wrht/internal/collective"
 )
+
+// Schedule is the accounting view of a collective schedule; both
+// *collective.Schedule and *collective.CompactSchedule satisfy it, so the
+// estimators accept either representation.
+type Schedule interface {
+	// TotalTrafficElems is the total number of elements moved.
+	TotalTrafficElems() int64
+	// TotalTransfers is the number of point-to-point transfers.
+	TotalTransfers() int
+	// Nodes is the participant count.
+	Nodes() int
+}
 
 // OpticalCosts are per-event energy constants for the WDM ring
 // (silicon-photonics literature values; see DESIGN.md §4).
@@ -74,7 +84,7 @@ type Breakdown struct {
 func (b Breakdown) TotalJ() float64 { return b.DynamicJ + b.TuningJ + b.StaticJ }
 
 // scheduleBits returns total transmitted bits and transfer count.
-func scheduleBits(s *collective.Schedule, bytesPerElem int) (float64, int, error) {
+func scheduleBits(s Schedule, bytesPerElem int) (float64, int, error) {
 	if bytesPerElem < 1 {
 		return 0, 0, fmt.Errorf("energy: bytes per elem %d", bytesPerElem)
 	}
@@ -84,7 +94,7 @@ func scheduleBits(s *collective.Schedule, bytesPerElem int) (float64, int, error
 
 // Optical estimates the energy of running the schedule on the WDM ring,
 // given the operation's simulated duration (for the static laser term).
-func Optical(s *collective.Schedule, durationSec float64, c OpticalCosts, bytesPerElem int) (Breakdown, error) {
+func Optical(s Schedule, durationSec float64, c OpticalCosts, bytesPerElem int) (Breakdown, error) {
 	if durationSec < 0 {
 		return Breakdown{}, fmt.Errorf("energy: negative duration %v", durationSec)
 	}
@@ -96,13 +106,13 @@ func Optical(s *collective.Schedule, durationSec float64, c OpticalCosts, bytesP
 	return Breakdown{
 		DynamicJ: bits * perBit,
 		TuningJ:  float64(transfers) * c.TuningNJPerTransfer * 1e-9,
-		StaticJ:  float64(s.N) * c.LaserMWPerNode * 1e-3 * durationSec,
+		StaticJ:  float64(s.Nodes()) * c.LaserMWPerNode * 1e-3 * durationSec,
 	}, nil
 }
 
 // Electrical estimates the energy of running the schedule on the packet
 // network, given the operation's simulated duration.
-func Electrical(s *collective.Schedule, durationSec float64, c ElectricalCosts, bytesPerElem int) (Breakdown, error) {
+func Electrical(s Schedule, durationSec float64, c ElectricalCosts, bytesPerElem int) (Breakdown, error) {
 	if durationSec < 0 {
 		return Breakdown{}, fmt.Errorf("energy: negative duration %v", durationSec)
 	}
@@ -116,6 +126,6 @@ func Electrical(s *collective.Schedule, durationSec float64, c ElectricalCosts, 
 	perBit := (2*c.NICPJPerBit + float64(c.SwitchesPerPath)*c.SwitchPJPerBit) * 1e-12
 	return Breakdown{
 		DynamicJ: bits * perBit,
-		StaticJ:  float64(s.N) * c.IdleMWPerNode * 1e-3 * durationSec,
+		StaticJ:  float64(s.Nodes()) * c.IdleMWPerNode * 1e-3 * durationSec,
 	}, nil
 }

@@ -6,6 +6,67 @@ import (
 	"wrht/internal/core"
 )
 
+// memo is a mutex+once memoization table: the map is mutex-guarded, each
+// entry computes under its own sync.Once, so concurrent requests for the
+// same key share a single computation (and distinct keys compute in
+// parallel) while every caller receives the same value. Errors are memoized
+// too. It is the shared machinery behind the three cache layers
+// (plan → schedule → simulation).
+type memo[K comparable, V any] struct {
+	mu      sync.Mutex
+	entries map[K]*memoEntry[V]
+	hits    int64
+	misses  int64
+}
+
+type memoEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+	// requested marks that a counted request has seen this entry. The first
+	// counted request per key is a miss even when an uncounted fill (an
+	// optimizer candidate) arrived earlier — that keeps the counters
+	// deterministic whatever the scheduling of concurrent workers.
+	requested bool
+}
+
+// do returns the memoized value for key, computing it with fn on first use.
+// counted controls whether the request moves the hit/miss counters
+// (internal requests — e.g. the plan optimizer's candidate builds — fill
+// the table without inflating the caller-visible stats).
+func (m *memo[K, V]) do(key K, counted bool, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.entries == nil {
+		m.entries = map[K]*memoEntry[V]{}
+	}
+	e, ok := m.entries[key]
+	if !ok {
+		e = &memoEntry[V]{}
+		m.entries[key] = e
+	}
+	if counted {
+		if e.requested {
+			m.hits++
+		} else {
+			e.requested = true
+			m.misses++
+		}
+	}
+	m.mu.Unlock()
+	e.once.Do(func() {
+		e.val, e.err = fn()
+	})
+	return e.val, e.err
+}
+
+// stats returns the counted hits and misses so far; both are deterministic
+// for a fixed request multiset, whatever the parallelism.
+func (m *memo[K, V]) stats() (hits, misses int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses
+}
+
 // PlanKey identifies one Wrht plan: core.BuildPlan is a pure function of
 // these fields, so equal keys always yield identical plans.
 type PlanKey struct {
@@ -13,54 +74,48 @@ type PlanKey struct {
 	Opts core.Options
 }
 
-type planEntry struct {
-	once sync.Once
-	plan *core.Plan
-	err  error
-}
-
-// PlanCache memoizes core.BuildPlan across concurrent sweep workers. The map
-// is mutex-guarded; each entry builds under its own sync.Once, so concurrent
-// requests for the same key share a single BuildPlan call (and distinct keys
-// build in parallel) and every caller receives the same *core.Plan. Plans are
-// immutable after construction, so sharing one pointer across goroutines is
-// safe. Build errors are memoized too: an infeasible key fails once, not once
-// per point.
+// PlanCache memoizes core.BuildPlan across concurrent sweep workers. Plans
+// are immutable after construction, so sharing one pointer across goroutines
+// is safe; build errors are memoized too (an infeasible key fails once, not
+// once per point).
+//
+// Automatic-group-size keys (Opts.M == 0) run the optimizer with every
+// candidate built through the cache itself, so the candidates land under
+// their explicit-m keys: a later request for the plan the optimizer chose —
+// or any other explicit m the optimizer already evaluated — is a cache hit,
+// not a rebuild. Candidate fills do not move the hit/miss counters; Stats
+// reflects caller-visible requests only.
 type PlanCache struct {
-	mu      sync.Mutex
-	entries map[PlanKey]*planEntry
-	hits    int64
+	m memo[PlanKey, *core.Plan]
 }
 
 // NewPlanCache returns an empty cache.
 func NewPlanCache() *PlanCache {
-	return &PlanCache{entries: map[PlanKey]*planEntry{}}
+	return &PlanCache{}
 }
 
 // Plan returns the memoized plan for (n, w, opts), building it on first use.
 func (c *PlanCache) Plan(n, w int, opts core.Options) (*core.Plan, error) {
-	key := PlanKey{N: n, W: w, Opts: opts}
-	c.mu.Lock()
-	e, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
-		e = &planEntry{}
-		c.entries[key] = e
-	}
-	c.mu.Unlock()
-	e.once.Do(func() {
-		e.plan, e.err = core.BuildPlan(n, w, opts)
-	})
-	return e.plan, e.err
+	return c.plan(n, w, opts, true)
 }
 
-// Stats returns the number of cache hits and misses so far. Misses equal the
-// number of distinct keys requested (= BuildPlan invocations issued through
-// the cache); both are deterministic for a fixed request multiset, whatever
-// the parallelism.
+func (c *PlanCache) plan(n, w int, opts core.Options, counted bool) (*core.Plan, error) {
+	key := PlanKey{N: n, W: w, Opts: opts}
+	return c.m.do(key, counted, func() (*core.Plan, error) {
+		if opts.M == 0 && n >= 2 && w >= 1 {
+			return core.ChooseMWith(n, w, opts, func(n, w int, o core.Options) (*core.Plan, error) {
+				return c.plan(n, w, o, false)
+			})
+		}
+		return core.BuildPlan(n, w, opts)
+	})
+}
+
+// Stats returns the number of cache hits and misses so far: a miss is the
+// first Plan request for a key, a hit any repeat (the optimizer's internal
+// candidate fills count as neither, though they do save the miss's build
+// work); both are deterministic for a fixed request multiset, whatever the
+// parallelism.
 func (c *PlanCache) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, int64(len(c.entries))
+	return c.m.stats()
 }

@@ -4,9 +4,12 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
 
+	"wrht/internal/collective"
 	"wrht/internal/core"
+	"wrht/internal/runner"
 )
 
 func TestGridSizeAndDeterministicOrder(t *testing.T) {
@@ -146,5 +149,154 @@ func TestPlanCacheMemoizesErrors(t *testing.T) {
 	}
 	if _, misses := c.Stats(); misses != 1 {
 		t.Fatalf("%d misses, want 1", misses)
+	}
+}
+
+func TestPlanCacheSharesOptimizerCandidates(t *testing.T) {
+	c := NewPlanCache()
+	opts := core.DefaultOptions() // M = 0: automatic group size
+	auto, err := c.Plan(24, 8, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requesting the chosen shape explicitly must be served from the
+	// candidate the optimizer already built — pointer identity, no rebuild.
+	explicit := opts
+	explicit.M = auto.M
+	explicit.Policy = auto.Policy
+	before := core.PlanBuildCount()
+	p, err := c.Plan(24, 8, explicit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != auto {
+		t.Fatal("explicit-m request did not reuse the optimizer's candidate plan")
+	}
+	if d := core.PlanBuildCount() - before; d != 0 {
+		t.Fatalf("explicit-m request issued %d BuildPlan calls, want 0", d)
+	}
+	// Caller-visible stats count only the two requests, each a miss (first
+	// counted request per key — candidate fills don't pre-claim keys, which
+	// keeps the counters deterministic under concurrency).
+	hits, misses := c.Stats()
+	if hits != 0 || misses != 2 {
+		t.Fatalf("stats = (%d hits, %d misses), want (0, 2)", hits, misses)
+	}
+}
+
+func TestScheduleCacheSharing(t *testing.T) {
+	c := NewScheduleCache()
+	key := ScheduleKey{Algorithm: "ring", N: 8, Elems: 64}
+	builds := 0
+	build := func() (*collective.CompactSchedule, error) {
+		builds++
+		return collective.RingAllReduceCompact(8, 64)
+	}
+	s1, err := c.Schedule(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Schedule(key, build)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1 != s2 || builds != 1 {
+		t.Fatalf("cache did not share: builds=%d", builds)
+	}
+	other := key
+	other.Elems = 128
+	if _, err := c.Schedule(other, func() (*collective.CompactSchedule, error) {
+		builds++
+		return collective.RingAllReduceCompact(8, 128)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if builds != 2 {
+		t.Fatalf("distinct key did not build: builds=%d", builds)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 2 {
+		t.Fatalf("stats = (%d, %d), want (1, 2)", hits, misses)
+	}
+}
+
+func TestSimCacheSharing(t *testing.T) {
+	cs, err := collective.RingAllReduceCompact(8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSimCache()
+	key := SimKey{
+		Sched:   ScheduleKey{Algorithm: "ring", N: 8, Elems: 64},
+		OptOpts: runner.DefaultOpticalOptions(),
+	}
+	runs := 0
+	run := func() (runner.Result, error) {
+		runs++
+		return runner.RunOpticalCompact(cs, runner.DefaultOpticalOptions())
+	}
+	r1, err := c.Run(key, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := c.Run(key, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Fatalf("simulated %d times, want 1", runs)
+	}
+	if r1.TotalSec != r2.TotalSec || r1.TotalSec <= 0 {
+		t.Fatalf("cached results diverge: %v vs %v", r1.TotalSec, r2.TotalSec)
+	}
+	// Different substrate options are distinct entries.
+	wider := key
+	wider.OptOpts.DefaultWidth = 8
+	if _, err := c.Run(wider, func() (runner.Result, error) {
+		runs++
+		o := runner.DefaultOpticalOptions()
+		o.DefaultWidth = 8
+		return runner.RunOpticalCompact(cs, o)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Fatalf("distinct options did not rerun: runs=%d", runs)
+	}
+}
+
+func TestSimCacheConcurrentSingleRun(t *testing.T) {
+	cs, err := collective.RingAllReduceCompact(16, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSimCache()
+	key := SimKey{Sched: ScheduleKey{Algorithm: "ring", N: 16, Elems: 256}, OptOpts: runner.DefaultOpticalOptions()}
+	var runs int64
+	var wg sync.WaitGroup
+	results := make([]runner.Result, 32)
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			r, err := c.Run(key, func() (runner.Result, error) {
+				atomic.AddInt64(&runs, 1)
+				return runner.RunOpticalCompact(cs, runner.DefaultOpticalOptions())
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = r
+		}(i)
+	}
+	wg.Wait()
+	if runs != 1 {
+		t.Fatalf("concurrent callers ran %d simulations, want 1", runs)
+	}
+	for i := 1; i < 32; i++ {
+		if results[i].TotalSec != results[0].TotalSec {
+			t.Fatal("concurrent callers got different results")
+		}
 	}
 }

@@ -122,13 +122,43 @@ type StepResult struct {
 // under the given policy (splitting into sequential rounds when they exceed
 // the budget); each round lasts as long as its slowest transfer, rounds
 // serialize, and the step pays the fixed reconfiguration overhead once.
-// Zero-byte transfers are skipped.
+// Zero-byte transfers are skipped. For a multi-step schedule, a StepPricer
+// amortizes the assignment scratch across steps.
 func StepCost(topo ring.Topology, p Params, transfers []TransferSpec, policy wdm.Policy) (StepResult, error) {
-	if err := p.Validate(); err != nil {
+	sp, err := NewStepPricer(topo, p, policy)
+	if err != nil {
 		return StepResult{}, err
 	}
-	demands := make([]wdm.Demand, 0, len(transfers))
-	active := make([]TransferSpec, 0, len(transfers))
+	return sp.Price(transfers)
+}
+
+// StepPricer prices a sequence of synchronous steps on one ring, reusing the
+// wavelength-assignment workspace and the demand buffers across steps so the
+// per-step allocation cost is bounded by the result (rounds and stripes),
+// not the step size. Not safe for concurrent use.
+type StepPricer struct {
+	topo    ring.Topology
+	p       Params
+	policy  wdm.Policy
+	ws      *wdm.Workspace
+	demands []wdm.Demand
+	active  []TransferSpec
+}
+
+// NewStepPricer validates the parameters once and returns a pricer.
+func NewStepPricer(topo ring.Topology, p Params, policy wdm.Policy) (*StepPricer, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &StepPricer{topo: topo, p: p, policy: policy, ws: wdm.NewWorkspace(topo)}, nil
+}
+
+// Price prices one step; the result's Assignments remain valid after later
+// Price calls.
+func (sp *StepPricer) Price(transfers []TransferSpec) (StepResult, error) {
+	p := sp.p
+	demands := sp.demands[:0]
+	active := sp.active[:0]
 	for _, tr := range transfers {
 		if tr.Bytes < 0 {
 			return StepResult{}, fmt.Errorf("optical: negative transfer size %d", tr.Bytes)
@@ -147,11 +177,12 @@ func StepCost(topo ring.Topology, p Params, transfers []TransferSpec, policy wdm
 		tr.Width = width
 		active = append(active, tr)
 	}
+	sp.demands, sp.active = demands, active
 	res := StepResult{Duration: p.StepOverheadSec(), Rounds: 0}
 	if len(active) == 0 {
 		return res, nil
 	}
-	rounds, err := wdm.Rounds(topo, demands, p.Wavelengths, policy, wdm.AsGiven)
+	rounds, err := sp.ws.Rounds(demands, p.Wavelengths, sp.policy, wdm.AsGiven)
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -161,7 +192,7 @@ func StepCost(topo ring.Topology, p Params, transfers []TransferSpec, policy wdm
 		longest := 0.0
 		for _, di := range rd.Demands {
 			tr := active[di]
-			d := p.TransferSec(tr.Bytes, tr.Width, topo.Hops(tr.Arc))
+			d := p.TransferSec(tr.Bytes, tr.Width, sp.topo.Hops(tr.Arc))
 			if d > longest {
 				longest = d
 			}
@@ -178,11 +209,15 @@ func StepCost(topo ring.Topology, p Params, transfers []TransferSpec, policy wdm
 // wavelength) tracks the time until which it is busy. Replaying a schedule's
 // assignments through Reserve certifies the schedule is physically realizable
 // (no double-booked wavelength anywhere, ever).
+// Fabric is not safe for concurrent use: the link scratch buffer is shared
+// across Reserve/EarliestFree calls.
 type Fabric struct {
 	topo   ring.Topology
 	params Params
 	// busyUntil[linkIndex][wavelength]
 	busyUntil [][]float64
+	// links is the arc-resolution scratch reused across calls.
+	links []int
 }
 
 // NewFabric returns an idle fabric.
@@ -205,8 +240,7 @@ func (f *Fabric) Reserve(arc ring.Arc, wavelengths []int, start, duration float6
 	if duration < 0 {
 		return fmt.Errorf("optical: negative duration %v", duration)
 	}
-	var links []int
-	f.topo.VisitLinks(arc, func(l int) { links = append(links, l) })
+	links := f.arcLinks(arc)
 	if len(links) == 0 {
 		return fmt.Errorf("optical: empty arc %v", arc)
 	}
@@ -234,8 +268,7 @@ func (f *Fabric) Reserve(arc ring.Arc, wavelengths []int, start, duration float6
 // given wavelength is free on every link of the arc. Combined with Reserve it
 // supports greedy event-driven scheduling (internal/opticalsim).
 func (f *Fabric) EarliestFree(arc ring.Arc, wavelengths []int, earliest float64) (float64, error) {
-	var links []int
-	f.topo.VisitLinks(arc, func(l int) { links = append(links, l) })
+	links := f.arcLinks(arc)
 	if len(links) == 0 {
 		return 0, fmt.Errorf("optical: empty arc %v", arc)
 	}
@@ -251,6 +284,12 @@ func (f *Fabric) EarliestFree(arc ring.Arc, wavelengths []int, earliest float64)
 		}
 	}
 	return t, nil
+}
+
+// arcLinks resolves the arc's dense link indices into the shared scratch.
+func (f *Fabric) arcLinks(arc ring.Arc) []int {
+	f.links = f.topo.AppendArcLinks(arc, f.links[:0])
+	return f.links
 }
 
 // Utilization returns the fraction of (link, wavelength) pairs that have ever

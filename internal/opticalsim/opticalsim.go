@@ -95,20 +95,30 @@ type Result struct {
 	EventCount int64
 }
 
-// transfer is the internal scheduling state of one schedule transfer.
-type transfer struct {
-	step  int
-	arc   ring.Arc
-	bytes int64
-	width int
-	// stripe is assigned lazily (per step, before the step's first transfer
-	// becomes eligible).
-	stripe []int
+// lowered is the columnar scheduling state of every non-empty schedule
+// transfer: flat struct-of-arrays columns plus per-step index bounds, so
+// neither execution mode materializes per-step boxed transfer slices.
+type lowered struct {
+	numSteps int
+	stepOff  []int32 // len numSteps+1; step s covers [stepOff[s], stepOff[s+1])
+	step     []int32
+	arc      []ring.Arc
+	bytes    []int64
+	// stripe is assigned per step before any transfer of the step runs.
+	stripe [][]int
 }
 
 // Run simulates the schedule and returns the transfer timeline.
 func Run(s *collective.Schedule, opts Options) (Result, error) {
-	if err := s.Validate(); err != nil {
+	cs := s.Compact()
+	defer cs.Release()
+	return RunCompact(cs, opts)
+}
+
+// RunCompact is Run on the columnar schedule representation (the fast path:
+// no per-transfer boxing anywhere between the schedule and the event slab).
+func RunCompact(cs *collective.CompactSchedule, opts Options) (Result, error) {
+	if err := cs.Validate(); err != nil {
 		return Result{}, err
 	}
 	if err := opts.Params.Validate(); err != nil {
@@ -123,7 +133,7 @@ func Run(s *collective.Schedule, opts Options) (Result, error) {
 	if opts.DefaultWidth == 0 {
 		opts.DefaultWidth = 1
 	}
-	topo, err := ring.New(s.N)
+	topo, err := ring.New(cs.N)
 	if err != nil {
 		return Result{}, err
 	}
@@ -134,11 +144,24 @@ func Run(s *collective.Schedule, opts Options) (Result, error) {
 
 	// Lower schedule transfers and assign wavelengths per step (the same
 	// per-step conflict structure both modes use; Async only relaxes time).
-	steps := make([][]*transfer, len(s.Steps))
-	for si, st := range s.Steps {
-		var trs []*transfer
-		var demands []wdm.Demand
-		for _, tr := range st.Transfers {
+	numSteps := cs.NumSteps()
+	low := &lowered{
+		numSteps: numSteps,
+		stepOff:  make([]int32, 1, numSteps+1),
+	}
+	total := cs.TotalTransfers()
+	low.step = make([]int32, 0, total)
+	low.arc = make([]ring.Arc, 0, total)
+	low.bytes = make([]int64, 0, total)
+	low.stripe = make([][]int, 0, total)
+	ws := wdm.NewWorkspace(topo)
+	var demands []wdm.Demand
+	for si := 0; si < numSteps; si++ {
+		lo, hi := cs.StepBounds(si)
+		stepStart := len(low.step)
+		demands = demands[:0]
+		for i := lo; i < hi; i++ {
+			tr := cs.Transfer(i)
 			bytes := int64(tr.Region.Len) * int64(opts.BytesPerElem)
 			if bytes == 0 {
 				continue
@@ -154,30 +177,31 @@ func Run(s *collective.Schedule, opts Options) (Result, error) {
 			if width > opts.Params.Wavelengths {
 				width = opts.Params.Wavelengths
 			}
-			trs = append(trs, &transfer{step: si, arc: arc, bytes: bytes, width: width})
+			low.step = append(low.step, int32(si))
+			low.arc = append(low.arc, arc)
+			low.bytes = append(low.bytes, bytes)
+			low.stripe = append(low.stripe, nil)
 			demands = append(demands, wdm.Demand{Arc: arc, Width: width})
 		}
-		if len(trs) == 0 {
-			steps[si] = nil
-			continue
-		}
-		rounds, err := wdm.Rounds(topo, demands, opts.Params.Wavelengths, opts.Assigner, wdm.AsGiven)
-		if err != nil {
-			return Result{}, fmt.Errorf("opticalsim: step %d: %w", si, err)
-		}
-		for _, rd := range rounds {
-			for i, di := range rd.Demands {
-				trs[di].stripe = rd.Assignment.Stripes[i]
+		if len(demands) > 0 {
+			rounds, err := ws.Rounds(demands, opts.Params.Wavelengths, opts.Assigner, wdm.AsGiven)
+			if err != nil {
+				return Result{}, fmt.Errorf("opticalsim: step %d: %w", si, err)
+			}
+			for _, rd := range rounds {
+				for i, di := range rd.Demands {
+					low.stripe[stepStart+di] = rd.Assignment.Stripes[i]
+				}
 			}
 		}
-		steps[si] = trs
+		low.stepOff = append(low.stepOff, int32(len(low.step)))
 	}
 
 	switch opts.Mode {
 	case Barrier:
-		return runBarrier(topo, fabric, opts, steps)
+		return runBarrier(topo, fabric, opts, low)
 	case Async:
-		return runAsync(topo, fabric, opts, s.N, steps)
+		return runAsync(topo, fabric, opts, cs.N, low)
 	default:
 		return Result{}, fmt.Errorf("opticalsim: unknown mode %v", opts.Mode)
 	}
@@ -186,23 +210,25 @@ func Run(s *collective.Schedule, opts Options) (Result, error) {
 // runBarrier reproduces the step-synchronous model with explicit
 // reservations: each step starts when the previous ends, pays the step
 // overhead, and transfers within it start together (per conflict round).
-func runBarrier(topo ring.Topology, fabric *optical.Fabric, opts Options, steps [][]*transfer) (Result, error) {
+func runBarrier(topo ring.Topology, fabric *optical.Fabric, opts Options, low *lowered) (Result, error) {
 	p := opts.Params
-	res := Result{Mode: Barrier}
+	res := Result{Mode: Barrier, Events: make([]TransferEvent, 0, len(low.step))}
 	now := 0.0
-	for si, trs := range steps {
+	for si := 0; si < low.numSteps; si++ {
 		now += p.StepOverheadSec()
-		if len(trs) == 0 {
+		lo, hi := low.stepOff[si], low.stepOff[si+1]
+		if lo == hi {
 			continue
 		}
 		stepEnd := now
-		for _, tr := range trs {
-			start, err := fabric.EarliestFree(tr.arc, tr.stripe, now)
+		for ti := lo; ti < hi; ti++ {
+			arc, stripe := low.arc[ti], low.stripe[ti]
+			start, err := fabric.EarliestFree(arc, stripe, now)
 			if err != nil {
 				return Result{}, err
 			}
-			d := p.TransferSec(tr.bytes, len(tr.stripe), topo.Hops(tr.arc))
-			if err := fabric.Reserve(tr.arc, tr.stripe, start, d); err != nil {
+			d := p.TransferSec(low.bytes[ti], len(stripe), topo.Hops(arc))
+			if err := fabric.Reserve(arc, stripe, start, d); err != nil {
 				return Result{}, err
 			}
 			end := start + d
@@ -210,8 +236,8 @@ func runBarrier(topo ring.Topology, fabric *optical.Fabric, opts Options, steps 
 				stepEnd = end
 			}
 			res.Events = append(res.Events, TransferEvent{
-				Step: si, Src: tr.arc.Src, Dst: tr.arc.Dst, Arc: tr.arc,
-				Bytes: tr.bytes, Wavelengths: tr.stripe, Start: start, End: end,
+				Step: si, Src: arc.Src, Dst: arc.Dst, Arc: arc,
+				Bytes: low.bytes[ti], Wavelengths: stripe, Start: start, End: end,
 			})
 		}
 		now = stepEnd
@@ -220,28 +246,41 @@ func runBarrier(topo ring.Topology, fabric *optical.Fabric, opts Options, steps 
 	return res, nil
 }
 
-// runAsync runs the node-local dependency model on the event engine.
-func runAsync(topo ring.Topology, fabric *optical.Fabric, opts Options, n int, steps [][]*transfer) (Result, error) {
+// runAsync runs the node-local dependency model on the event engine. All
+// scheduling state is integer-indexed (CSR incident lists, a flat obligation
+// table, one registered completion handler), so the event loop performs no
+// per-event allocation.
+func runAsync(topo ring.Topology, fabric *optical.Fabric, opts Options, n int, low *lowered) (Result, error) {
 	p := opts.Params
-	numSteps := len(steps)
-	// obligations[node][step] = number of transfer endpoints node owns.
-	obligations := make([][]int, n)
-	for i := range obligations {
-		obligations[i] = make([]int, numSteps)
+	numSteps := low.numSteps
+	total := len(low.step)
+	// obligations[node*numSteps+step] = number of transfer endpoints the node
+	// owns at that step.
+	obligations := make([]int32, n*numSteps)
+	for ti := 0; ti < total; ti++ {
+		si := int(low.step[ti])
+		obligations[low.arc[ti].Src*numSteps+si]++
+		obligations[low.arc[ti].Dst*numSteps+si]++
 	}
-	// incident[node][step] lists the transfers touching node at step.
-	incident := make([][][]*transfer, n)
-	for i := range incident {
-		incident[i] = make([][]*transfer, numSteps)
+	// incident lists the transfers touching (node, step), in CSR form:
+	// incIdx[incOff[node*numSteps+step]:incOff[node*numSteps+step+1]].
+	incOff := make([]int32, n*numSteps+1)
+	for ti := 0; ti < total; ti++ {
+		si := int(low.step[ti])
+		incOff[low.arc[ti].Src*numSteps+si+1]++
+		incOff[low.arc[ti].Dst*numSteps+si+1]++
 	}
-	total := 0
-	for si, trs := range steps {
-		for _, tr := range trs {
-			obligations[tr.arc.Src][si]++
-			obligations[tr.arc.Dst][si]++
-			incident[tr.arc.Src][si] = append(incident[tr.arc.Src][si], tr)
-			incident[tr.arc.Dst][si] = append(incident[tr.arc.Dst][si], tr)
-			total++
+	for i := 1; i < len(incOff); i++ {
+		incOff[i] += incOff[i-1]
+	}
+	incIdx := make([]int32, 2*total)
+	fill := make([]int32, n*numSteps)
+	for ti := 0; ti < total; ti++ {
+		si := int(low.step[ti])
+		for _, node := range [2]int{low.arc[ti].Src, low.arc[ti].Dst} {
+			slot := node*numSteps + si
+			incIdx[incOff[slot]+fill[slot]] = int32(ti)
+			fill[slot]++
 		}
 	}
 	// nodeStep[i] = first step with unmet obligations; the node is ready
@@ -251,7 +290,7 @@ func runAsync(topo ring.Topology, fabric *optical.Fabric, opts Options, n int, s
 	nodeStep := make([]int, n)
 	advance := func(i int) bool {
 		moved := false
-		for nodeStep[i] < numSteps && obligations[i][nodeStep[i]] == 0 {
+		for nodeStep[i] < numSteps && obligations[i*numSteps+nodeStep[i]] == 0 {
 			nodeStep[i]++
 			moved = true
 		}
@@ -259,53 +298,59 @@ func runAsync(topo ring.Topology, fabric *optical.Fabric, opts Options, n int, s
 	}
 
 	var eng sim.Engine
-	res := Result{Mode: Async}
-	launched := make(map[*transfer]bool, total)
+	eng.Grow(total)
+	res := Result{Mode: Async, Events: make([]TransferEvent, 0, total)}
+	launched := make([]bool, total)
 
-	var launch func(tr *transfer)
+	var launch func(ti int32)
+	var completeH sim.HandlerID
 	launchReady := func(i int) {
 		if nodeStep[i] >= numSteps {
 			return
 		}
-		for _, tr := range incident[i][nodeStep[i]] {
-			if launched[tr] || nodeStep[tr.arc.Src] < tr.step || nodeStep[tr.arc.Dst] < tr.step {
+		slot := i*numSteps + nodeStep[i]
+		for _, ti := range incIdx[incOff[slot]:incOff[slot+1]] {
+			if launched[ti] || nodeStep[low.arc[ti].Src] < int(low.step[ti]) ||
+				nodeStep[low.arc[ti].Dst] < int(low.step[ti]) {
 				continue
 			}
-			launch(tr)
+			launch(ti)
 		}
 	}
-	complete := func(tr *transfer) {
-		obligations[tr.arc.Src][tr.step]--
-		obligations[tr.arc.Dst][tr.step]--
-		for _, node := range []int{tr.arc.Src, tr.arc.Dst} {
-			if advance(node) {
-				launchReady(node)
-			}
+	completeH = eng.Register(func(ti int32) {
+		arc, si := low.arc[ti], int(low.step[ti])
+		obligations[arc.Src*numSteps+si]--
+		obligations[arc.Dst*numSteps+si]--
+		if advance(arc.Src) {
+			launchReady(arc.Src)
 		}
-	}
-	launch = func(tr *transfer) {
-		launched[tr] = true
+		if advance(arc.Dst) {
+			launchReady(arc.Dst)
+		}
+	})
+	launch = func(ti int32) {
+		launched[ti] = true
+		arc, stripe := low.arc[ti], low.stripe[ti]
 		// Tuning is charged per transmission in async mode (each transfer
 		// re-tunes its micro-rings); there is no global step to charge.
 		eligible := eng.Now() + p.TuningNs*1e-9
-		start, err := fabric.EarliestFree(tr.arc, tr.stripe, eligible)
+		start, err := fabric.EarliestFree(arc, stripe, eligible)
 		if err != nil {
 			panic(err) // wavelengths validated at assignment time
 		}
-		d := p.TransferSec(tr.bytes, len(tr.stripe), topo.Hops(tr.arc))
-		if err := fabric.Reserve(tr.arc, tr.stripe, start, d); err != nil {
+		d := p.TransferSec(low.bytes[ti], len(stripe), topo.Hops(arc))
+		if err := fabric.Reserve(arc, stripe, start, d); err != nil {
 			panic(err)
 		}
 		end := start + d
 		if opts.ReduceGBps > 0 {
-			end += float64(tr.bytes) / (opts.ReduceGBps * 1e9)
+			end += float64(low.bytes[ti]) / (opts.ReduceGBps * 1e9)
 		}
 		res.Events = append(res.Events, TransferEvent{
-			Step: tr.step, Src: tr.arc.Src, Dst: tr.arc.Dst, Arc: tr.arc,
-			Bytes: tr.bytes, Wavelengths: tr.stripe, Start: start, End: end,
+			Step: int(low.step[ti]), Src: arc.Src, Dst: arc.Dst, Arc: arc,
+			Bytes: low.bytes[ti], Wavelengths: stripe, Start: start, End: end,
 		})
-		trCopy := tr
-		eng.At(end, func() { complete(trCopy) })
+		eng.Schedule(end, completeH, ti)
 	}
 
 	for i := 0; i < n; i++ {

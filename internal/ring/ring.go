@@ -169,6 +169,19 @@ func (t Topology) VisitLinks(a Arc, fn func(linkIndex int)) {
 	}
 }
 
+// AppendArcLinks appends the dense index of every link the arc occupies to
+// buf and returns the grown slice — the allocation-free form hot paths use
+// (a caller-owned arena instead of VisitLinks' closure).
+func (t Topology) AppendArcLinks(a Arc, buf []int) []int {
+	h := t.Hops(a)
+	cur := a.Src
+	for i := 0; i < h; i++ {
+		buf = append(buf, t.Index(Link{From: cur, Dir: a.Dir}))
+		cur = t.Step(cur, a.Dir)
+	}
+	return buf
+}
+
 // Conflict reports whether two arcs share at least one directed link.
 func (t Topology) Conflict(a, b Arc) bool {
 	if a.Dir != b.Dir {

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -120,5 +121,169 @@ func TestDeterministicUnderRandomLoad(t *testing.T) {
 	}
 	if !sort.Float64sAreSorted(a) {
 		t.Fatal("event times not monotone")
+	}
+}
+
+// --- PR 3 edge cases: the typed 4-ary heap engine ---
+
+func TestRunUntilAdvancesClockPastDrainedQueue(t *testing.T) {
+	var e Engine
+	ran := false
+	e.At(2, func() { ran = true })
+	// The queue drains at t=2; the clock must still advance to the horizon.
+	if n := e.RunUntil(10); n != 1 || !ran {
+		t.Fatalf("executed %d, ran=%v", n, ran)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now %v, want 10", e.Now())
+	}
+	// A horizon behind the clock must not move time backwards.
+	if n := e.RunUntil(5); n != 0 {
+		t.Fatalf("executed %d on empty queue", n)
+	}
+	if e.Now() != 10 {
+		t.Fatalf("now %v after RunUntil(5), want 10", e.Now())
+	}
+}
+
+func TestSchedulePastTimePanics(t *testing.T) {
+	var e Engine
+	h := e.Register(func(int32) {})
+	e.At(5, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Schedule in the past did not panic")
+			}
+		}()
+		e.Schedule(1, h, 0)
+	})
+	e.Run()
+}
+
+func TestScheduleNaNPanics(t *testing.T) {
+	var e Engine
+	h := e.Register(func(int32) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NaN time accepted by Schedule")
+		}
+	}()
+	e.Schedule(math.NaN(), h, 0)
+}
+
+func TestScheduleUnregisteredHandlerPanics(t *testing.T) {
+	var e Engine
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unregistered handler accepted")
+		}
+	}()
+	e.Schedule(1, 7, 0)
+}
+
+func TestHandlerDispatchCarriesArg(t *testing.T) {
+	var e Engine
+	var got []int32
+	h := e.Register(func(arg int32) { got = append(got, arg) })
+	e.Schedule(2, h, 20)
+	e.Schedule(1, h, 10)
+	e.Schedule(3, h, 30)
+	e.Run()
+	for i, want := range []int32{10, 20, 30} {
+		if got[i] != want {
+			t.Fatalf("dispatch order %v", got)
+		}
+	}
+}
+
+// TestQuaternaryHeapTieBreaking drives the 4-ary heap through heavy same-time
+// contention: many events share timestamps, interleaved with earlier and
+// later ones, and every tie must still resolve in scheduling order.
+func TestQuaternaryHeapTieBreaking(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var e Engine
+	type rec struct {
+		time float64
+		id   int
+	}
+	var got []rec
+	h := e.Register(func(arg int32) { got = append(got, rec{e.Now(), int(arg)}) })
+	// Only 5 distinct timestamps over 2000 events: ~400-way ties each.
+	for i := 0; i < 2000; i++ {
+		e.Schedule(float64(rng.Intn(5)), h, int32(i))
+	}
+	e.Run()
+	if len(got) != 2000 {
+		t.Fatalf("ran %d events", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].time < got[i-1].time {
+			t.Fatalf("time went backwards at %d", i)
+		}
+		if got[i].time == got[i-1].time && got[i].id < got[i-1].id {
+			t.Fatalf("tie at t=%v broke out of scheduling order: %d before %d",
+				got[i].time, got[i-1].id, got[i].id)
+		}
+	}
+}
+
+func TestMixedClosureAndHandlerOrdering(t *testing.T) {
+	var e Engine
+	var order []string
+	h := e.Register(func(arg int32) { order = append(order, fmt.Sprintf("h%d", arg)) })
+	e.At(1, func() { order = append(order, "c0") })
+	e.Schedule(1, h, 1)
+	e.At(1, func() { order = append(order, "c2") })
+	e.Schedule(1, h, 3)
+	e.Run()
+	want := []string{"c0", "h1", "c2", "h3"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("mixed order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestResetReusesSlab(t *testing.T) {
+	var e Engine
+	count := 0
+	h := e.Register(func(int32) { count++ })
+	for i := 0; i < 100; i++ {
+		e.Schedule(float64(i), h, 0)
+	}
+	e.Run()
+	e.Reset()
+	if e.Now() != 0 || e.Pending() != 0 || e.Steps() != 0 {
+		t.Fatalf("reset left now=%v pending=%d steps=%d", e.Now(), e.Pending(), e.Steps())
+	}
+	// Handlers survive reset; the slab is reused.
+	e.Schedule(1, h, 0)
+	e.Run()
+	if count != 101 {
+		t.Fatalf("count %d", count)
+	}
+}
+
+// TestRunAllocationFree asserts the tentpole property: a steady-state Run
+// over typed handler events performs zero per-event heap allocations.
+func TestRunAllocationFree(t *testing.T) {
+	var e Engine
+	var h HandlerID
+	h = e.Register(func(arg int32) {
+		if arg > 0 {
+			e.Schedule(e.Now()+1, h, arg-1)
+		}
+	})
+	e.Grow(4)
+	// Warm up the slab.
+	e.Schedule(0, h, 100)
+	e.Run()
+	allocs := testing.AllocsPerRun(10, func() {
+		e.Reset()
+		e.Schedule(0, h, 1000)
+		e.Run()
+	})
+	if allocs > 0 {
+		t.Fatalf("Run allocated %.1f times per run, want 0", allocs)
 	}
 }

@@ -75,49 +75,114 @@ func (o Order) String() string {
 
 // Assignment is the result of wavelength assignment. Stripes[i] lists the
 // wavelengths given to demands[i], in ascending order; NumColors is the
-// total number of distinct wavelengths used (max index + 1).
+// total number of distinct wavelengths used (max index + 1). The stripes of
+// one assignment may share a single backing array; callers must treat them
+// as read-only.
 type Assignment struct {
 	Stripes   [][]int
 	NumColors int
 }
 
-// state tracks, per color, which directed links are occupied.
-type state struct {
-	topo ring.Topology
-	// busy[c] is a bitmap over link indices for color c.
-	busy [][]bool
-	// usage[c] counts how many demands use color c (for BestFit packing).
+// Workspace holds the reusable scratch state of repeated assignment calls:
+// the per-(color, link) occupancy table, the BestFit candidate buffer, and
+// the link/order buffers. One Workspace serves any number of sequential
+// Assign/Rounds calls on the same topology with zero steady-state
+// allocation beyond the result slices; it is not safe for concurrent use.
+type Workspace struct {
+	topo     ring.Topology
+	numLinks int
+	// colors is the occupancy high-water mark: the number of distinct colors
+	// ever probed since the last reset (mirrors the length of the historical
+	// per-color table, which BestFit's candidate range depends on).
+	colors int
+	// busy is the flat (color, link) table: busy[c*numLinks+l] == epoch means
+	// color c is occupied on link l in the current round. Bumping epoch
+	// clears the whole table in O(1).
+	epoch uint32
+	busy  []uint32
+	// usage[c] counts demands on color c in the current round (BestFit).
 	usage []int
+	// inStripe[c] marks colors already chosen for the stripe being placed —
+	// the boolean-slice replacement for the historical linear contains scan.
+	inStripe []bool
+	links    []int // current demand's link indices
+	idx      []int // order buffer
+	cands    []bfCand
 }
 
-func newState(t ring.Topology) *state {
-	return &state{topo: t}
+type bfCand struct{ c, usage int }
+
+// NewWorkspace returns an empty workspace for the topology.
+func NewWorkspace(t ring.Topology) *Workspace {
+	return &Workspace{topo: t, numLinks: t.NumLinks(), epoch: 1}
 }
 
-func (s *state) ensure(c int) {
-	for len(s.busy) <= c {
-		s.busy = append(s.busy, make([]bool, s.topo.NumLinks()))
-		s.usage = append(s.usage, 0)
+// reset clears the occupancy state (a fresh round) while keeping capacity.
+func (ws *Workspace) reset() {
+	ws.epoch++
+	if ws.epoch == 0 { // wrapped: the stale marks are indistinguishable, clear
+		for i := range ws.busy {
+			ws.busy[i] = 0
+		}
+		ws.epoch = 1
 	}
+	for c := 0; c < ws.colors; c++ {
+		ws.usage[c] = 0
+	}
+	ws.colors = 0
+}
+
+// ensure grows the tables to cover color c.
+func (ws *Workspace) ensure(c int) {
+	if c < ws.colors {
+		return
+	}
+	for need := (c + 1) * ws.numLinks; len(ws.busy) < need; {
+		ws.busy = append(ws.busy, 0)
+	}
+	for len(ws.usage) <= c {
+		ws.usage = append(ws.usage, 0)
+		ws.inStripe = append(ws.inStripe, false)
+	}
+	// Colors in [old colors, c] start this round untouched; their usage may
+	// hold counts from an earlier round and must be cleared.
+	for i := ws.colors; i <= c; i++ {
+		ws.usage[i] = 0
+	}
+	ws.colors = c + 1
 }
 
 // feasible reports whether color c is free on every link of the arc.
-func (s *state) feasible(c int, links []int) bool {
-	s.ensure(c)
+func (ws *Workspace) feasible(c int, links []int) bool {
+	ws.ensure(c)
+	row := ws.busy[c*ws.numLinks:]
 	for _, l := range links {
-		if s.busy[c][l] {
+		if row[l] == ws.epoch {
 			return false
 		}
 	}
 	return true
 }
 
-func (s *state) take(c int, links []int) {
-	s.ensure(c)
+func (ws *Workspace) take(c int, links []int) {
+	ws.ensure(c)
+	row := ws.busy[c*ws.numLinks:]
 	for _, l := range links {
-		s.busy[c][l] = true
+		row[l] = ws.epoch
 	}
-	s.usage[c]++
+	ws.usage[c]++
+}
+
+// demandLinks resolves the demand's arc into ws.links (reused across calls).
+func (ws *Workspace) demandLinks(a ring.Arc) ([]int, error) {
+	if a.Src == a.Dst {
+		return nil, fmt.Errorf("wdm: arc %v has zero length", a)
+	}
+	if !ws.topo.Contains(a.Src) || !ws.topo.Contains(a.Dst) {
+		return nil, fmt.Errorf("wdm: arc %v out of range for N=%d", a, ws.topo.N())
+	}
+	ws.links = ws.topo.AppendArcLinks(a, ws.links[:0])
+	return ws.links, nil
 }
 
 func arcLinks(t ring.Topology, a ring.Arc) ([]int, error) {
@@ -127,37 +192,54 @@ func arcLinks(t ring.Topology, a ring.Arc) ([]int, error) {
 	if !t.Contains(a.Src) || !t.Contains(a.Dst) {
 		return nil, fmt.Errorf("wdm: arc %v out of range for N=%d", a, t.N())
 	}
-	links := make([]int, 0, t.Hops(a))
-	t.VisitLinks(a, func(i int) { links = append(links, i) })
-	return links, nil
+	return t.AppendArcLinks(a, make([]int, 0, t.Hops(a))), nil
 }
 
 // Assign colors every demand with Width wavelengths under the given policy
 // and ordering, with no limit on the number of wavelengths. Use Rounds to
 // respect a hardware wavelength budget.
 func Assign(t ring.Topology, demands []Demand, policy Policy, order Order) (Assignment, error) {
-	idx, err := orderIndices(t, demands, order)
+	return NewWorkspace(t).Assign(demands, policy, order)
+}
+
+// Assign is the package-level Assign running on this workspace's scratch.
+func (ws *Workspace) Assign(demands []Demand, policy Policy, order Order) (Assignment, error) {
+	idx, err := ws.orderIndices(demands, order)
 	if err != nil {
 		return Assignment{}, err
 	}
-	s := newState(t)
+	ws.reset()
 	stripes := make([][]int, len(demands))
+	arena := make([]int, 0, totalWidth(demands))
 	for _, di := range idx {
 		d := demands[di]
-		links, err := arcLinks(t, d.Arc)
+		links, err := ws.demandLinks(d.Arc)
 		if err != nil {
 			return Assignment{}, err
 		}
 		if d.Width < 1 {
 			return Assignment{}, fmt.Errorf("wdm: demand %v has width %d", d.Arc, d.Width)
 		}
-		stripe, err := place(s, links, d.Width, policy, -1)
+		var stripe []int
+		arena, stripe, err = ws.place(links, d.Width, policy, -1, arena)
 		if err != nil {
 			return Assignment{}, err
 		}
 		stripes[di] = stripe
 	}
 	return Assignment{Stripes: stripes, NumColors: maxColor(stripes) + 1}, nil
+}
+
+// totalWidth sums demand widths (the stripe arena capacity; negative widths
+// are rejected later by place, so clamp them out of the sum).
+func totalWidth(demands []Demand) int {
+	n := 0
+	for _, d := range demands {
+		if d.Width > 0 {
+			n += d.Width
+		}
+	}
+	return n
 }
 
 // maxColor returns the highest color index used by any stripe, or -1.
@@ -173,37 +255,43 @@ func maxColor(stripes [][]int) int {
 	return max
 }
 
-// place finds width feasible colors for the given links under policy. If
-// limit >= 0, only colors < limit may be used; returns an error when the
-// demand cannot fit.
-func place(s *state, links []int, width int, policy Policy, limit int) ([]int, error) {
-	stripe := make([]int, 0, width)
+// place finds width feasible colors for the given links under policy,
+// appending them to arena and returning the grown arena plus the stripe (a
+// view into arena; on error the arena is returned unchanged). If limit >= 0,
+// only colors < limit may be used; errNoFit means the demand cannot fit.
+func (ws *Workspace) place(links []int, width int, policy Policy, limit int, arena []int) ([]int, []int, error) {
+	start := len(arena)
 	switch policy {
 	case FirstFit:
-		for c := 0; len(stripe) < width; c++ {
+		for c := 0; len(arena)-start < width; c++ {
 			if limit >= 0 && c >= limit {
-				return nil, errNoFit
+				// Unwind the partial stripe before reporting no-fit.
+				for _, cc := range arena[start:] {
+					ws.inStripe[cc] = false
+				}
+				return arena[:start], nil, errNoFit
 			}
-			if s.feasible(c, links) && !contains(stripe, c) {
-				stripe = append(stripe, c)
+			if ws.feasible(c, links) && !ws.inStripe[c] {
+				ws.inStripe[c] = true
+				arena = append(arena, c)
 			}
 		}
 	case BestFit:
 		// Gather all feasible colors in the allowed range plus enough fresh
 		// colors, then pick the most-used ones.
-		max := len(s.busy) + width
+		max := ws.colors + width
 		if limit >= 0 {
 			max = limit
 		}
-		type cand struct{ c, usage int }
-		var cands []cand
+		cands := ws.cands[:0]
 		for c := 0; c < max; c++ {
-			if s.feasible(c, links) {
-				cands = append(cands, cand{c, s.usage[c]})
+			if ws.feasible(c, links) {
+				cands = append(cands, bfCand{c, ws.usage[c]})
 			}
 		}
+		ws.cands = cands
 		if len(cands) < width {
-			return nil, errNoFit
+			return arena[:start], nil, errNoFit
 		}
 		sort.Slice(cands, func(i, j int) bool {
 			if cands[i].usage != cands[j].usage {
@@ -212,39 +300,33 @@ func place(s *state, links []int, width int, policy Policy, limit int) ([]int, e
 			return cands[i].c < cands[j].c
 		})
 		for i := 0; i < width; i++ {
-			stripe = append(stripe, cands[i].c)
+			arena = append(arena, cands[i].c)
 		}
-		sort.Ints(stripe)
+		sort.Ints(arena[start:])
 	default:
-		return nil, fmt.Errorf("wdm: unknown policy %v", policy)
+		return arena[:start], nil, fmt.Errorf("wdm: unknown policy %v", policy)
 	}
+	stripe := arena[start:len(arena):len(arena)]
 	for _, c := range stripe {
-		s.take(c, links)
+		ws.inStripe[c] = false // clear the membership marks for the next stripe
+		ws.take(c, links)
 	}
-	return stripe, nil
+	return arena, stripe, nil
 }
 
 var errNoFit = fmt.Errorf("wdm: demand does not fit in wavelength budget")
 
-func contains(xs []int, x int) bool {
-	for _, v := range xs {
-		if v == x {
-			return true
-		}
+func (ws *Workspace) orderIndices(demands []Demand, order Order) ([]int, error) {
+	idx := ws.idx[:0]
+	for i := range demands {
+		idx = append(idx, i)
 	}
-	return false
-}
-
-func orderIndices(t ring.Topology, demands []Demand, order Order) ([]int, error) {
-	idx := make([]int, len(demands))
-	for i := range idx {
-		idx[i] = i
-	}
+	ws.idx = idx
 	switch order {
 	case AsGiven:
 	case LongestFirst:
 		sort.SliceStable(idx, func(a, b int) bool {
-			return t.Hops(demands[idx[a]].Arc) > t.Hops(demands[idx[b]].Arc)
+			return ws.topo.Hops(demands[idx[a]].Arc) > ws.topo.Hops(demands[idx[b]].Arc)
 		})
 	default:
 		return nil, fmt.Errorf("wdm: unknown order %v", order)
@@ -265,26 +347,34 @@ type Round struct {
 // order; a demand that does not fit in the open round closes it and starts a
 // new one. A demand whose Width alone exceeds w is an error.
 func Rounds(t ring.Topology, demands []Demand, w int, policy Policy, order Order) ([]Round, error) {
+	return NewWorkspace(t).Rounds(demands, w, policy, order)
+}
+
+// Rounds is the package-level Rounds running on this workspace's scratch.
+// Result stripes are freshly allocated views (one backing array per call)
+// and stay valid across later workspace reuse.
+func (ws *Workspace) Rounds(demands []Demand, w int, policy Policy, order Order) ([]Round, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("wdm: wavelength budget %d", w)
 	}
-	idx, err := orderIndices(t, demands, order)
+	idx, err := ws.orderIndices(demands, order)
 	if err != nil {
 		return nil, err
 	}
 	var rounds []Round
-	var cur *state
+	open := false
 	var curIdx []int
 	var curStripes [][]int
+	arena := make([]int, 0, totalWidth(demands))
 	flush := func() {
-		if cur == nil {
+		if !open {
 			return
 		}
 		rounds = append(rounds, Round{
 			Demands:    curIdx,
 			Assignment: Assignment{Stripes: curStripes, NumColors: maxColor(curStripes) + 1},
 		})
-		cur, curIdx, curStripes = nil, nil, nil
+		open, curIdx, curStripes = false, nil, nil
 	}
 	for _, di := range idx {
 		d := demands[di]
@@ -294,18 +384,21 @@ func Rounds(t ring.Topology, demands []Demand, w int, policy Policy, order Order
 		if d.Width > w {
 			return nil, fmt.Errorf("wdm: demand %v width %d exceeds budget %d", d.Arc, d.Width, w)
 		}
-		links, err := arcLinks(t, d.Arc)
+		links, err := ws.demandLinks(d.Arc)
 		if err != nil {
 			return nil, err
 		}
-		if cur == nil {
-			cur = newState(t)
+		if !open {
+			ws.reset()
+			open = true
 		}
-		stripe, err := place(cur, links, d.Width, policy, w)
+		var stripe []int
+		arena, stripe, err = ws.place(links, d.Width, policy, w, arena)
 		if err == errNoFit {
 			flush()
-			cur = newState(t)
-			stripe, err = place(cur, links, d.Width, policy, w)
+			ws.reset()
+			open = true
+			arena, stripe, err = ws.place(links, d.Width, policy, w, arena)
 		}
 		if err != nil {
 			return nil, err

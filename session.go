@@ -1,0 +1,126 @@
+package wrht
+
+import (
+	"wrht/internal/collective"
+	"wrht/internal/core"
+	"wrht/internal/exp"
+	"wrht/internal/runner"
+)
+
+// session bundles the three memoization layers of the simulate fast path —
+// plan → schedule → simulation (internal/exp) — plus the fabric runtime
+// cache built on top of them. All layers are safe for concurrent use; a nil
+// *session disables caching (methods fall through to direct computation), so
+// every pricing helper takes a session and works in both modes.
+type session struct {
+	plans  *exp.PlanCache
+	scheds *exp.ScheduleCache
+	sims   *exp.SimCache
+	fabric *fabricCache
+}
+
+// newSession returns an empty session.
+func newSession() *session {
+	s := &session{
+		plans:  exp.NewPlanCache(),
+		scheds: exp.NewScheduleCache(),
+		sims:   exp.NewSimCache(),
+	}
+	s.fabric = newFabricCacheWith(s)
+	return s
+}
+
+// buildPlan is the session's planBuilder (nil session: plain core.BuildPlan).
+func (s *session) buildPlan(n, w int, opts core.Options) (*core.Plan, error) {
+	if s == nil {
+		return core.BuildPlan(n, w, opts)
+	}
+	return s.plans.Plan(n, w, opts)
+}
+
+// schedule returns the (possibly cached) schedule for key. With a session
+// the schedule is cache-owned and must never be Released; without one the
+// caller owns it.
+func (s *session) schedule(key exp.ScheduleKey, build func() (*collective.CompactSchedule, error)) (*collective.CompactSchedule, error) {
+	if s == nil {
+		return build()
+	}
+	return s.scheds.Schedule(key, build)
+}
+
+// simOptical prices the schedule on the WDM ring, memoized by
+// (schedule identity, options) when a session is present.
+func (s *session) simOptical(key exp.ScheduleKey, cs *collective.CompactSchedule, opts runner.OpticalOptions) (runner.Result, error) {
+	if s == nil {
+		return runner.RunOpticalCompact(cs, opts)
+	}
+	return s.sims.Run(exp.SimKey{Sched: key, OptOpts: opts}, func() (runner.Result, error) {
+		return runner.RunOpticalCompact(cs, opts)
+	})
+}
+
+// simElectrical prices the schedule on the electrical substrate, memoized by
+// (schedule identity, options) when a session is present. opts.Network must
+// be nil on the cached path (it is derived from the schedule).
+func (s *session) simElectrical(key exp.ScheduleKey, cs *collective.CompactSchedule, opts runner.ElectricalOptions) (runner.Result, error) {
+	if s == nil || opts.Network != nil {
+		return runner.RunElectricalCompact(cs, opts)
+	}
+	return s.sims.Run(exp.SimKey{Sched: key, Electrical: true, ElecOpts: opts}, func() (runner.Result, error) {
+		return runner.RunElectricalCompact(cs, opts)
+	})
+}
+
+// SweepSession shares the plan, schedule, and simulation caches across any
+// number of pricing calls: repeated sweeps, fabric co-simulations, and
+// one-off CommunicationTime calls all reuse each other's work, so a
+// configuration is planned, lowered, and simulated at most once per session
+// lifetime. Construction is cheap; all methods are safe for concurrent use.
+// Results are bit-identical to the session-free entry points.
+//
+// The caches have no eviction: a cached schedule at N=1024 is tens of MB,
+// so memory grows with the number of distinct (algorithm, nodes, size)
+// configurations the session has seen. Drop the session (and start a fresh
+// one) to release everything; for one-shot grids, plain RunSweep already
+// scopes the caches to the call.
+type SweepSession struct {
+	sess *session
+}
+
+// NewSweepSession returns an empty session.
+func NewSweepSession() *SweepSession {
+	return &SweepSession{sess: newSession()}
+}
+
+// RunSweep is RunSweep sharing this session's caches.
+func (ss *SweepSession) RunSweep(spec SweepSpec) (*SweepResult, error) {
+	return runSweep(spec, ss.sess)
+}
+
+// CommunicationTime is CommunicationTime sharing this session's caches.
+func (ss *SweepSession) CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
+	res, _, err := communicationTime(cfg, alg, bytes, ss.sess)
+	return res, err
+}
+
+// SimulateFabric is SimulateFabric sharing this session's caches (including
+// per-tenant runtime curves across calls and policies).
+func (ss *SweepSession) SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy) (FabricResult, error) {
+	return simulateFabric(cfg, jobs, policy, ss.sess.fabric)
+}
+
+// CacheStats reports the session's cumulative cache effectiveness per layer.
+type CacheStats struct {
+	PlanHits, PlanBuilds           int64
+	ScheduleHits, ScheduleBuilds   int64
+	SimulationHits, SimulationRuns int64
+}
+
+// Stats returns the session's cumulative cache counters.
+func (ss *SweepSession) Stats() CacheStats {
+	var st CacheStats
+	st.PlanHits, st.PlanBuilds = ss.sess.plans.Stats()
+	st.ScheduleHits, st.ScheduleBuilds = ss.sess.scheds.Stats()
+	st.SimulationHits, st.SimulationRuns = ss.sess.sims.Stats()
+	return st
+}

@@ -108,13 +108,22 @@ type SweepCell struct {
 }
 
 // SweepResult is the outcome of RunSweep: cells in deterministic grid order
-// plus the shared plan cache's counters.
+// plus the shared caches' counters.
 type SweepResult struct {
 	Cells []SweepCell
 	// PlanBuilds is the number of distinct Wrht plans built; PlanHits the
 	// number of plan requests served from the shared cache. Both are
-	// independent of Parallelism.
+	// independent of Parallelism, as are the schedule and simulation
+	// counters below.
 	PlanBuilds, PlanHits int64
+	// SchedBuilds/SchedHits count distinct lowered schedules vs cache-served
+	// schedule requests (E-Ring and O-Ring points share one ring schedule;
+	// the optimizer's plan and the same explicit group size share one Wrht
+	// schedule).
+	SchedBuilds, SchedHits int64
+	// SimRuns/SimHits count distinct substrate simulations vs cache-served
+	// results — each distinct configuration simulates exactly once per sweep.
+	SimRuns, SimHits int64
 	// Failed counts cells with a non-nil Err.
 	Failed int
 }
@@ -154,28 +163,34 @@ const (
 // completion order. Per-point failures are captured in their cells; RunSweep
 // itself only fails on a malformed spec.
 func RunSweep(spec SweepSpec) (*SweepResult, error) {
+	return runSweep(spec, newSession())
+}
+
+// runSweep is RunSweep on an explicit session (SweepSession reuses one
+// across calls, making the caches cross-run).
+func runSweep(spec SweepSpec, sess *session) (*SweepResult, error) {
 	mode, err := spec.mode()
 	if err != nil {
 		return nil, err
 	}
 	spec = spec.normalized(mode)
 	pts := spec.grid(mode).Points()
-	cache := exp.NewPlanCache()
-	fcache := newFabricCacheWith(cache.Plan)
 	cells, _ := exp.Run(len(pts), spec.Parallelism, func(i int) (SweepCell, error) {
 		var cell SweepCell
 		switch mode {
 		case sweepFabric:
-			cell = spec.priceFabric(pts[i], fcache)
+			cell = spec.priceFabric(pts[i], sess.fabric)
 		case sweepMultiRack:
-			cell = spec.priceMultiRack(pts[i], cache.Plan)
+			cell = spec.priceMultiRack(pts[i], sess.buildPlan)
 		default:
-			cell = spec.priceComm(pts[i], cache.Plan)
+			cell = spec.priceComm(pts[i], sess)
 		}
 		return cell, cell.Err
 	})
 	res := &SweepResult{Cells: cells}
-	res.PlanHits, res.PlanBuilds = cache.Stats()
+	res.PlanHits, res.PlanBuilds = sess.plans.Stats()
+	res.SchedHits, res.SchedBuilds = sess.scheds.Stats()
+	res.SimHits, res.SimRuns = sess.sims.Stats()
 	for i := range cells {
 		if cells[i].Err != nil {
 			res.Failed++
@@ -337,7 +352,7 @@ func (spec SweepSpec) pointBytes(cfg Config, pt exp.Point) (int64, error) {
 }
 
 // priceComm evaluates one communication-mode point.
-func (spec SweepSpec) priceComm(pt exp.Point, build planBuilder) SweepCell {
+func (spec SweepSpec) priceComm(pt exp.Point, sess *session) SweepCell {
 	cfg := spec.pointConfig(pt)
 	cell := SweepCell{
 		Index:          pt.Index,
@@ -355,7 +370,7 @@ func (spec SweepSpec) priceComm(pt exp.Point, build planBuilder) SweepCell {
 		return cell
 	}
 	cell.Bytes = bytes
-	r, _, err := communicationTime(cfg, cell.Algorithm, bytes, build)
+	r, _, err := communicationTime(cfg, cell.Algorithm, bytes, sess)
 	if err != nil {
 		cell.Err = err
 		return cell

@@ -237,3 +237,30 @@ func TestRunSweepCapturesBadModel(t *testing.T) {
 		t.Fatal("Err() nil with a failed cell")
 	}
 }
+
+// TestRunSweepScheduleAndSimCaches: the schedule layer dedupes across
+// algorithms that lower identically (E-Ring and O-Ring share the ring
+// schedule), and the simulation layer runs each distinct configuration
+// exactly once however often the grid revisits it.
+func TestRunSweepScheduleAndSimCaches(t *testing.T) {
+	res, err := RunSweep(SweepSpec{
+		Nodes:      []int{16},
+		Models:     []string{"AlexNet"},
+		Algorithms: []Algorithm{AlgERing, AlgORing, AlgORingStriped},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// Three points, one underlying ring schedule: 1 build, 2 hits.
+	if res.SchedBuilds != 1 || res.SchedHits != 2 {
+		t.Fatalf("schedule cache counters (%d builds, %d hits), want (1, 2)",
+			res.SchedBuilds, res.SchedHits)
+	}
+	// Three distinct substrate configurations: all simulate, none repeat.
+	if res.SimRuns != 3 || res.SimHits != 0 {
+		t.Fatalf("sim cache counters (%d runs, %d hits), want (3, 0)", res.SimRuns, res.SimHits)
+	}
+}

@@ -31,6 +31,17 @@
 //		Models: []string{"AlexNet", "VGG16"},
 //	})
 //
+// Pricing runs on a zero-allocation fast path — columnar schedules, pooled
+// simulator state, and three memoization layers (plan → schedule →
+// simulation; DESIGN.md §7). A SweepSession keeps those caches warm across
+// calls, so repeated sweeps and fabric co-simulations never recompute a
+// configuration:
+//
+//	sess := wrht.NewSweepSession()
+//	r1, _ := sess.RunSweep(spec)        // cold
+//	r2, _ := sess.RunSweep(spec)        // served from the session caches
+//	fmt.Println(sess.Stats())
+//
 // Other surfaces: MultiRackTime (hierarchical rings), TrainingIteration
 // (DDP overlap), ScheduleOutline (per-step inspection), EnergyReport.
 // Runnable programs live in examples/ (quickstart, multi_tenant,
@@ -45,6 +56,7 @@ import (
 	"wrht/internal/core"
 	"wrht/internal/dnn"
 	"wrht/internal/electrical"
+	"wrht/internal/exp"
 	"wrht/internal/model"
 	"wrht/internal/optical"
 	"wrht/internal/runner"
@@ -222,7 +234,88 @@ func pipelineChunks(cfg Config) int {
 	return cfg.PipelineChunks
 }
 
-// buildSchedule constructs the schedule (and optional Wrht plan) for alg.
+// schedName maps an algorithm to its schedule constructor's identity for
+// the cross-run schedule cache: E-Ring, O-Ring, and striped O-Ring all
+// lower to the same ring schedule, RD/HD/Binomial to theirs; the Wrht
+// variants are identified by their plan signature instead ("").
+func schedName(alg Algorithm) string {
+	switch alg {
+	case AlgERing, AlgORing, AlgORingStriped:
+		return "ring"
+	case AlgRD:
+		return "rd"
+	case AlgHD:
+		return "hd"
+	case AlgBinomial:
+		return "binomial"
+	default:
+		return ""
+	}
+}
+
+// buildCompactSchedule constructs the columnar schedule (and optional Wrht
+// plan) for alg, together with the schedule's cache identity. With a session
+// the schedule is cache-owned; without one the caller owns it.
+func buildCompactSchedule(cfg Config, alg Algorithm, elems int, sess *session) (*collective.CompactSchedule, *core.Plan, exp.ScheduleKey, error) {
+	key := exp.ScheduleKey{Algorithm: schedName(alg), N: cfg.Nodes, Elems: elems}
+	var build func() (*collective.CompactSchedule, error)
+	var plan *core.Plan
+	switch alg {
+	case AlgERing, AlgORing, AlgORingStriped:
+		build = func() (*collective.CompactSchedule, error) {
+			return collective.RingAllReduceCompact(cfg.Nodes, elems)
+		}
+	case AlgRD:
+		build = func() (*collective.CompactSchedule, error) {
+			return compactOf(collective.RecursiveDoubling(cfg.Nodes, elems))
+		}
+	case AlgHD:
+		build = func() (*collective.CompactSchedule, error) {
+			return compactOf(collective.HalvingDoubling(cfg.Nodes, elems))
+		}
+	case AlgBinomial:
+		build = func() (*collective.CompactSchedule, error) {
+			return compactOf(collective.BinomialTree(cfg.Nodes, elems))
+		}
+	case AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined:
+		var err error
+		plan, err = sess.buildPlan(cfg.Nodes, cfg.Optical.Wavelengths, wrhtOptions(cfg, alg))
+		if err != nil {
+			return nil, nil, key, err
+		}
+		key.Sig = plan.Sig()
+		if alg == AlgWrhtPipelined {
+			key.Chunks = pipelineChunks(cfg)
+			build = func() (*collective.CompactSchedule, error) {
+				return compactOf(plan.PipelinedSchedule(elems, pipelineChunks(cfg)))
+			}
+		} else {
+			build = func() (*collective.CompactSchedule, error) {
+				return plan.CompactSchedule(elems)
+			}
+		}
+	default:
+		return nil, nil, key, fmt.Errorf("wrht: unknown algorithm %q", alg)
+	}
+	cs, err := sess.schedule(key, build)
+	if err != nil {
+		return nil, nil, key, err
+	}
+	return cs, plan, key, nil
+}
+
+// compactOf converts a boxed schedule construction result to columnar form.
+func compactOf(s *collective.Schedule, err error) (*collective.CompactSchedule, error) {
+	if err != nil {
+		return nil, err
+	}
+	return s.Compact(), nil
+}
+
+// buildSchedule constructs the boxed schedule (and optional Wrht plan) for
+// alg — the historical path, kept for schedule inspection and verification
+// surfaces (ScheduleOutline, VerifyAlgorithm) and as the old-path reference
+// the golden equality tests compare the compact fast path against.
 func buildSchedule(cfg Config, alg Algorithm, elems int, build planBuilder) (*collective.Schedule, *core.Plan, error) {
 	switch alg {
 	case AlgERing, AlgORing, AlgORingStriped:
@@ -265,15 +358,20 @@ func isElectrical(alg Algorithm) bool {
 
 // CommunicationTime simulates one all-reduce of `bytes` bytes under alg.
 func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
-	res, _, err := communicationTime(cfg, alg, bytes, core.BuildPlan)
+	res, cs, err := communicationTime(cfg, alg, bytes, nil)
+	if cs != nil {
+		cs.Release() // session-free: the transient schedule is ours to recycle
+	}
 	return res, err
 }
 
-// communicationTime is CommunicationTime with an injectable plan builder
-// (RunSweep shares one memoized cache across its workers). It also returns
-// the simulated schedule so callers like EnergyEstimate can account per-step
-// costs without building the schedule a second time.
-func communicationTime(cfg Config, alg Algorithm, bytes int64, build planBuilder) (Result, *collective.Schedule, error) {
+// communicationTime is CommunicationTime on the compact fast path, with the
+// session supplying the plan/schedule/simulation caches (nil = uncached).
+// It also returns the simulated columnar schedule so callers like
+// EnergyEstimate can account per-step costs without building the schedule a
+// second time; the schedule is cache-owned when a session is present and
+// caller-owned (releasable) otherwise.
+func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (Result, *collective.CompactSchedule, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, nil, err
 	}
@@ -281,15 +379,15 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, build planBuilder
 		return Result{}, nil, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
 	}
 	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	s, plan, err := buildSchedule(cfg, alg, elems, build)
+	cs, plan, key, err := buildCompactSchedule(cfg, alg, elems, sess)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	out := Result{Algorithm: alg, Steps: s.NumSteps()}
+	out := Result{Algorithm: alg, Steps: cs.NumSteps()}
 	simBytes := int64(elems) * int64(cfg.BytesPerElem)
 
 	if isElectrical(alg) {
-		res, err := runner.RunElectrical(s, runner.ElectricalOptions{
+		res, err := sess.simElectrical(key, cs, runner.ElectricalOptions{
 			Params:       cfg.Electrical,
 			BytesPerElem: cfg.BytesPerElem,
 		})
@@ -308,7 +406,7 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, build planBuilder
 		case AlgBinomial:
 			out.PredictedSeconds = model.Binomial(cfg.Nodes, simBytes, cfg.Electrical)
 		}
-		return out, s, nil
+		return out, cs, nil
 	}
 
 	opts := runner.DefaultOpticalOptions()
@@ -318,7 +416,7 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, build planBuilder
 	if alg == AlgORingStriped {
 		opts.DefaultWidth = cfg.Optical.Wavelengths
 	}
-	res, err := runner.RunOptical(s, opts)
+	res, err := sess.simOptical(key, cs, opts)
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -336,14 +434,17 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, build planBuilder
 		out.PredictedSeconds = model.WrhtPipelined(plan, simBytes, cfg.Optical, pipelineChunks(cfg))
 	}
 
-	return out, s, nil
+	return out, cs, nil
 }
 
-// Compare prices several algorithms on the same buffer.
+// Compare prices several algorithms on the same buffer, sharing one session
+// so algorithms that lower to the same schedule (E-Ring and O-Ring both ride
+// the ring schedule) build it once.
 func Compare(cfg Config, algs []Algorithm, bytes int64) ([]Result, error) {
+	sess := newSession()
 	out := make([]Result, 0, len(algs))
 	for _, a := range algs {
-		r, err := CommunicationTime(cfg, a, bytes)
+		r, _, err := communicationTime(cfg, a, bytes, sess)
 		if err != nil {
 			return nil, fmt.Errorf("wrht: %s: %w", a, err)
 		}
