@@ -330,25 +330,29 @@ func BenchmarkTrainingIteration(b *testing.B) {
 
 // BenchmarkSimulatorThroughput measures the simulators themselves (ns/op
 // and allocs/op are the honest metrics here): a full Figure-2 cell at the
-// largest scale, or — in short mode, so CI's allocation-regression gate can
-// run it on every push — at N=128. Sub-benchmark names carry the scale so
-// cmd/bench's committed ceilings compare like with like.
+// paper's largest scale plus the classed-pricing scale N=16384 — routine
+// since symmetry-aware pricing dropped the hot path from O(N²) to ~O(N) —
+// or, in short mode so CI's regression gates can run it on every push, at
+// N=128. Sub-benchmark names carry the scale so cmd/bench's committed
+// ceilings and time baselines compare like with like.
 func BenchmarkSimulatorThroughput(b *testing.B) {
-	n := 1024
+	scales := []int{1024, 16384}
 	if testing.Short() {
-		n = 128
+		scales = []int{128}
 	}
 	m := wrht.MustModel("GoogLeNet")
-	cfg := wrht.DefaultConfig(n)
-	for _, alg := range wrht.PaperAlgorithms() {
-		b.Run(fmt.Sprintf("%s/N%d", alg, n), func(b *testing.B) {
-			b.ReportAllocs()
-			for i := 0; i < b.N; i++ {
-				if _, err := wrht.CommunicationTime(cfg, alg, m.Bytes); err != nil {
-					b.Fatal(err)
+	for _, n := range scales {
+		cfg := wrht.DefaultConfig(n)
+		for _, alg := range wrht.PaperAlgorithms() {
+			b.Run(fmt.Sprintf("%s/N%d", alg, n), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := wrht.CommunicationTime(cfg, alg, m.Bytes); err != nil {
+						b.Fatal(err)
+					}
 				}
-			}
-		})
+			})
+		}
 	}
 }
 
@@ -378,8 +382,10 @@ func BenchmarkOpticalsimThroughput(b *testing.B) {
 }
 
 // BenchmarkFabricCoSim measures the multi-tenant fabric co-simulation: a
-// three-policy comparison over a mixed job set, the path that exercises the
-// plan, schedule, and simulation caches together.
+// three-policy comparison over a mixed job set on a shared SweepSession, the
+// path that exercises the plan, schedule, and simulation caches together —
+// per-job pricing runs through the session's SimCache, so steady-state
+// iterations re-simulate nothing and allocs/op measures the co-sim itself.
 func BenchmarkFabricCoSim(b *testing.B) {
 	n := 64
 	if testing.Short() {
@@ -391,10 +397,11 @@ func BenchmarkFabricCoSim(b *testing.B) {
 		{Name: "train", Model: "VGG16", ArrivalSec: 1e-3},
 		{Name: "batch", Bytes: 8 << 20, Algorithm: wrht.AlgORing},
 	}
+	sess := wrht.NewSweepSession()
 	b.Run(fmt.Sprintf("3policies/N%d", n), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := wrht.CompareFabricPolicies(cfg, jobs, wrht.FabricPolicies()); err != nil {
+			if _, err := sess.CompareFabricPolicies(cfg, jobs, wrht.FabricPolicies()); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,19 +1,30 @@
 // Command bench runs the repository's headline performance benchmarks with
-// -benchmem and emits a machine-readable report (BENCH_PR3.json by default):
+// -benchmem and emits a machine-readable report (BENCH_PR4.json by default):
 // ns/op, B/op, allocs/op, and every custom metric for the sweep engine, the
 // simulator throughput path, the message-level optical simulator, and the
 // multi-tenant fabric co-simulation.
 //
-// It is also the allocation-regression gate: committed per-benchmark
-// allocs/op ceilings (cmd/bench/ceilings.json) are checked against the fresh
-// numbers, and any benchmark above its ceiling fails the run. CI invokes it
-// in -short mode on every push:
+// It is two regression gates in one:
+//
+//   - allocation gate: committed per-benchmark allocs/op ceilings
+//     (cmd/bench/ceilings.json) are checked against the fresh numbers, and
+//     any benchmark above its ceiling fails the run;
+//   - time gate: the fresh ns/op numbers are compared against the previous
+//     committed BENCH_*.json (auto-discovered, or -prev), and any headline
+//     benchmark more than 25% slower fails the run. Only entries recorded
+//     at the same scales (matching name and -short mode) are compared —
+//     cross-scale ns/op comparisons would be noise, so a -short CI run
+//     checks allocations strictly and reports when no comparable time
+//     baseline exists.
+//
+// CI invokes it in -short mode on every push:
 //
 //	go run ./cmd/bench -short -benchtime 1x
 //
-// Regenerate the committed full-scale report with:
+// Regenerate the committed full-scale report (and run the full-scale time
+// gate against the previous report) with:
 //
-//	go run ./cmd/bench -out BENCH_PR3.json
+//	go run ./cmd/bench -out BENCH_PR4.json
 package main
 
 import (
@@ -22,7 +33,9 @@ import (
 	"fmt"
 	"os"
 	"os/exec"
+	"path/filepath"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -52,8 +65,9 @@ func main() {
 	short := flag.Bool("short", false, "run benchmarks in -short mode (CI smoke scales)")
 	benchtime := flag.String("benchtime", "2x", "benchtime passed to go test")
 	bench := flag.String("bench", headline, "benchmark regex")
-	out := flag.String("out", "BENCH_PR3.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR4.json", "output JSON path")
 	ceilingsPath := flag.String("ceilings", "cmd/bench/ceilings.json", "allocs/op ceilings (empty disables the gate)")
+	prev := flag.String("prev", "auto", "previous BENCH_*.json to gate ns/op against (auto = newest committed report other than -out; empty disables)")
 	flag.Parse()
 
 	args := []string{"test", "-run", "^$", "-bench", *bench, "-benchmem", "-benchtime", *benchtime}
@@ -93,6 +107,93 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	if *prev != "" {
+		if err := checkTimes(*prev, *out, report); err != nil {
+			fatalf("%v", err)
+		}
+	}
+}
+
+// maxTimeRegression is the time gate's threshold: a headline benchmark more
+// than 25% slower than the previous committed report fails the run.
+const maxTimeRegression = 1.25
+
+// findPrevReport resolves -prev auto-discovery: the newest committed
+// BENCH_PR*.json (highest PR number) that is not the output path.
+func findPrevReport(out string) string {
+	matches, _ := filepath.Glob("BENCH_PR*.json")
+	type cand struct {
+		path string
+		n    int
+	}
+	var cands []cand
+	re := regexp.MustCompile(`^BENCH_PR(\d+)\.json$`)
+	outAbs, _ := filepath.Abs(out)
+	for _, m := range matches {
+		mm := re.FindStringSubmatch(filepath.Base(m))
+		if mm == nil {
+			continue
+		}
+		if abs, _ := filepath.Abs(m); abs == outAbs {
+			continue
+		}
+		n, _ := strconv.Atoi(mm[1])
+		cands = append(cands, cand{m, n})
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	sort.Slice(cands, func(i, j int) bool { return cands[i].n > cands[j].n })
+	return cands[0].path
+}
+
+// checkTimes fails when any fresh headline result is more than 25% slower
+// (ns/op) than the same-named entry of the previous report. Entries are only
+// comparable when both runs used the same -short mode (benchmark names carry
+// the scale, so a mode mismatch simply yields no comparable entries).
+func checkTimes(prev, out string, fresh Report) error {
+	if prev == "auto" {
+		prev = findPrevReport(out)
+		if prev == "" {
+			fmt.Fprintln(os.Stderr, "bench: time gate: no previous BENCH_PR*.json found, skipping")
+			return nil
+		}
+	}
+	data, err := os.ReadFile(prev)
+	if err != nil {
+		return fmt.Errorf("read previous report %s: %w", prev, err)
+	}
+	var base Report
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("parse previous report %s: %w", prev, err)
+	}
+	if base.Short != fresh.Short {
+		fmt.Fprintf(os.Stderr, "bench: time gate: %s was recorded with short=%v, this run is short=%v; no comparable entries\n",
+			prev, base.Short, fresh.Short)
+		return nil
+	}
+	baseline := map[string]float64{}
+	for _, r := range base.Results {
+		baseline[r.Name] = r.NsPerOp
+	}
+	compared := 0
+	for _, r := range fresh.Results {
+		was, ok := baseline[r.Name]
+		if !ok || was <= 0 {
+			continue
+		}
+		compared++
+		ratio := r.NsPerOp / was
+		if ratio > maxTimeRegression {
+			return fmt.Errorf("time regression: %s at %.0f ns/op is %.2fx the previous %.0f ns/op in %s (threshold %.2fx)",
+				r.Name, r.NsPerOp, ratio, was, prev, maxTimeRegression)
+		}
+		fmt.Fprintf(os.Stderr, "bench: time gate: %s %.2fx vs %s\n", r.Name, ratio, prev)
+	}
+	if compared == 0 {
+		fmt.Fprintf(os.Stderr, "bench: time gate: no entries of %s match this run\n", prev)
+	}
+	return nil
 }
 
 // gomaxprocsSuffix strips the trailing "-8"-style processor-count suffix go

@@ -11,6 +11,7 @@
 //	sweep -kind m -nodes 1024
 //	sweep -kind wavelengths -nodes 1024 -model VGG16
 //	sweep -kind size -nodes 1024
+//	sweep -kind scaling -model GoogLeNet
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		kind      = flag.String("kind", "m", "sweep kind: m | wavelengths | size")
+		kind      = flag.String("kind", "m", "sweep kind: m | wavelengths | size | scaling")
 		nodes     = flag.Int("nodes", 1024, "number of workers")
 		modelName = flag.String("model", "VGG16", "catalog model")
 		parallel  = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
@@ -46,6 +47,11 @@ func main() {
 		must(err)
 		fmt.Print(tb.String())
 		fmt.Println("(the paper's O-Ring baseline is unstriped; this ablation bounds any ring schedule)")
+	case "scaling":
+		tb, err := report.ScalingSweep(*modelName, *parallel)
+		must(err)
+		fmt.Print(tb.String())
+		fmt.Println("(N up to 65536 prices through the exact simulate paths; symmetry-aware classed pricing makes each point ~O(N))")
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
 		os.Exit(1)

@@ -72,7 +72,7 @@ func EventLevelTime(cfg Config, alg Algorithm, bytes int64, async bool) (Result,
 		return Result{}, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
 	}
 	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	cs, _, _, err := buildCompactSchedule(cfg, alg, elems, nil)
+	cs, _, err := buildCompactSchedule(cfg, alg, elems)
 	if err != nil {
 		return Result{}, err
 	}

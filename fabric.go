@@ -274,8 +274,12 @@ type fabricCache struct {
 	sess    *session
 }
 
+// fabricCacheKey embeds the full Config: runtimes depend on every substrate
+// parameter (optical rates, overheads, BytesPerElem, …), and the cache now
+// outlives a single call via SweepSession.CompareFabricPolicies, so
+// under-keying would serve one configuration's runtimes to another.
 type fabricCacheKey struct {
-	nodes int
+	cfg   Config
 	alg   Algorithm
 	bytes int64
 	width int
@@ -298,7 +302,7 @@ func newFabricCacheWith(sess *session) *fabricCache {
 // single-ring simulation path, memoized by (nodes, alg, bytes, w).
 func (fc *fabricCache) runtime(cfg Config, alg Algorithm, bytes int64) func(int) (float64, error) {
 	return func(w int) (float64, error) {
-		key := fabricCacheKey{cfg.Nodes, alg, bytes, w}
+		key := fabricCacheKey{cfg, alg, bytes, w}
 		fc.mu.Lock()
 		e, ok := fc.entries[key]
 		if !ok {
@@ -325,9 +329,13 @@ func (fc *fabricCache) runtime(cfg Config, alg Algorithm, bytes int64) func(int)
 }
 
 // CompareFabricPolicies runs the same job mix under every policy, sharing
-// one runtime cache across the sweep.
+// one runtime cache across the sweep. Use SweepSession.CompareFabricPolicies
+// to additionally share the caches across calls.
 func CompareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy) ([]FabricResult, error) {
-	cache := newSession().fabric
+	return compareFabricPolicies(cfg, jobs, policies, newSession().fabric)
+}
+
+func compareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy, cache *fabricCache) ([]FabricResult, error) {
 	out := make([]FabricResult, 0, len(policies))
 	for _, p := range policies {
 		r, err := simulateFabric(cfg, jobs, p, cache)

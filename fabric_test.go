@@ -207,3 +207,35 @@ func TestFabricValidation(t *testing.T) {
 		t.Fatal("invalid config accepted")
 	}
 }
+
+// TestSessionFabricDistinguishesConfigs: the session-scoped fabric runtime
+// cache keys on the full Config, so co-simulating two different substrate
+// configurations on one SweepSession never serves one configuration's
+// runtimes to the other (regression: the key once held only the node count).
+func TestSessionFabricDistinguishesConfigs(t *testing.T) {
+	jobs := []JobSpec{
+		{Name: "a", Bytes: 4 << 20},
+		{Name: "b", Bytes: 2 << 20, ArrivalSec: 1e-4},
+	}
+	policies := []FabricPolicy{{Kind: FabricFirstFit}}
+	cfgA := DefaultConfig(16)
+	cfgB := DefaultConfig(16)
+	cfgB.Optical.GbpsPerWavelength /= 4
+
+	sess := NewSweepSession()
+	if _, err := sess.CompareFabricPolicies(cfgA, jobs, policies); err != nil {
+		t.Fatal(err)
+	}
+	warm, err := sess.CompareFabricPolicies(cfgB, jobs, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := CompareFabricPolicies(cfgB, jobs, policies)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm[0].MakespanSec != fresh[0].MakespanSec {
+		t.Fatalf("session served stale runtimes across configs: warm %v, fresh %v",
+			warm[0].MakespanSec, fresh[0].MakespanSec)
+	}
+}

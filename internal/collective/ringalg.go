@@ -102,6 +102,39 @@ func RingAllReduceCompact(n, elems int) (*CompactSchedule, error) {
 	return b.Finish(), nil
 }
 
+// RingAllReduceClassed is RingAllReduce emitted directly in the
+// symmetry-aware classed form, without materializing per-node transfers:
+// every step is one orbit transfer (node 0 → node 1, CW) replicated N times
+// at stride 1, with the chunk regions supplied as a rotation of the shared
+// chunk ring. Build cost is O(N) for the whole schedule instead of O(N²);
+// equality with RingAllReduce is enforced by property tests.
+func RingAllReduceClassed(n, elems int) (*ClassSchedule, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("collective: ring all-reduce needs n >= 2, got %d", n)
+	}
+	if elems < 0 {
+		return nil, fmt.Errorf("collective: negative elems %d", elems)
+	}
+	b := NewClassScheduleBuilder("ring", n, elems)
+	b.SetLenRing(tensor.Chunks(elems, n))
+	orbit := Transfer{Src: 0, Dst: 1, Op: OpReduce, Routed: true, Dir: ring.CW}
+
+	// Reduce-scatter: transfer i of step t moves chunk (i-t) mod n, i.e. the
+	// chunk ring rotated by -t.
+	for t := 0; t < n-1; t++ {
+		b.StartSymRotated(fmt.Sprintf("reduce-scatter %d/%d", t+1, n-1), 1, n, ((-t)%n+n)%n)
+		b.AddOrbit(orbit)
+	}
+
+	// All-gather: transfer i of step t moves chunk (i+1-t) mod n.
+	orbit.Op = OpCopy
+	for t := 0; t < n-1; t++ {
+		b.StartSymRotated(fmt.Sprintf("all-gather %d/%d", t+1, n-1), 1, n, ((1-t)%n+n)%n)
+		b.AddOrbit(orbit)
+	}
+	return b.Finish(), nil
+}
+
 // AllToAllAllReduce builds the one-step (plus local reduction) all-reduce in
 // which every node sends its full buffer to every other node. It is only
 // practical for small n but is the primitive Wrht uses among the final

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"wrht/internal/collective"
+	"wrht/internal/ring"
 	"wrht/internal/tensor"
 	"wrht/internal/wdm"
 )
@@ -84,6 +85,112 @@ func (p *Plan) CompactSchedule(elems int) (*collective.CompactSchedule, error) {
 		}
 	}
 	return b.Finish(), nil
+}
+
+// ClassSchedule lowers the plan directly to the symmetry-aware classed IR.
+// A reduce/broadcast level whose groups are uniform — equal sizes, members
+// and representative translated by a fixed stride — becomes one orbit step
+// (group 0's transfers, replicated #groups times at the stride); ragged
+// levels and the all-to-all step are materialized. Steps, labels, and
+// transfer order (under ClassSchedule.ForEachTransfer) are identical to
+// CompactSchedule, and classed pricing of the result is bit-identical to
+// the compact path — tests enforce both.
+func (p *Plan) ClassSchedule(elems int) (*collective.ClassSchedule, error) {
+	if elems < 0 {
+		return nil, fmt.Errorf("core: negative elems %d", elems)
+	}
+	b := collective.NewClassScheduleBuilder(fmt.Sprintf("wrht(m=%d,%v)", p.M, p.Policy), p.N, elems)
+	full := tensor.Region{Offset: 0, Len: elems}
+
+	reduceLevel := func(li int, broadcast bool) {
+		lvl := p.ReduceLevels[li]
+		label := fmt.Sprintf("reduce level %d", li+1)
+		if broadcast {
+			label = fmt.Sprintf("broadcast level %d", li+1)
+		}
+		if period, ok := uniformLevel(lvl.Groups); ok {
+			b.StartSymUniform(label, period, len(lvl.Groups), full)
+			emitGroup(b.AddOrbit, lvl.Groups[0], full, p.TreeStripe, broadcast)
+			return
+		}
+		b.StartStep(label)
+		for _, g := range lvl.Groups {
+			emitGroup(b.Add, g, full, p.TreeStripe, broadcast)
+		}
+	}
+
+	for li := range p.ReduceLevels {
+		reduceLevel(li, false)
+	}
+	if p.A2AReps != nil {
+		b.StartStep(fmt.Sprintf("all-to-all among %d reps", len(p.A2AReps)))
+		for _, d := range p.a2aDemands() {
+			b.Add(collective.Transfer{
+				Src: d.Arc.Src, Dst: d.Arc.Dst,
+				Region: full,
+				Op:     collective.OpReduce,
+				Routed: true,
+				Dir:    d.Arc.Dir,
+				Width:  p.A2AStripe,
+			})
+		}
+	}
+	for li := len(p.ReduceLevels) - 1; li >= 0; li-- {
+		reduceLevel(li, true)
+	}
+	return b.Finish(), nil
+}
+
+// emitGroup appends one group's member↔representative transfers (reduce
+// direction, or its broadcast mirror) through add.
+func emitGroup(add func(collective.Transfer), g ring.Group, full tensor.Region, stripe int, broadcast bool) {
+	for _, mem := range g.Members {
+		if mem == g.Rep {
+			continue
+		}
+		tr := collective.Transfer{
+			Src: mem, Dst: g.Rep,
+			Region: full,
+			Op:     collective.OpReduce,
+			Routed: true,
+			Dir:    dirToward(mem, g.Rep),
+			Width:  stripe,
+		}
+		if broadcast {
+			tr.Src, tr.Dst = g.Rep, mem
+			tr.Op = collective.OpCopy
+			tr.Dir = tr.Dir.Opposite()
+		}
+		add(tr)
+	}
+}
+
+// uniformLevel reports whether every group is group 0 translated by a fixed
+// stride (the provably-symmetric level shape) and returns that stride.
+func uniformLevel(groups []ring.Group) (int, bool) {
+	if len(groups) < 2 {
+		return 0, false
+	}
+	g0 := groups[0]
+	period := groups[1].Members[0] - g0.Members[0]
+	if period < 1 {
+		return 0, false
+	}
+	for k, g := range groups {
+		if len(g.Members) != len(g0.Members) {
+			return 0, false
+		}
+		shift := k * period
+		if g.Rep != g0.Rep+shift {
+			return 0, false
+		}
+		for i, mem := range g.Members {
+			if mem != g0.Members[i]+shift {
+				return 0, false
+			}
+		}
+	}
+	return period, true
 }
 
 // Schedule lowers the plan to the collective IR over a buffer of elems

@@ -1,0 +1,63 @@
+package electrical
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// TestClassSolverMatchesStepCost: on permutation steps (every host sends ≤1
+// flow and receives ≤1) of a non-blocking cluster, pricing one representative
+// flow per byte-size class is bit-identical to pricing all flows.
+func TestClassSolverMatchesStepCost(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := DefaultParams()
+	cs, err := NewClassSolver(p.LinkGbps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(60)
+		nw, err := NewSwitchedCluster(n, p.LinkGbps)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A random partial permutation with a few distinct flow sizes.
+		perm := rng.Perm(n)
+		sizes := make([]float64, 1+rng.Intn(4))
+		for i := range sizes {
+			sizes[i] = float64(1+rng.Intn(1<<20)) * 8
+		}
+		var flows []Flow
+		counts := map[float64]int{}
+		for i := 0; i < n; i++ {
+			if perm[i] == i || rng.Intn(3) == 0 {
+				continue
+			}
+			b := sizes[rng.Intn(len(sizes))]
+			flows = append(flows, Flow{Src: i, Dst: perm[i], Bits: b})
+			counts[b]++
+		}
+		want, err := nw.StepCost(p, flows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := make([]float64, 0, len(counts))
+		for b := range counts {
+			bits = append(bits, b)
+		}
+		sort.Float64s(bits)
+		got, err := cs.StepCost(p, bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d (n=%d, %d flows, %d classes): class solve %v != full solve %v",
+				trial, n, len(flows), len(bits), got, want)
+		}
+	}
+	// Empty steps price to the fixed latency, like the full path.
+	if got, err := cs.StepCost(p, nil); err != nil || got != p.PerStepLatencySec {
+		t.Fatalf("empty step: %v, %v", got, err)
+	}
+}

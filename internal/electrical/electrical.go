@@ -263,6 +263,62 @@ func (s *Solver) grow(n int) {
 	s.count = s.count[:links]
 }
 
+// ClassSolver prices permutation steps — each host sends at most one flow
+// and receives at most one — on a non-blocking switched cluster from their
+// flow equivalence classes. In such a step every flow has a dedicated uplink
+// and downlink, so all flows of a class share one rate trajectory and the
+// fluid model only distinguishes classes: one representative flow per class
+// on a small internal cluster reproduces the exact progressive-filling
+// arithmetic of the full N-flow solve (the event loop's minima and updates
+// range over the same value multiset), making the result bit-identical to
+// Solver.StepCost on the materialized flows at O(classes) instead of
+// O(flows) per step. Not safe for concurrent use.
+type ClassSolver struct {
+	linkGbps float64
+	nw       *Network
+	s        *Solver
+	flows    []Flow
+}
+
+// NewClassSolver returns a solver whose internal cluster links run at
+// linkGbps — it must match the link rate of the network the full step would
+// have been priced on.
+func NewClassSolver(linkGbps float64) (*ClassSolver, error) {
+	if linkGbps <= 0 {
+		return nil, fmt.Errorf("electrical: link rate %v", linkGbps)
+	}
+	return &ClassSolver{linkGbps: linkGbps}, nil
+}
+
+// StepCost prices one permutation step given each active class's bit count
+// (one entry per class with a positive byte count; zero-bit classes must be
+// filtered by the caller, mirroring the full path's filter).
+func (c *ClassSolver) StepCost(p Params, bits []float64) (float64, error) {
+	if len(bits) == 0 {
+		if err := p.Validate(); err != nil {
+			return 0, err
+		}
+		return p.PerStepLatencySec, nil
+	}
+	if c.nw == nil || c.nw.numNodes < 2*len(bits) {
+		n := 2 * len(bits)
+		if n < 2 {
+			n = 2
+		}
+		nw, err := NewSwitchedCluster(n, c.linkGbps)
+		if err != nil {
+			return 0, err
+		}
+		c.nw, c.s = nw, NewSolver(nw)
+	}
+	half := c.nw.numNodes / 2
+	c.flows = c.flows[:0]
+	for i, b := range bits {
+		c.flows = append(c.flows, Flow{Src: i, Dst: half + i, Bits: b})
+	}
+	return c.s.StepCost(p, c.flows)
+}
+
 // run simulates the flows, leaving per-flow completion times in s.doneAt.
 func (s *Solver) run(flows []Flow) (makespan float64, err error) {
 	nw := s.nw

@@ -188,9 +188,9 @@ func TestScheduleCacheSharing(t *testing.T) {
 	c := NewScheduleCache()
 	key := ScheduleKey{Algorithm: "ring", N: 8, Elems: 64}
 	builds := 0
-	build := func() (*collective.CompactSchedule, error) {
+	build := func() (*collective.ClassSchedule, error) {
 		builds++
-		return collective.RingAllReduceCompact(8, 64)
+		return collective.RingAllReduceClassed(8, 64)
 	}
 	s1, err := c.Schedule(key, build)
 	if err != nil {
@@ -205,9 +205,9 @@ func TestScheduleCacheSharing(t *testing.T) {
 	}
 	other := key
 	other.Elems = 128
-	if _, err := c.Schedule(other, func() (*collective.CompactSchedule, error) {
+	if _, err := c.Schedule(other, func() (*collective.ClassSchedule, error) {
 		builds++
-		return collective.RingAllReduceCompact(8, 128)
+		return collective.RingAllReduceClassed(8, 128)
 	}); err != nil {
 		t.Fatal(err)
 	}

@@ -21,11 +21,11 @@ type ScheduleKey struct {
 	Sig       core.PlanSig
 }
 
-// ScheduleCache memoizes lowered columnar schedules across sweep points and
-// fabric tenants. Cached schedules are shared: callers must treat them as
-// immutable and must never Release them.
+// ScheduleCache memoizes lowered classed schedules (the symmetry-aware
+// pricing form) across sweep points and fabric tenants. Cached schedules are
+// shared: callers must treat them as immutable and must never Release them.
 type ScheduleCache struct {
-	m memo[ScheduleKey, *collective.CompactSchedule]
+	m memo[ScheduleKey, *collective.ClassSchedule]
 }
 
 // NewScheduleCache returns an empty cache.
@@ -34,7 +34,7 @@ func NewScheduleCache() *ScheduleCache {
 }
 
 // Schedule returns the memoized schedule for key, building it on first use.
-func (c *ScheduleCache) Schedule(key ScheduleKey, build func() (*collective.CompactSchedule, error)) (*collective.CompactSchedule, error) {
+func (c *ScheduleCache) Schedule(key ScheduleKey, build func() (*collective.ClassSchedule, error)) (*collective.ClassSchedule, error) {
 	return c.m.do(key, true, build)
 }
 

@@ -141,6 +141,7 @@ type StepPricer struct {
 	p       Params
 	policy  wdm.Policy
 	ws      *wdm.Workspace
+	sym     *wdm.SymmetricAssigner
 	demands []wdm.Demand
 	active  []TransferSpec
 }
@@ -153,8 +154,10 @@ func NewStepPricer(topo ring.Topology, p Params, policy wdm.Policy) (*StepPricer
 	return &StepPricer{topo: topo, p: p, policy: policy, ws: wdm.NewWorkspace(topo)}, nil
 }
 
-// Price prices one step; the result's Assignments remain valid after later
-// Price calls.
+// Price prices one step. The result's Assignments are views into the
+// pricer's reusable round storage and are valid only until the next Price
+// call (multi-step runners consume them — e.g. for fabric replay — before
+// pricing the next step).
 func (sp *StepPricer) Price(transfers []TransferSpec) (StepResult, error) {
 	p := sp.p
 	demands := sp.demands[:0]
@@ -182,7 +185,7 @@ func (sp *StepPricer) Price(transfers []TransferSpec) (StepResult, error) {
 	if len(active) == 0 {
 		return res, nil
 	}
-	rounds, err := sp.ws.Rounds(demands, p.Wavelengths, sp.policy, wdm.AsGiven)
+	rounds, err := sp.ws.RoundsReused(demands, p.Wavelengths, sp.policy, wdm.AsGiven)
 	if err != nil {
 		return StepResult{}, err
 	}
@@ -203,6 +206,100 @@ func (sp *StepPricer) Price(transfers []TransferSpec) (StepResult, error) {
 		res.Duration += longest
 	}
 	return res, nil
+}
+
+// ClassSpec is one pricing equivalence class of a step: Count transfers of
+// Bytes bytes striped over Width wavelengths across Hops ring links. Widths
+// must already be resolved (no zero hints) but not clamped — PriceSymmetric
+// clamps exactly as Price does.
+type ClassSpec struct {
+	Bytes       int64
+	Width, Hops int
+	Count       int
+}
+
+// PriceSymmetric prices one step from its classes and rotational-symmetry
+// certificate instead of its materialized transfers: the step cost is the
+// fixed overhead plus the slowest class representative, so pricing is
+// O(classes + orbit) instead of O(transfers). It is bit-identical to Price
+// on the materialized step whenever it reports ok=true:
+//
+//   - with no active (non-empty) class the step is empty: overhead only;
+//   - when disjoint is set (every transfer pair link-disjoint), any active
+//     subset fits one round and First Fit gives each transfer colors
+//     0..width-1, so the color count is the widest active class;
+//   - otherwise the full demand set must be the orbit replicated exactly
+//     (no zero-byte holes): the orbit is assigned once (memoized by shape)
+//     and its coloring replicates across the link-disjoint blocks.
+//
+// ok=false (policy not First Fit, zero-byte holes without disjointness, or
+// an orbit that does not fit one round) means the caller must price the
+// materialized step with Price; err reports malformed inputs.
+func (sp *StepPricer) PriceSymmetric(orbit []wdm.Demand, classes []ClassSpec, disjoint bool) (StepResult, bool, error) {
+	p := sp.p
+	if sp.policy != wdm.FirstFit {
+		return StepResult{}, false, nil
+	}
+	res := StepResult{Duration: p.StepOverheadSec()}
+	longest, maxWidth, actives, holes := 0.0, 0, 0, false
+	for _, c := range classes {
+		if c.Bytes < 0 {
+			return StepResult{}, false, fmt.Errorf("optical: negative transfer size %d", c.Bytes)
+		}
+		if c.Bytes == 0 {
+			holes = true
+			continue
+		}
+		actives++
+		width := c.Width
+		if width < 1 {
+			width = 1
+		}
+		if width > p.Wavelengths {
+			width = p.Wavelengths
+		}
+		if width > maxWidth {
+			maxWidth = width
+		}
+		if d := p.TransferSec(c.Bytes, width, c.Hops); d > longest {
+			longest = d
+		}
+	}
+	if actives == 0 {
+		return res, true, nil
+	}
+	res.Rounds = 1
+	res.Duration += longest
+	if disjoint {
+		res.WavelengthsUsed = maxWidth
+		return res, true, nil
+	}
+	if holes {
+		// The active demand set is a strict subset of the replicated orbit;
+		// without pairwise disjointness its coloring is not the orbit's.
+		return StepResult{}, false, nil
+	}
+	if sp.sym == nil {
+		sp.sym = wdm.NewSymmetricAssigner(sp.topo)
+	}
+	sp.demands = sp.demands[:0]
+	for _, d := range orbit {
+		w := d.Width
+		if w < 1 {
+			w = 1
+		}
+		if w > p.Wavelengths {
+			w = p.Wavelengths
+		}
+		d.Width = w
+		sp.demands = append(sp.demands, d)
+	}
+	colors, ok, err := sp.sym.SingleRoundColors(sp.demands, p.Wavelengths)
+	if err != nil || !ok {
+		return StepResult{}, false, err
+	}
+	res.WavelengthsUsed = colors
+	return res, true, nil
 }
 
 // Fabric is an event-level reservation ledger: every (directed link,

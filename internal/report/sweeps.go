@@ -18,6 +18,10 @@ var (
 	CanonicalWavelengths = []int{1, 2, 4, 8, 16, 32, 64, 128}
 	// CanonicalMessageSizes is the A1 axis.
 	CanonicalMessageSizes = []int64{64 << 10, 1 << 20, 16 << 20, 64 << 20, 256 << 20, 1 << 30}
+	// CanonicalScalingNodes is the E13 axis: the large-N regime (TopoOpt-scale
+	// clusters) that symmetry-aware classed pricing makes routine — the paper's
+	// own sweep tops out at 1024.
+	CanonicalScalingNodes = []int{4096, 16384, 65536}
 )
 
 // GroupSizeSweep runs the canonical group-size ablation (A3) for the model
@@ -104,6 +108,59 @@ func WavelengthSweep(nodes int, model string, parallelism int) (*stats.Table, er
 			stats.FormatSeconds(rw.Seconds),
 			stats.FormatSeconds(ro.Seconds),
 			fmt.Sprintf("%.1f%%", 100*(1-rw.Seconds/ro.Seconds)))
+	}
+	return tb, nil
+}
+
+// ScalingSweep runs the canonical large-N scaling grid (E13): the paper's
+// four algorithms at N ∈ {4096, 16384, 65536} for the model. These points
+// price through the same exact simulate paths as the Figure-2 grid — the
+// symmetry-aware classed pricer makes them ~O(N) per point instead of O(N²),
+// which is what admits them to a routine sweep at all.
+func ScalingSweep(model string, parallelism int) (*stats.Table, error) {
+	res, err := wrht.RunSweep(wrht.SweepSpec{
+		Nodes:       CanonicalScalingNodes,
+		Models:      []string{model},
+		Algorithms:  wrht.PaperAlgorithms(),
+		Parallelism: parallelism,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := res.Err(); err != nil {
+		return nil, err
+	}
+	tb := stats.NewTable(
+		fmt.Sprintf("large-N scaling: %s, classed pricing", model),
+		"nodes", "e-ring", "rd", "o-ring", "wrht", "wrht vs o-ring")
+	for _, n := range CanonicalScalingNodes {
+		get := func(alg wrht.Algorithm) (wrht.SweepCell, error) {
+			return res.Lookup(func(c wrht.SweepCell) bool {
+				return c.Nodes == n && c.Algorithm == alg
+			})
+		}
+		er, err := get(wrht.AlgERing)
+		if err != nil {
+			return nil, err
+		}
+		rd, err := get(wrht.AlgRD)
+		if err != nil {
+			return nil, err
+		}
+		or, err := get(wrht.AlgORing)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := get(wrht.AlgWrht)
+		if err != nil {
+			return nil, err
+		}
+		tb.AddRow(fmt.Sprintf("%d", n),
+			stats.FormatSeconds(er.Seconds),
+			stats.FormatSeconds(rd.Seconds),
+			stats.FormatSeconds(or.Seconds),
+			stats.FormatSeconds(wr.Seconds),
+			fmt.Sprintf("%.1f%%", 100*(1-wr.Seconds/or.Seconds)))
 	}
 	return tb, nil
 }

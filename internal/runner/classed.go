@@ -1,0 +1,217 @@
+package runner
+
+import (
+	"fmt"
+
+	"wrht/internal/collective"
+	"wrht/internal/electrical"
+	"wrht/internal/optical"
+	"wrht/internal/ring"
+	"wrht/internal/wdm"
+)
+
+// RunOpticalClassed is RunOpticalCompact on the symmetry-aware classed
+// schedule form: steps carrying a verified rotational-symmetry certificate
+// are priced from one representative per equivalence class (plus one orbit
+// wavelength assignment, memoized by shape), turning the hot path from
+// O(transfers) to O(classes) per step; steps without a certificate — and
+// every step when the assigner is not First Fit or fabric replay is
+// requested — are materialized and priced by the exact per-transfer path.
+// Results are bit-identical to RunOpticalCompact on the materialized
+// schedule (golden and property tests enforce this).
+func RunOpticalClassed(cls *collective.ClassSchedule, opts OpticalOptions) (Result, error) {
+	if err := cls.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.BytesPerElem == 0 {
+		opts.BytesPerElem = 4
+	}
+	if opts.BytesPerElem < 1 {
+		return Result{}, fmt.Errorf("runner: BytesPerElem %d", opts.BytesPerElem)
+	}
+	if opts.DefaultWidth < 0 {
+		return Result{}, fmt.Errorf("runner: DefaultWidth %d", opts.DefaultWidth)
+	}
+	if opts.DefaultWidth == 0 {
+		opts.DefaultWidth = 1
+	}
+	topo, err := ring.New(cls.N)
+	if err != nil {
+		return Result{}, err
+	}
+	res := Result{
+		Algorithm: cls.Algorithm,
+		Substrate: fmt.Sprintf("optical-ring(w=%d)", opts.Params.Wavelengths),
+		StepSec:   make([]float64, 0, cls.NumSteps()),
+	}
+	var fabric *optical.Fabric
+	if opts.ValidateFabric {
+		fabric, err = optical.NewFabric(topo, opts.Params)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	pricer, err := optical.NewStepPricer(topo, opts.Params, opts.Assigner)
+	if err != nil {
+		return Result{}, err
+	}
+	var (
+		specs, active []optical.TransferSpec
+		orbit         []wdm.Demand
+		classes       []optical.ClassSpec
+	)
+	now := 0.0
+	for si := 0; si < cls.NumSteps(); si++ {
+		var sr optical.StepResult
+		priced := false
+		if _, _, disjoint, _, sym := cls.Sym(si); sym && opts.Assigner == wdm.FirstFit && fabric == nil {
+			classes = classes[:0]
+			lo, hi := cls.ClassBounds(si)
+			for i := lo; i < hi; i++ {
+				c := cls.Class(i)
+				width := int(c.Width)
+				if width == 0 {
+					width = opts.DefaultWidth
+				}
+				classes = append(classes, optical.ClassSpec{
+					Bytes: int64(c.Len) * int64(opts.BytesPerElem),
+					Width: width,
+					Hops:  int(c.Hops),
+					Count: int(c.Count),
+				})
+			}
+			orbit = orbit[:0]
+			olo, ohi := cls.OrbitBounds(si)
+			for i := olo; i < ohi; i++ {
+				src, dst, width, dir, routed := cls.OrbitAt(i)
+				arc := ring.Arc{Src: src, Dst: dst, Dir: dir}
+				if !routed {
+					arc = topo.ShortestArc(src, dst)
+				}
+				if width == 0 {
+					width = opts.DefaultWidth
+				}
+				orbit = append(orbit, wdm.Demand{Arc: arc, Width: width})
+			}
+			sr, priced, err = pricer.PriceSymmetric(orbit, classes, disjoint)
+			if err != nil {
+				return Result{}, fmt.Errorf("runner: step %d (%s): %w", si, cls.StepLabel(si), err)
+			}
+		}
+		if !priced {
+			specs = specs[:0]
+			cls.ForEachTransfer(si, func(tr collective.Transfer) {
+				arc := ring.Arc{Src: tr.Src, Dst: tr.Dst, Dir: tr.Dir}
+				if !tr.Routed {
+					arc = topo.ShortestArc(tr.Src, tr.Dst)
+				}
+				width := tr.Width
+				if width == 0 {
+					width = opts.DefaultWidth
+				}
+				specs = append(specs, optical.TransferSpec{
+					Arc:   arc,
+					Bytes: int64(tr.Region.Len) * int64(opts.BytesPerElem),
+					Width: width,
+				})
+			})
+			sr, err = pricer.Price(specs)
+			if err != nil {
+				return Result{}, fmt.Errorf("runner: step %d (%s): %w", si, cls.StepLabel(si), err)
+			}
+			if fabric != nil {
+				active = activeSpecs(opts.Params, specs, active[:0])
+				if err := replayRounds(topo, opts.Params, fabric, active, sr, now); err != nil {
+					return Result{}, fmt.Errorf("runner: step %d (%s): %w", si, cls.StepLabel(si), err)
+				}
+			}
+		}
+		res.StepSec = append(res.StepSec, sr.Duration)
+		res.TotalSec += sr.Duration
+		if sr.WavelengthsUsed > res.MaxWavelengths {
+			res.MaxWavelengths = sr.WavelengthsUsed
+		}
+		if sr.Rounds > 1 {
+			res.ExtraRounds += sr.Rounds - 1
+		}
+		now += sr.Duration
+	}
+	return res, nil
+}
+
+// RunElectricalClassed is RunElectricalCompact on the classed schedule:
+// steps certified as partial permutations on the default non-blocking
+// cluster are priced through the class-level fluid solver (one
+// representative flow per class, bit-identical by the symmetry of max-min
+// fairness); everything else — including every step on a custom Network —
+// is materialized and priced by the exact per-flow path.
+func RunElectricalClassed(cls *collective.ClassSchedule, opts ElectricalOptions) (Result, error) {
+	if err := cls.Validate(); err != nil {
+		return Result{}, err
+	}
+	if opts.BytesPerElem == 0 {
+		opts.BytesPerElem = 4
+	}
+	if opts.BytesPerElem < 1 {
+		return Result{}, fmt.Errorf("runner: BytesPerElem %d", opts.BytesPerElem)
+	}
+	defaultNet := opts.Network == nil
+	nw := opts.Network
+	if defaultNet {
+		var err error
+		nw, err = electrical.NewSwitchedCluster(cls.N, opts.Params.LinkGbps)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	if nw.NumNodes() != cls.N {
+		return Result{}, fmt.Errorf("runner: network has %d hosts, schedule needs %d",
+			nw.NumNodes(), cls.N)
+	}
+	res := Result{
+		Algorithm: cls.Algorithm,
+		Substrate: nw.Name(),
+		StepSec:   make([]float64, 0, cls.NumSteps()),
+	}
+	solver := electrical.NewSolver(nw)
+	var classSolver *electrical.ClassSolver
+	var flows []electrical.Flow
+	var bits []float64
+	for si := 0; si < cls.NumSteps(); si++ {
+		var d float64
+		var err error
+		if _, _, _, perm, sym := cls.Sym(si); sym && perm && defaultNet {
+			bits = bits[:0]
+			lo, hi := cls.ClassBounds(si)
+			for i := lo; i < hi; i++ {
+				c := cls.Class(i)
+				if c.Len == 0 {
+					continue
+				}
+				bits = append(bits, float64(c.Len)*float64(opts.BytesPerElem)*8)
+			}
+			if classSolver == nil {
+				classSolver, err = electrical.NewClassSolver(opts.Params.LinkGbps)
+				if err != nil {
+					return Result{}, err
+				}
+			}
+			d, err = classSolver.StepCost(opts.Params, bits)
+		} else {
+			flows = flows[:0]
+			cls.ForEachTransfer(si, func(tr collective.Transfer) {
+				flows = append(flows, electrical.Flow{
+					Src: tr.Src, Dst: tr.Dst,
+					Bits: float64(tr.Region.Len) * float64(opts.BytesPerElem) * 8,
+				})
+			})
+			d, err = solver.StepCost(opts.Params, flows)
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("runner: step %d (%s): %w", si, cls.StepLabel(si), err)
+		}
+		res.StepSec = append(res.StepSec, d)
+		res.TotalSec += d
+	}
+	return res, nil
+}

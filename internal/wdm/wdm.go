@@ -16,6 +16,7 @@ package wdm
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"wrht/internal/ring"
@@ -108,6 +109,12 @@ type Workspace struct {
 	links    []int // current demand's link indices
 	idx      []int // order buffer
 	cands    []bfCand
+
+	// RoundsReused result arenas (valid until the next RoundsReused call).
+	stripeArena  []int
+	demArena     []int
+	stripesArena [][]int
+	rounds       []Round
 }
 
 type bfCand struct{ c, usage int }
@@ -351,9 +358,29 @@ func Rounds(t ring.Topology, demands []Demand, w int, policy Policy, order Order
 }
 
 // Rounds is the package-level Rounds running on this workspace's scratch.
-// Result stripes are freshly allocated views (one backing array per call)
-// and stay valid across later workspace reuse.
+// Result storage is freshly allocated (one backing array per call for the
+// stripes, demand indices, and rounds) and stays valid across later
+// workspace reuse.
 func (ws *Workspace) Rounds(demands []Demand, w int, policy Policy, order Order) ([]Round, error) {
+	return ws.roundsImpl(demands, w, policy, order, false)
+}
+
+// RoundsReused is Rounds with every piece of result storage owned by the
+// workspace: the returned rounds, their Demands index slices, and their
+// stripes are all views into reusable arenas, valid only until the next
+// Rounds/RoundsReused call. It is the allocation-free form multi-step
+// pricers use (optical.StepPricer prices thousands of ring steps per
+// schedule); use Rounds when the result must outlive the workspace's next
+// call.
+func (ws *Workspace) RoundsReused(demands []Demand, w int, policy Policy, order Order) ([]Round, error) {
+	return ws.roundsImpl(demands, w, policy, order, true)
+}
+
+// roundsImpl is the single round-splitting loop behind Rounds and
+// RoundsReused; `reuse` selects workspace-owned arenas versus fresh
+// allocations for the result storage. The arenas are pre-sized so appends
+// never reallocate mid-run (the returned views alias them).
+func (ws *Workspace) roundsImpl(demands []Demand, w int, policy Policy, order Order, reuse bool) ([]Round, error) {
 	if w < 1 {
 		return nil, fmt.Errorf("wdm: wavelength budget %d", w)
 	}
@@ -361,20 +388,45 @@ func (ws *Workspace) Rounds(demands []Demand, w int, policy Policy, order Order)
 	if err != nil {
 		return nil, err
 	}
-	var rounds []Round
+	var (
+		arena        []int
+		demArena     []int
+		stripesArena [][]int
+		rounds       []Round
+	)
+	if reuse {
+		if cap(ws.stripeArena) < totalWidth(demands) {
+			ws.stripeArena = make([]int, 0, totalWidth(demands))
+		}
+		if cap(ws.demArena) < len(demands) {
+			ws.demArena = make([]int, 0, len(demands))
+		}
+		if cap(ws.stripesArena) < len(demands) {
+			ws.stripesArena = make([][]int, 0, len(demands))
+		}
+		arena = ws.stripeArena[:0]
+		demArena = ws.demArena[:0]
+		stripesArena = ws.stripesArena[:0]
+		rounds = ws.rounds[:0]
+	} else {
+		arena = make([]int, 0, totalWidth(demands))
+		demArena = make([]int, 0, len(demands))
+		stripesArena = make([][]int, 0, len(demands))
+	}
 	open := false
-	var curIdx []int
-	var curStripes [][]int
-	arena := make([]int, 0, totalWidth(demands))
+	demLo, strLo := 0, 0
 	flush := func() {
 		if !open {
 			return
 		}
+		curIdx := demArena[demLo:len(demArena):len(demArena)]
+		curStripes := stripesArena[strLo:len(stripesArena):len(stripesArena)]
 		rounds = append(rounds, Round{
 			Demands:    curIdx,
 			Assignment: Assignment{Stripes: curStripes, NumColors: maxColor(curStripes) + 1},
 		})
-		open, curIdx, curStripes = false, nil, nil
+		open = false
+		demLo, strLo = len(demArena), len(stripesArena)
 	}
 	for _, di := range idx {
 		d := demands[di]
@@ -403,11 +455,112 @@ func (ws *Workspace) Rounds(demands []Demand, w int, policy Policy, order Order)
 		if err != nil {
 			return nil, err
 		}
-		curIdx = append(curIdx, di)
-		curStripes = append(curStripes, stripe)
+		demArena = append(demArena, di)
+		stripesArena = append(stripesArena, stripe)
 	}
 	flush()
+	if reuse {
+		ws.stripeArena, ws.demArena, ws.stripesArena, ws.rounds = arena, demArena, stripesArena, rounds
+	}
 	return rounds, nil
+}
+
+// SymmetricAssigner solves rotationally-symmetric demand sets by their
+// representative orbit: a step whose demands are one orbit replicated
+// block-major at a fixed node stride, with replicas pairwise link-disjoint
+// (the certificate collective.ClassSchedule carries), receives — under First
+// Fit in given order — exactly the orbit's coloring in every block. Solving
+// the orbit alone therefore yields the full step's round structure and color
+// count. Solutions are memoized by orbit shape (demand pattern + budget), so
+// the 2(N-1) identical steps of a ring schedule are assigned once.
+type SymmetricAssigner struct {
+	ws    *Workspace
+	arena []int
+	memo  map[uint64][]symEntry
+}
+
+type symEntry struct {
+	demands []Demand
+	w       int
+	colors  int
+	ok      bool
+}
+
+// NewSymmetricAssigner returns an assigner for the topology.
+func NewSymmetricAssigner(t ring.Topology) *SymmetricAssigner {
+	return &SymmetricAssigner{ws: NewWorkspace(t), memo: map[uint64][]symEntry{}}
+}
+
+// SingleRoundColors assigns the orbit demands under First Fit (as-given
+// order) within budget w and returns the number of distinct colors used.
+// ok=false means the orbit alone does not fit in a single round, in which
+// case symmetric pricing does not apply and the caller must fall back to the
+// materialized path. Widths must already be clamped to [1, w].
+func (sa *SymmetricAssigner) SingleRoundColors(orbit []Demand, w int) (colors int, ok bool, err error) {
+	h := shapeHash(orbit, w)
+	for _, e := range sa.memo[h] {
+		if e.w == w && slices.Equal(e.demands, orbit) {
+			return e.colors, e.ok, nil
+		}
+	}
+	colors, ok, err = sa.solve(orbit, w)
+	if err != nil {
+		return 0, false, err
+	}
+	sa.memo[h] = append(sa.memo[h], symEntry{
+		demands: slices.Clone(orbit), w: w, colors: colors, ok: ok,
+	})
+	return colors, ok, nil
+}
+
+func (sa *SymmetricAssigner) solve(orbit []Demand, w int) (int, bool, error) {
+	ws := sa.ws
+	ws.reset()
+	arena := sa.arena[:0]
+	colors := 0
+	for _, d := range orbit {
+		if d.Width < 1 || d.Width > w {
+			return 0, false, fmt.Errorf("wdm: symmetric demand %v width %d outside [1,%d]", d.Arc, d.Width, w)
+		}
+		links, err := ws.demandLinks(d.Arc)
+		if err != nil {
+			return 0, false, err
+		}
+		var stripe []int
+		arena, stripe, err = ws.place(links, d.Width, FirstFit, w, arena)
+		if err == errNoFit {
+			sa.arena = arena
+			return 0, false, nil
+		}
+		if err != nil {
+			return 0, false, err
+		}
+		for _, c := range stripe {
+			if c+1 > colors {
+				colors = c + 1
+			}
+		}
+	}
+	sa.arena = arena
+	return colors, true, nil
+}
+
+// shapeHash is an FNV-1a fingerprint of the orbit's demand pattern; memo
+// entries verify full equality, so collisions only cost a comparison.
+func shapeHash(orbit []Demand, w int) uint64 {
+	h := uint64(14695981039346656037)
+	mix := func(v uint64) {
+		h ^= v
+		h *= 1099511628211
+	}
+	mix(uint64(w))
+	for _, d := range orbit {
+		mix(uint64(d.Arc.Src))
+		mix(uint64(d.Arc.Dst))
+		mix(uint64(d.Arc.Dir))
+		mix(uint64(d.Width))
+	}
+	return h
 }
 
 // Validate checks that asg is a proper wavelength assignment for demands:

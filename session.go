@@ -38,36 +38,37 @@ func (s *session) buildPlan(n, w int, opts core.Options) (*core.Plan, error) {
 	return s.plans.Plan(n, w, opts)
 }
 
-// schedule returns the (possibly cached) schedule for key. With a session
-// the schedule is cache-owned and must never be Released; without one the
-// caller owns it.
-func (s *session) schedule(key exp.ScheduleKey, build func() (*collective.CompactSchedule, error)) (*collective.CompactSchedule, error) {
+// schedule returns the (possibly cached) classed schedule for key. With a
+// session the schedule is cache-owned and must never be Released; without
+// one the caller owns it.
+func (s *session) schedule(key exp.ScheduleKey, build func() (*collective.ClassSchedule, error)) (*collective.ClassSchedule, error) {
 	if s == nil {
 		return build()
 	}
 	return s.scheds.Schedule(key, build)
 }
 
-// simOptical prices the schedule on the WDM ring, memoized by
+// simOptical prices the classed schedule on the WDM ring, memoized by
 // (schedule identity, options) when a session is present.
-func (s *session) simOptical(key exp.ScheduleKey, cs *collective.CompactSchedule, opts runner.OpticalOptions) (runner.Result, error) {
+func (s *session) simOptical(key exp.ScheduleKey, cls *collective.ClassSchedule, opts runner.OpticalOptions) (runner.Result, error) {
 	if s == nil {
-		return runner.RunOpticalCompact(cs, opts)
+		return runner.RunOpticalClassed(cls, opts)
 	}
 	return s.sims.Run(exp.SimKey{Sched: key, OptOpts: opts}, func() (runner.Result, error) {
-		return runner.RunOpticalCompact(cs, opts)
+		return runner.RunOpticalClassed(cls, opts)
 	})
 }
 
-// simElectrical prices the schedule on the electrical substrate, memoized by
-// (schedule identity, options) when a session is present. opts.Network must
-// be nil on the cached path (it is derived from the schedule).
-func (s *session) simElectrical(key exp.ScheduleKey, cs *collective.CompactSchedule, opts runner.ElectricalOptions) (runner.Result, error) {
+// simElectrical prices the classed schedule on the electrical substrate,
+// memoized by (schedule identity, options) when a session is present.
+// opts.Network must be nil on the cached path (it is derived from the
+// schedule).
+func (s *session) simElectrical(key exp.ScheduleKey, cls *collective.ClassSchedule, opts runner.ElectricalOptions) (runner.Result, error) {
 	if s == nil || opts.Network != nil {
-		return runner.RunElectricalCompact(cs, opts)
+		return runner.RunElectricalClassed(cls, opts)
 	}
 	return s.sims.Run(exp.SimKey{Sched: key, Electrical: true, ElecOpts: opts}, func() (runner.Result, error) {
-		return runner.RunElectricalCompact(cs, opts)
+		return runner.RunElectricalClassed(cls, opts)
 	})
 }
 
@@ -107,6 +108,14 @@ func (ss *SweepSession) CommunicationTime(cfg Config, alg Algorithm, bytes int64
 // per-tenant runtime curves across calls and policies).
 func (ss *SweepSession) SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy) (FabricResult, error) {
 	return simulateFabric(cfg, jobs, policy, ss.sess.fabric)
+}
+
+// CompareFabricPolicies is CompareFabricPolicies sharing this session's
+// caches: per-tenant runtime curves, plans, lowered schedules, and substrate
+// simulations persist across calls, so repeated co-simulations of the same
+// tenant mixes price warm instead of re-simulating cold.
+func (ss *SweepSession) CompareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy) ([]FabricResult, error) {
+	return compareFabricPolicies(cfg, jobs, policies, ss.sess.fabric)
 }
 
 // CacheStats reports the session's cumulative cache effectiveness per layer.

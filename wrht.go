@@ -253,29 +253,68 @@ func schedName(alg Algorithm) string {
 	}
 }
 
-// buildCompactSchedule constructs the columnar schedule (and optional Wrht
-// plan) for alg, together with the schedule's cache identity. With a session
+// buildCompactSchedule constructs the columnar (per-transfer) schedule and
+// optional Wrht plan for alg — the form the message-level event simulator
+// consumes (EventLevelTime); the caller owns the schedule. The dispatch
+// mirrors buildSchedule/buildClassSchedule but keeps the direct columnar
+// generators (RingAllReduceCompact, Plan.CompactSchedule) so the event-sim
+// path never materializes boxed per-transfer objects.
+func buildCompactSchedule(cfg Config, alg Algorithm, elems int) (*collective.CompactSchedule, *core.Plan, error) {
+	switch alg {
+	case AlgERing, AlgORing, AlgORingStriped:
+		cs, err := collective.RingAllReduceCompact(cfg.Nodes, elems)
+		return cs, nil, err
+	case AlgRD:
+		cs, err := compactOf(collective.RecursiveDoubling(cfg.Nodes, elems))
+		return cs, nil, err
+	case AlgHD:
+		cs, err := compactOf(collective.HalvingDoubling(cfg.Nodes, elems))
+		return cs, nil, err
+	case AlgBinomial:
+		cs, err := compactOf(collective.BinomialTree(cfg.Nodes, elems))
+		return cs, nil, err
+	case AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined:
+		plan, err := core.BuildPlan(cfg.Nodes, cfg.Optical.Wavelengths, wrhtOptions(cfg, alg))
+		if err != nil {
+			return nil, nil, err
+		}
+		if alg == AlgWrhtPipelined {
+			cs, err := compactOf(plan.PipelinedSchedule(elems, pipelineChunks(cfg)))
+			return cs, plan, err
+		}
+		cs, err := plan.CompactSchedule(elems)
+		return cs, plan, err
+	default:
+		return nil, nil, fmt.Errorf("wrht: unknown algorithm %q", alg)
+	}
+}
+
+// buildClassSchedule constructs the symmetry-aware classed schedule (and
+// optional Wrht plan) for alg, together with the schedule's cache identity —
+// the form the simulate fast path prices. Ring schedules and Wrht plans emit
+// classes directly without materializing per-node transfers; the remaining
+// algorithms build the compact form once and fingerprint it. With a session
 // the schedule is cache-owned; without one the caller owns it.
-func buildCompactSchedule(cfg Config, alg Algorithm, elems int, sess *session) (*collective.CompactSchedule, *core.Plan, exp.ScheduleKey, error) {
+func buildClassSchedule(cfg Config, alg Algorithm, elems int, sess *session) (*collective.ClassSchedule, *core.Plan, exp.ScheduleKey, error) {
 	key := exp.ScheduleKey{Algorithm: schedName(alg), N: cfg.Nodes, Elems: elems}
-	var build func() (*collective.CompactSchedule, error)
+	var build func() (*collective.ClassSchedule, error)
 	var plan *core.Plan
 	switch alg {
 	case AlgERing, AlgORing, AlgORingStriped:
-		build = func() (*collective.CompactSchedule, error) {
-			return collective.RingAllReduceCompact(cfg.Nodes, elems)
+		build = func() (*collective.ClassSchedule, error) {
+			return collective.RingAllReduceClassed(cfg.Nodes, elems)
 		}
 	case AlgRD:
-		build = func() (*collective.CompactSchedule, error) {
-			return compactOf(collective.RecursiveDoubling(cfg.Nodes, elems))
+		build = func() (*collective.ClassSchedule, error) {
+			return classesOf(collective.RecursiveDoubling(cfg.Nodes, elems))
 		}
 	case AlgHD:
-		build = func() (*collective.CompactSchedule, error) {
-			return compactOf(collective.HalvingDoubling(cfg.Nodes, elems))
+		build = func() (*collective.ClassSchedule, error) {
+			return classesOf(collective.HalvingDoubling(cfg.Nodes, elems))
 		}
 	case AlgBinomial:
-		build = func() (*collective.CompactSchedule, error) {
-			return compactOf(collective.BinomialTree(cfg.Nodes, elems))
+		build = func() (*collective.ClassSchedule, error) {
+			return classesOf(collective.BinomialTree(cfg.Nodes, elems))
 		}
 	case AlgWrht, AlgWrhtUnstriped, AlgWrhtPipelined:
 		var err error
@@ -286,22 +325,22 @@ func buildCompactSchedule(cfg Config, alg Algorithm, elems int, sess *session) (
 		key.Sig = plan.Sig()
 		if alg == AlgWrhtPipelined {
 			key.Chunks = pipelineChunks(cfg)
-			build = func() (*collective.CompactSchedule, error) {
-				return compactOf(plan.PipelinedSchedule(elems, pipelineChunks(cfg)))
+			build = func() (*collective.ClassSchedule, error) {
+				return classesOf(plan.PipelinedSchedule(elems, pipelineChunks(cfg)))
 			}
 		} else {
-			build = func() (*collective.CompactSchedule, error) {
-				return plan.CompactSchedule(elems)
+			build = func() (*collective.ClassSchedule, error) {
+				return plan.ClassSchedule(elems)
 			}
 		}
 	default:
 		return nil, nil, key, fmt.Errorf("wrht: unknown algorithm %q", alg)
 	}
-	cs, err := sess.schedule(key, build)
+	cls, err := sess.schedule(key, build)
 	if err != nil {
 		return nil, nil, key, err
 	}
-	return cs, plan, key, nil
+	return cls, plan, key, nil
 }
 
 // compactOf converts a boxed schedule construction result to columnar form.
@@ -310,6 +349,18 @@ func compactOf(s *collective.Schedule, err error) (*collective.CompactSchedule, 
 		return nil, err
 	}
 	return s.Compact(), nil
+}
+
+// classesOf fingerprints a boxed schedule construction result into classed
+// form (via a transient compact schedule that goes back to the pool).
+func classesOf(s *collective.Schedule, err error) (*collective.ClassSchedule, error) {
+	if err != nil {
+		return nil, err
+	}
+	cs := s.Compact()
+	cls := cs.Classes()
+	cs.Release()
+	return cls, nil
 }
 
 // buildSchedule constructs the boxed schedule (and optional Wrht plan) for
@@ -358,20 +409,22 @@ func isElectrical(alg Algorithm) bool {
 
 // CommunicationTime simulates one all-reduce of `bytes` bytes under alg.
 func CommunicationTime(cfg Config, alg Algorithm, bytes int64) (Result, error) {
-	res, cs, err := communicationTime(cfg, alg, bytes, nil)
-	if cs != nil {
-		cs.Release() // session-free: the transient schedule is ours to recycle
+	res, cls, err := communicationTime(cfg, alg, bytes, nil)
+	if cls != nil {
+		cls.Release() // session-free: the transient schedule is ours to recycle
 	}
 	return res, err
 }
 
-// communicationTime is CommunicationTime on the compact fast path, with the
-// session supplying the plan/schedule/simulation caches (nil = uncached).
-// It also returns the simulated columnar schedule so callers like
-// EnergyEstimate can account per-step costs without building the schedule a
-// second time; the schedule is cache-owned when a session is present and
-// caller-owned (releasable) otherwise.
-func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (Result, *collective.CompactSchedule, error) {
+// communicationTime is CommunicationTime on the classed fast path — the
+// schedule is built (or fingerprinted) in symmetry-aware classed form and
+// priced per equivalence class — with the session supplying the
+// plan/schedule/simulation caches (nil = uncached). It also returns the
+// priced classed schedule so callers like EnergyEstimate can account
+// aggregate costs without building the schedule a second time; the schedule
+// is cache-owned when a session is present and caller-owned (releasable)
+// otherwise.
+func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (Result, *collective.ClassSchedule, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, nil, err
 	}
@@ -379,15 +432,15 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (R
 		return Result{}, nil, fmt.Errorf("wrht: non-positive buffer size %d", bytes)
 	}
 	elems := int((bytes + int64(cfg.BytesPerElem) - 1) / int64(cfg.BytesPerElem))
-	cs, plan, key, err := buildCompactSchedule(cfg, alg, elems, sess)
+	cls, plan, key, err := buildClassSchedule(cfg, alg, elems, sess)
 	if err != nil {
 		return Result{}, nil, err
 	}
-	out := Result{Algorithm: alg, Steps: cs.NumSteps()}
+	out := Result{Algorithm: alg, Steps: cls.NumSteps()}
 	simBytes := int64(elems) * int64(cfg.BytesPerElem)
 
 	if isElectrical(alg) {
-		res, err := sess.simElectrical(key, cs, runner.ElectricalOptions{
+		res, err := sess.simElectrical(key, cls, runner.ElectricalOptions{
 			Params:       cfg.Electrical,
 			BytesPerElem: cfg.BytesPerElem,
 		})
@@ -406,7 +459,7 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (R
 		case AlgBinomial:
 			out.PredictedSeconds = model.Binomial(cfg.Nodes, simBytes, cfg.Electrical)
 		}
-		return out, cs, nil
+		return out, cls, nil
 	}
 
 	opts := runner.DefaultOpticalOptions()
@@ -416,7 +469,7 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (R
 	if alg == AlgORingStriped {
 		opts.DefaultWidth = cfg.Optical.Wavelengths
 	}
-	res, err := sess.simOptical(key, cs, opts)
+	res, err := sess.simOptical(key, cls, opts)
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -434,7 +487,7 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (R
 		out.PredictedSeconds = model.WrhtPipelined(plan, simBytes, cfg.Optical, pipelineChunks(cfg))
 	}
 
-	return out, cs, nil
+	return out, cls, nil
 }
 
 // Compare prices several algorithms on the same buffer, sharing one session
