@@ -15,6 +15,7 @@ import (
 
 	"wrht"
 	"wrht/internal/core"
+	"wrht/internal/report"
 	"wrht/internal/ring"
 	"wrht/internal/wdm"
 )
@@ -397,14 +398,57 @@ func BenchmarkFabricCoSim(b *testing.B) {
 		{Name: "train", Model: "VGG16", ArrivalSec: 1e-3},
 		{Name: "batch", Bytes: 8 << 20, Algorithm: wrht.AlgORing},
 	}
+	// The historical three grant-once policies, pinned explicitly so the
+	// benchmark keeps measuring the same work as committed baselines
+	// (FabricPolicies() also returns elastic, which BenchmarkFabricElastic
+	// covers separately).
+	policies := []wrht.FabricPolicy{
+		{Kind: wrht.FabricStatic},
+		{Kind: wrht.FabricFirstFit},
+		{Kind: wrht.FabricPriority},
+	}
 	sess := wrht.NewSweepSession()
 	b.Run(fmt.Sprintf("3policies/N%d", n), func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := sess.CompareFabricPolicies(cfg, jobs, wrht.FabricPolicies()); err != nil {
+			if _, err := sess.CompareFabricPolicies(cfg, jobs, policies); err != nil {
 				b.Fatal(err)
 			}
 		}
+	})
+}
+
+// BenchmarkFabricElastic measures the elastic re-allocation co-simulation
+// on the canonical departure-heavy mix (EXPERIMENTS.md F2): every departure
+// re-solves the stripe assignment and reconfigures running tenants, so this
+// is the heaviest dispatch path in internal/fabric. Runtime curves come
+// warm from the shared SweepSession after the first iteration; steady-state
+// allocs/op measures the elastic scheduler itself.
+func BenchmarkFabricElastic(b *testing.B) {
+	n := 64
+	if testing.Short() {
+		n = 16
+	}
+	cfg := wrht.DefaultConfig(n)
+	mix := report.ChurnMix()
+	pol := wrht.FabricPolicy{Kind: wrht.FabricElastic, ReconfigDelaySec: 2e-6}
+	sess := wrht.NewSweepSession()
+	b.Run(fmt.Sprintf("churn/N%d", n), func(b *testing.B) {
+		b.ReportAllocs()
+		var last wrht.FabricResult
+		for i := 0; i < b.N; i++ {
+			res, err := sess.SimulateFabric(cfg, mix.Jobs, pol)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		reconfigs := 0
+		for _, j := range last.Jobs {
+			reconfigs += j.Reconfigs
+		}
+		b.ReportMetric(float64(reconfigs), "reconfigs/op")
+		b.ReportMetric(last.MakespanSec*1e3, "makespan-ms")
 	})
 }
 

@@ -9,6 +9,8 @@
 //	fabricsim -jobs 16 -policy priority -detail
 //	fabricsim -sweep 2,4,8,16 -format csv
 //	fabricsim -seed 7 -nodes 128 -wavelengths 32
+//	fabricsim -policy elastic -reconfig 2
+//	fabricsim -scenario churn           # departure-heavy mix: elastic shines
 package main
 
 import (
@@ -29,8 +31,10 @@ func main() {
 		jobs        = flag.Int("jobs", 8, "number of concurrent tenant jobs")
 		nodes       = flag.Int("nodes", 64, "workers on the shared ring")
 		wavelengths = flag.Int("wavelengths", 64, "fabric-wide wavelength budget")
-		policy      = flag.String("policy", "all", "static | first-fit | priority | all")
+		policy      = flag.String("policy", "all", "static | first-fit | priority | elastic | all")
 		partitions  = flag.Int("partitions", 0, "shares for the static policy (0 = default 4, clamped to the budget)")
+		reconfigUs  = flag.Float64("reconfig", 2, "elastic reconfiguration (switch settling) delay [µs]")
+		scenario    = flag.String("scenario", "mixed", "mixed | churn (departure-heavy: short capped bursts + long uncapped stragglers)")
 		seed        = flag.Int64("seed", 1, "deterministic job-mix seed")
 		gapMs       = flag.Float64("gap", 2, "mean inter-arrival gap [ms]")
 		sweep       = flag.String("sweep", "", "comma-separated job counts to sweep (overrides -jobs)")
@@ -46,7 +50,7 @@ func main() {
 	default:
 		must(fmt.Errorf("unknown format %q (want table, markdown, or csv)", *format))
 	}
-	policies, err := selectPolicies(*policy, *partitions)
+	policies, err := selectPolicies(*policy, *partitions, *reconfigUs*1e-6)
 	must(err)
 
 	counts := []int{*jobs}
@@ -56,11 +60,19 @@ func main() {
 	}
 
 	for _, n := range counts {
-		mix := generateJobs(n, *seed, *gapMs, *wavelengths)
+		var mix []wrht.JobSpec
+		switch *scenario {
+		case "mixed":
+			mix = generateJobs(n, *seed, *gapMs, *wavelengths)
+		case "churn":
+			mix = generateChurnJobs(n, *seed, *gapMs, *wavelengths)
+		default:
+			must(fmt.Errorf("unknown scenario %q (want mixed or churn)", *scenario))
+		}
 		results, err := wrht.CompareFabricPolicies(cfg, mix, policies)
 		must(err)
-		title := fmt.Sprintf("shared fabric: %d jobs on %d nodes, %d wavelengths (seed %d)",
-			n, *nodes, *wavelengths, *seed)
+		title := fmt.Sprintf("shared fabric (%s): %d jobs on %d nodes, %d wavelengths (seed %d)",
+			*scenario, n, *nodes, *wavelengths, *seed)
 		render(report.FabricPolicyTable(title, results), *format)
 		if *detail {
 			for _, res := range results {
@@ -72,18 +84,23 @@ func main() {
 }
 
 // selectPolicies resolves the -policy flag.
-func selectPolicies(name string, partitions int) ([]wrht.FabricPolicy, error) {
+func selectPolicies(name string, partitions int, reconfigSec float64) ([]wrht.FabricPolicy, error) {
 	switch name {
 	case "all":
 		pols := wrht.FabricPolicies()
 		for i := range pols {
-			if pols[i].Kind == wrht.FabricStatic {
+			switch pols[i].Kind {
+			case wrht.FabricStatic:
 				pols[i].Partitions = partitions
+			case wrht.FabricElastic:
+				pols[i].ReconfigDelaySec = reconfigSec
 			}
 		}
 		return pols, nil
 	case wrht.FabricStatic:
 		return []wrht.FabricPolicy{{Kind: wrht.FabricStatic, Partitions: partitions}}, nil
+	case wrht.FabricElastic:
+		return []wrht.FabricPolicy{{Kind: wrht.FabricElastic, ReconfigDelaySec: reconfigSec}}, nil
 	case wrht.FabricFirstFit, wrht.FabricPriority:
 		return []wrht.FabricPolicy{{Kind: name}}, nil
 	default:
@@ -113,6 +130,42 @@ func generateJobs(n int, seed int64, gapMs float64, budget int) []wrht.JobSpec {
 			ArrivalSec:     arrival,
 			Priority:       rng.Intn(3),
 			MaxWavelengths: width,
+		})
+	}
+	return out
+}
+
+// generateChurnJobs builds a deterministic departure-heavy mix: bursts of
+// short jobs with capped stripes fill the pool, and every few jobs a long
+// uncapped straggler arrives while the fabric is still full. Grant-once
+// policies start the stragglers on whatever sliver the first departure
+// frees and strand the rest of the draining fabric; elastic re-allocation
+// widens them into each freed stripe.
+func generateChurnJobs(n int, seed int64, gapMs float64, budget int) []wrht.JobSpec {
+	rng := rand.New(rand.NewSource(seed))
+	widthCap := budget / 8
+	if widthCap < 1 {
+		widthCap = 1
+	}
+	arrival := 0.0
+	var out []wrht.JobSpec
+	for i := 0; i < n; i++ {
+		arrival += rng.ExpFloat64() * gapMs * 1e-3 / 4
+		if i%4 == 3 {
+			out = append(out, wrht.JobSpec{
+				Name:       fmt.Sprintf("j%02d-straggler-VGG16", i),
+				Model:      "VGG16",
+				ArrivalSec: arrival,
+				Iterations: 1 + rng.Intn(2),
+			})
+			continue
+		}
+		out = append(out, wrht.JobSpec{
+			Name:           fmt.Sprintf("j%02d-burst-AlexNet", i),
+			Model:          "AlexNet",
+			ArrivalSec:     arrival,
+			MaxWavelengths: widthCap,
+			Iterations:     1 + rng.Intn(3),
 		})
 	}
 	return out

@@ -1,10 +1,11 @@
 // Multi-tenant fabric: eight heterogeneous training jobs arrive over ~10 ms
 // and contend for one 64-wavelength optical ring. The same mix runs under
-// the three partitioning policies — static shares, first-fit pooling, and
-// priority preemption — to show what each one trades: static isolates
-// tenants but strands idle shares, first-fit fills the pool but lets wide
-// jobs monopolize it, and priority protects urgent jobs by preempting
-// background ones.
+// all partitioning policies — static shares, first-fit pooling, priority
+// preemption, and elastic re-allocation — to show what each one trades:
+// static isolates tenants but strands idle shares, first-fit fills the pool
+// but lets wide jobs monopolize it, priority protects urgent jobs by
+// preempting background ones, and elastic re-solves the assignment on every
+// arrival/departure (see examples/elastic_fabric for the deep dive).
 //
 //	go run ./examples/multi_tenant
 package main

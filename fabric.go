@@ -35,19 +35,64 @@ type JobSpec struct {
 	MaxWavelengths int
 }
 
+// Validate reports a malformed job spec with a clear error instead of
+// letting a bad field be silently clamped (or panic) deeper in the
+// co-simulation: negative sizes, negative or non-finite arrival times,
+// negative wavelength bounds, an inverted MinWavelengths > MaxWavelengths
+// range, and negative iteration counts are all rejected. SimulateFabric
+// validates every spec up front, so a bad tenant fails the call before any
+// simulation runs.
+func (spec JobSpec) Validate() error {
+	name := spec.Name
+	if name == "" {
+		name = "(unnamed)"
+	}
+	if spec.Bytes < 0 {
+		return fmt.Errorf("wrht: job %q: negative Bytes %d", name, spec.Bytes)
+	}
+	if spec.ArrivalSec < 0 {
+		return fmt.Errorf("wrht: job %q: negative ArrivalSec %v", name, spec.ArrivalSec)
+	}
+	if math.IsNaN(spec.ArrivalSec) || math.IsInf(spec.ArrivalSec, 0) {
+		return fmt.Errorf("wrht: job %q: non-finite ArrivalSec %v", name, spec.ArrivalSec)
+	}
+	if spec.MinWavelengths < 0 {
+		return fmt.Errorf("wrht: job %q: negative MinWavelengths %d", name, spec.MinWavelengths)
+	}
+	if spec.MaxWavelengths < 0 {
+		return fmt.Errorf("wrht: job %q: negative MaxWavelengths %d", name, spec.MaxWavelengths)
+	}
+	if spec.MaxWavelengths != 0 && spec.MinWavelengths > spec.MaxWavelengths {
+		return fmt.Errorf("wrht: job %q: MinWavelengths %d exceeds MaxWavelengths %d",
+			name, spec.MinWavelengths, spec.MaxWavelengths)
+	}
+	if spec.Iterations < 0 {
+		return fmt.Errorf("wrht: job %q: negative Iterations %d", name, spec.Iterations)
+	}
+	return nil
+}
+
 // FabricPolicy selects how concurrent tenants share the wavelength budget.
 type FabricPolicy struct {
-	// Kind is FabricStatic, FabricFirstFit, or FabricPriority.
+	// Kind is FabricStatic, FabricFirstFit, FabricPriority, or
+	// FabricElastic.
 	Kind string
 	// Partitions is the share count for FabricStatic (default 4, clamped
 	// to the budget). Each share is budget/Partitions wavelengths wide;
-	// any remainder of the division stays dark.
+	// the remainder of an inexact division is spread round-robin over the
+	// leading shares, so no wavelength is permanently dark.
 	Partitions int
+	// ReconfigDelaySec is FabricElastic's optical switch settling time:
+	// every mid-flight stripe change stalls the affected job this long
+	// (it holds its new wavelengths but makes no progress). 0 models an
+	// idealized instantly-reconfigurable fabric. Ignored by the other
+	// policies.
+	ReconfigDelaySec float64
 }
 
 // Fabric policy kinds.
 const (
-	// FabricStatic splits the wavelength budget into fixed equal shares.
+	// FabricStatic splits the wavelength budget into fixed shares.
 	FabricStatic = "static"
 	// FabricFirstFit grants wavelengths first-come first-served from a
 	// shared pool; small jobs may overtake a blocked wide job.
@@ -55,6 +100,11 @@ const (
 	// FabricPriority serves jobs by priority and preempts lower-priority
 	// tenants when a high-priority job cannot fit.
 	FabricPriority = "priority"
+	// FabricElastic re-solves the whole stripe assignment on every arrival
+	// and departure: running tenants widen up to their MaxWavelengths when
+	// capacity frees, shrink (never fully preempt) to admit higher-priority
+	// arrivals, and pay ReconfigDelaySec per mid-flight width change.
+	FabricElastic = "elastic"
 )
 
 // FabricPolicies returns the supported policies in report order.
@@ -63,6 +113,7 @@ func FabricPolicies() []FabricPolicy {
 		{Kind: FabricStatic},
 		{Kind: FabricFirstFit},
 		{Kind: FabricPriority},
+		{Kind: FabricElastic},
 	}
 }
 
@@ -74,16 +125,22 @@ func (p FabricPolicy) internal() (fabric.Policy, error) {
 		return fabric.Policy{Kind: fabric.FirstFitShare}, nil
 	case FabricPriority:
 		return fabric.Policy{Kind: fabric.PriorityPreempt}, nil
+	case FabricElastic:
+		return fabric.Policy{Kind: fabric.ElasticReallocate, ReconfigDelaySec: p.ReconfigDelaySec}, nil
 	default:
 		return fabric.Policy{}, fmt.Errorf("wrht: unknown fabric policy %q", p.Kind)
 	}
 }
 
 // String renders the policy for table headers. An unset Partitions count is
-// not shown (the effective value depends on the budget it is applied to).
+// not shown (the effective value depends on the budget it is applied to);
+// an elastic settling delay is shown in microseconds.
 func (p FabricPolicy) String() string {
 	if p.Kind == FabricStatic && p.Partitions != 0 {
 		return fmt.Sprintf("%s/%d", p.Kind, p.Partitions)
+	}
+	if p.Kind == FabricElastic && p.ReconfigDelaySec != 0 {
+		return fmt.Sprintf("%s/%gus", p.Kind, p.ReconfigDelaySec*1e6)
 	}
 	return p.Kind
 }
@@ -104,6 +161,9 @@ type FabricJobResult struct {
 	Wavelengths []int
 	Width       int
 	Preemptions int
+	// Reconfigs counts mid-flight stripe changes under FabricElastic; each
+	// one stalled the job for the policy's ReconfigDelaySec.
+	Reconfigs int
 	// AloneSec is the job's solo runtime at its widest grant
 	// (MaxWavelengths); Slowdown is (DoneSec-ArrivalSec)/AloneSec, the
 	// price of sharing.
@@ -115,7 +175,9 @@ type FabricJobResult struct {
 type FabricEvent struct {
 	TimeSec float64
 	Job     string
-	// Kind is arrive | reject | start | preempt | resume | finish.
+	// Kind is arrive | reject | start | preempt | resume | reconfig |
+	// finish. A reconfig entry records the job's new stripe width after an
+	// elastic re-allocation.
 	Kind        string
 	Wavelengths int
 }
@@ -204,13 +266,12 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 			return FabricResult{}, fmt.Errorf("wrht: job %q: electrical algorithm %q cannot share the optical fabric",
 				spec.Name, alg)
 		}
+		if err := spec.Validate(); err != nil {
+			return FabricResult{}, err
+		}
 		bytes, err := jobBytes(cfg, spec)
 		if err != nil {
 			return FabricResult{}, err
-		}
-		if spec.MinWavelengths < 0 {
-			return FabricResult{}, fmt.Errorf("wrht: job %q: negative MinWavelengths %d",
-				spec.Name, spec.MinWavelengths)
 		}
 		// Raise the job's minimum to the algorithm's structural floor so a
 		// narrow grant can never make the runtime function fail mid-run.

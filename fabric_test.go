@@ -1,6 +1,7 @@
 package wrht
 
 import (
+	"fmt"
 	"math"
 	"reflect"
 	"testing"
@@ -63,7 +64,7 @@ func TestFabricPoliciesOnHeterogeneousMix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(results) != 3 {
+	if len(results) != 4 {
 		t.Fatalf("%d results", len(results))
 	}
 	for _, res := range results {
@@ -205,6 +206,149 @@ func TestFabricValidation(t *testing.T) {
 	bad.Nodes = 1
 	if _, err := SimulateFabric(bad, ok, FabricPolicy{Kind: FabricFirstFit}); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestJobSpecValidate: every malformed field is rejected with a clear error
+// up front instead of being silently clamped (or panicking) downstream.
+func TestJobSpecValidate(t *testing.T) {
+	good := JobSpec{Name: "ok", Bytes: 1 << 20, MinWavelengths: 2, MaxWavelengths: 8, Iterations: 2}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		spec JobSpec
+	}{
+		{"negative bytes", JobSpec{Name: "j", Bytes: -1}},
+		{"negative bytes with model", JobSpec{Name: "j", Model: "AlexNet", Bytes: -7}},
+		{"negative arrival", JobSpec{Name: "j", Bytes: 1, ArrivalSec: -0.5}},
+		{"NaN arrival", JobSpec{Name: "j", Bytes: 1, ArrivalSec: math.NaN()}},
+		{"Inf arrival", JobSpec{Name: "j", Bytes: 1, ArrivalSec: math.Inf(1)}},
+		{"negative min", JobSpec{Name: "j", Bytes: 1, MinWavelengths: -2}},
+		{"negative max", JobSpec{Name: "j", Bytes: 1, MaxWavelengths: -2}},
+		{"min above max", JobSpec{Name: "j", Bytes: 1, MinWavelengths: 8, MaxWavelengths: 4}},
+		{"negative iterations", JobSpec{Name: "j", Bytes: 1, Iterations: -1}},
+	}
+	cfg := fabricTestConfig()
+	for _, tc := range cases {
+		if err := tc.spec.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted %+v", tc.name, tc.spec)
+		}
+		// The same rejection surfaces through SimulateFabric before any
+		// simulation runs (regression: a negative Bytes used to be ignored
+		// when Model was set, and an inverted range surfaced as an opaque
+		// internal error).
+		if _, err := SimulateFabric(cfg, []JobSpec{tc.spec}, FabricPolicy{Kind: FabricFirstFit}); err == nil {
+			t.Errorf("%s: SimulateFabric accepted %+v", tc.name, tc.spec)
+		}
+	}
+}
+
+// churnTestJobs is a departure-heavy mix: a wide long-running job plus
+// bursts of short narrow-start jobs, so capacity frees repeatedly while
+// later tenants are still running at the widths they started with.
+func churnTestJobs() []JobSpec {
+	jobs := []JobSpec{
+		{Name: "pioneer", Model: "VGG16", Iterations: 2},
+	}
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, JobSpec{
+			Name:       fmt.Sprintf("short%d", i),
+			Model:      "AlexNet",
+			ArrivalSec: 1e-3 + float64(i)*5e-4,
+		})
+	}
+	return jobs
+}
+
+// TestFabricElasticImprovesOnFirstFit: on a departure-heavy mix, widening
+// survivors into freed capacity must strictly beat first-fit's
+// grant-once-and-hold on both makespan and mean slowdown.
+func TestFabricElasticImprovesOnFirstFit(t *testing.T) {
+	cfg := fabricTestConfig()
+	results, err := CompareFabricPolicies(cfg, churnTestJobs(), []FabricPolicy{
+		{Kind: FabricFirstFit},
+		{Kind: FabricElastic, ReconfigDelaySec: 2e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, el := results[0], results[1]
+	if el.MakespanSec >= ff.MakespanSec {
+		t.Fatalf("elastic makespan %v not better than first-fit %v", el.MakespanSec, ff.MakespanSec)
+	}
+	if el.MeanSlowdown >= ff.MeanSlowdown {
+		t.Fatalf("elastic mean slowdown %v not better than first-fit %v", el.MeanSlowdown, ff.MeanSlowdown)
+	}
+	reconfigs := 0
+	sawEvent := false
+	for _, j := range el.Jobs {
+		reconfigs += j.Reconfigs
+	}
+	for _, ev := range el.Events {
+		if ev.Kind == "reconfig" {
+			sawEvent = true
+		}
+	}
+	if reconfigs == 0 || !sawEvent {
+		t.Fatalf("elastic run reconfigured %d times, reconfig event seen: %v", reconfigs, sawEvent)
+	}
+}
+
+// TestFabricElasticSoloMatchesCommunicationTime extends the bridge
+// invariant to the elastic policy: a lone tenant never reconfigures, so it
+// reproduces the dedicated-ring time exactly even with a settling delay.
+func TestFabricElasticSoloMatchesCommunicationTime(t *testing.T) {
+	cfg := fabricTestConfig()
+	want, err := CommunicationTime(cfg, AlgWrht, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SimulateFabric(cfg,
+		[]JobSpec{{Name: "solo", Bytes: 1 << 20}},
+		FabricPolicy{Kind: FabricElastic, ReconfigDelaySec: 2e-6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := res.Jobs[0]
+	if j.DoneSec != want.Seconds || j.Reconfigs != 0 {
+		t.Fatalf("solo elastic tenant: %+v vs dedicated %v", j, want.Seconds)
+	}
+}
+
+// TestFabricTiedPrioritiesStableAcrossParallelism: a mix where every job
+// shares one priority and arrival time must co-simulate identically at any
+// sweep parallelism (the tie is broken by admission index, not by worker
+// scheduling).
+func TestFabricTiedPrioritiesStableAcrossParallelism(t *testing.T) {
+	var jobs []JobSpec
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, JobSpec{
+			Name:     fmt.Sprintf("tied%d", i),
+			Bytes:    int64(1+i) << 19,
+			Priority: 2, // same priority, same (zero) arrival for all
+		})
+	}
+	spec := SweepSpec{
+		Base:           fabricTestConfig(),
+		FabricMixes:    []FabricMix{{Name: "tied", Jobs: jobs}},
+		FabricPolicies: []FabricPolicy{{Kind: FabricPriority}, {Kind: FabricElastic}},
+	}
+	var want *SweepResult
+	for _, par := range []int{1, 4, 8} {
+		spec.Parallelism = par
+		got, err := RunSweep(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want == nil {
+			want = got
+			continue
+		}
+		if !reflect.DeepEqual(want.Cells, got.Cells) {
+			t.Fatalf("tied-priority fabric sweep differs at parallelism %d", par)
+		}
 	}
 }
 

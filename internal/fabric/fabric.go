@@ -8,11 +8,17 @@
 // takes at the granted stripe width, and release the wavelengths for queued
 // tenants.
 //
-// Three policies are provided: a static equal split of the budget into
-// tenant shares, first-fit sharing from a common pool (small jobs may
-// overtake a blocked head-of-line job), and priority scheduling with
-// preemption (a higher-priority arrival reclaims wavelengths from the
-// lowest-priority running tenants; preempted work resumes pro-rata).
+// Four policies are provided: a static split of the budget into tenant
+// shares (the remainder of an inexact division is spread round-robin, so no
+// wavelength is permanently dark), first-fit sharing from a common pool
+// (small jobs may overtake a blocked head-of-line job), priority scheduling
+// with preemption (a higher-priority arrival reclaims wavelengths from the
+// lowest-priority running tenants; preempted work resumes pro-rata), and
+// elastic re-allocation (every arrival and departure re-solves the stripe
+// assignment for the live tenant set: running jobs widen up to their
+// maximum when capacity frees, shrink — never fully preempt — to admit
+// higher-priority arrivals, and each mid-flight width change pays a
+// configurable optical reconfiguration penalty).
 //
 // The co-simulation is a discrete-event program on internal/sim, so runs are
 // deterministic: same jobs, same policy, same trace. Per-job runtimes are
@@ -67,11 +73,25 @@ const (
 	// from a common pool, scanning the FIFO queue so a small job may start
 	// while a wide head-of-line job waits.
 	FirstFitShare
-	// PriorityPreempt serves the queue in (priority, arrival) order and
-	// lets a higher-priority job reclaim wavelengths from running
-	// lower-priority tenants; preempted jobs requeue with their remaining
-	// work and resume later.
+	// PriorityPreempt serves the queue in (priority, arrival, admission
+	// index) order and lets a higher-priority job reclaim wavelengths from
+	// running lower-priority tenants; preempted jobs requeue with their
+	// remaining work and resume later.
 	PriorityPreempt
+	// ElasticReallocate re-solves the whole stripe assignment on every
+	// arrival and departure: the live tenant set (running plus queued) is
+	// re-partitioned by tiered water-filling — minimums first in (priority,
+	// arrival, admission index) order with head-of-line blocking at the
+	// first queued minimum that no longer fits, then the surplus one
+	// wavelength at a time within each priority tier. Running jobs widen when capacity
+	// frees and shrink (down to their minimum, never a full preemption) to
+	// admit higher-priority arrivals; each mid-flight width change splits
+	// the job's remaining work at the reconfiguration instant, re-prices
+	// the tail at the new width, and pays Policy.ReconfigDelaySec of
+	// optical switch settling. A widening that would not strictly improve
+	// the job's projected completion (the penalty outweighs the wider
+	// stripe on a nearly-done segment) is skipped.
+	ElasticReallocate
 )
 
 func (k PolicyKind) String() string {
@@ -82,6 +102,8 @@ func (k PolicyKind) String() string {
 		return "first-fit"
 	case PriorityPreempt:
 		return "priority"
+	case ElasticReallocate:
+		return "elastic"
 	default:
 		return fmt.Sprintf("PolicyKind(%d)", int(k))
 	}
@@ -90,13 +112,19 @@ func (k PolicyKind) String() string {
 // Policy is a policy kind plus its parameters.
 type Policy struct {
 	Kind PolicyKind
-	// Partitions is the number of equal shares under StaticPartition
+	// Partitions is the number of tenant shares under StaticPartition
 	// (default 4, clamped to the budget when unset). Must not exceed the
-	// wavelength budget. Each share is budget/Partitions wide; when the
-	// division is not exact, the remaining budget mod Partitions
-	// wavelengths stay dark (they still count in the utilization
-	// denominator — choose Partitions dividing the budget to avoid it).
+	// wavelength budget. Each share is budget/Partitions wavelengths wide
+	// and the remainder of an inexact division is distributed round-robin,
+	// so the first budget mod Partitions shares are one wavelength wider
+	// and every wavelength belongs to exactly one share.
 	Partitions int
+	// ReconfigDelaySec is the optical switch settling time a running job
+	// pays for each mid-flight stripe change under ElasticReallocate (the
+	// job holds its new wavelengths but makes no progress while the
+	// switch retunes). Ignored by the other policies. Must be >= 0 and
+	// finite; 0 models an idealized instantly-reconfigurable fabric.
+	ReconfigDelaySec float64
 }
 
 // Validate checks the policy against a wavelength budget.
@@ -108,6 +136,10 @@ func (p Policy) Validate(budget int) error {
 			return fmt.Errorf("fabric: %d partitions for budget %d", parts, budget)
 		}
 	case FirstFitShare, PriorityPreempt:
+	case ElasticReallocate:
+		if p.ReconfigDelaySec < 0 || math.IsNaN(p.ReconfigDelaySec) || math.IsInf(p.ReconfigDelaySec, 0) {
+			return fmt.Errorf("fabric: reconfiguration delay %v", p.ReconfigDelaySec)
+		}
 	default:
 		return fmt.Errorf("fabric: unknown policy kind %d", int(p.Kind))
 	}
@@ -126,6 +158,22 @@ func (p Policy) partitions(budget int) int {
 	return p.Partitions
 }
 
+// shareWidths returns the per-share wavelength counts under StaticPartition:
+// budget/parts each, with the remainder of the division spread round-robin
+// over the leading shares (widest shares first).
+func (p Policy) shareWidths(budget int) []int {
+	parts := p.partitions(budget)
+	base, rem := budget/parts, budget%parts
+	widths := make([]int, parts)
+	for i := range widths {
+		widths[i] = base
+		if i < rem {
+			widths[i]++
+		}
+	}
+	return widths
+}
+
 // EventKind tags one entry of the fabric trace.
 type EventKind int
 
@@ -136,6 +184,11 @@ const (
 	EvPreempt
 	EvResume
 	EvFinish
+	// EvReconfig records a mid-flight stripe change under ElasticReallocate:
+	// the job now holds Wavelengths wavelengths (wider or narrower than
+	// before) and stalls for the policy's reconfiguration delay before its
+	// re-priced tail resumes.
+	EvReconfig
 )
 
 func (k EventKind) String() string {
@@ -152,6 +205,8 @@ func (k EventKind) String() string {
 		return "resume"
 	case EvFinish:
 		return "finish"
+	case EvReconfig:
+		return "reconfig"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -183,6 +238,11 @@ type JobStats struct {
 	Wavelengths []int
 	Width       int
 	Preemptions int
+	// Reconfigs counts mid-flight stripe changes under ElasticReallocate
+	// (each one stalled the job for the policy's reconfiguration delay,
+	// which is included in ServiceSec — the job held wavelengths while the
+	// switch settled).
+	Reconfigs int
 	// AloneSec is the job's runtime had it run alone at its widest grant
 	// (MaxWavelengths, clamped to the budget) with no contention;
 	// Slowdown = (DoneSec-ArrivalSec)/AloneSec >= 1 measures what sharing
@@ -220,10 +280,15 @@ type jobRec struct {
 	remaining float64
 	epoch     int
 	waves     []int
+	share     int // occupied share index under StaticPartition, else -1
 	segStart  float64
 	segLen    float64
-	st        JobStats
-	memo      map[int]float64
+	// segPenalty is the leading reconfiguration stall of the current
+	// segment (ElasticReallocate): the job holds wavelengths but makes no
+	// progress during it, so pro-rata work accounting nets it out.
+	segPenalty float64
+	st         JobStats
+	memo       map[int]float64
 }
 
 const (
@@ -260,12 +325,19 @@ type scheduler struct {
 	recs   []*jobRec
 	events []Event
 
-	// shareSize is one tenant share under StaticPartition, parts the
-	// effective share count; activeShares counts tenants currently
-	// occupying a share.
-	shareSize    int
-	parts        int
-	activeShares int
+	// shareWidth holds the per-share wavelength counts under
+	// StaticPartition (the remainder of an inexact division makes the
+	// leading shares one wavelength wider); shareBusy marks shares
+	// currently occupied by a tenant.
+	shareWidth []int
+	shareBusy  []bool
+
+	// solvePending coalesces ElasticReallocate re-solves: every arrival
+	// and departure in one simulated instant triggers a single assignment
+	// solve (scheduled at the same timestamp, after the instant's other
+	// events), so physically simultaneous events cause one reconfiguration
+	// decision instead of a cascade of transient ones.
+	solvePending bool
 
 	// utilization accounting
 	lastT   float64
@@ -326,7 +398,7 @@ func Simulate(budget int, jobs []Job, pol Policy) (Result, error) {
 			return Result{}, fmt.Errorf("fabric: job %q has no runtime function", j.Name)
 		}
 		recs[i] = &jobRec{
-			Job: j, idx: i, remaining: 1,
+			Job: j, idx: i, remaining: 1, share: -1,
 			st:   JobStats{Name: j.Name, ArrivalSec: j.ArrivalSec},
 			memo: map[int]float64{},
 		}
@@ -337,8 +409,8 @@ func Simulate(budget int, jobs []Job, pol Policy) (Result, error) {
 		s.free[c] = true
 	}
 	if pol.Kind == StaticPartition {
-		s.parts = pol.partitions(budget)
-		s.shareSize = budget / s.parts
+		s.shareWidth = pol.shareWidths(budget)
+		s.shareBusy = make([]bool, len(s.shareWidth))
 	}
 	for _, r := range recs {
 		r := r
@@ -376,7 +448,7 @@ func (s *scheduler) account() {
 // maxGrant is the widest allocation any job can ever receive.
 func (s *scheduler) maxGrant() int {
 	if s.pol.Kind == StaticPartition {
-		return s.shareSize
+		return s.shareWidth[0] // leading shares are widest
 	}
 	return s.budget
 }
@@ -436,6 +508,7 @@ func (s *scheduler) start(r *jobRec, width int) {
 	r.state = stRunning
 	r.segStart = s.eng.Now()
 	r.segLen = seg * r.remaining
+	r.segPenalty = 0
 	r.st.Width = width
 	r.st.Wavelengths = append([]int(nil), r.waves...)
 	kind := EvStart
@@ -467,36 +540,87 @@ func (s *scheduler) complete(r *jobRec, epoch int) {
 	s.busyNow -= len(r.waves)
 	s.release(r.waves)
 	r.waves = nil
-	if s.pol.Kind == StaticPartition {
-		s.activeShares--
+	if r.share >= 0 {
+		s.shareBusy[r.share] = false
+		r.share = -1
 	}
 	s.emit(r, EvFinish, 0)
 	s.dispatch()
 }
 
-// preempt pauses a running job, returning its wavelengths to the pool and
-// requeueing its remaining work.
-func (s *scheduler) preempt(r *jobRec) {
+// remainingAt projects the fraction of r's total work still outstanding if
+// its running segment were cut at time now: completed work is credited
+// pro-rata, net of the segment's leading reconfiguration stall (during
+// which no progress was made). pause applies this credit and widenPays
+// previews it, so both must price the cut identically.
+func (r *jobRec) remainingAt(now float64) float64 {
+	active := r.segLen - r.segPenalty
+	if active <= 0 {
+		return 0
+	}
+	run := now - r.segStart - r.segPenalty
+	if run < 0 {
+		run = 0 // still inside the settling stall: no progress yet
+	}
+	frac := run / active
+	if frac > 1 {
+		frac = 1
+	}
+	return r.remaining * (1 - frac)
+}
+
+// pause stops r's running segment at the current instant: completed work is
+// credited pro-rata (remainingAt), the pending completion event is
+// invalidated, and the job's wavelengths return to the pool. The caller
+// decides what happens next — requeue (preemption) or an immediate restart
+// at a new width (elastic reconfiguration).
+func (s *scheduler) pause(r *jobRec) {
 	s.account()
 	now := s.eng.Now()
-	if r.segLen > 0 {
-		frac := (now - r.segStart) / r.segLen
-		if frac > 1 {
-			frac = 1
-		}
-		r.remaining *= 1 - frac
-	} else {
-		r.remaining = 0
-	}
+	r.remaining = r.remainingAt(now)
 	r.st.ServiceSec += now - r.segStart
-	r.st.Preemptions++
 	r.epoch++ // invalidate the pending completion event
 	s.busyNow -= len(r.waves)
 	s.release(r.waves)
 	r.waves = nil
+}
+
+// preempt pauses a running job, returning its wavelengths to the pool and
+// requeueing its remaining work.
+func (s *scheduler) preempt(r *jobRec) {
+	s.pause(r)
+	r.st.Preemptions++
 	r.state = stWaiting
 	s.queue = append(s.queue, r)
 	s.emit(r, EvPreempt, 0)
+}
+
+// reconfigure restarts a paused job at a new stripe width without it ever
+// leaving the fabric: the remaining work is re-priced at the new width and
+// the segment is stretched by the policy's reconfiguration delay (optical
+// switch settling — the job holds its new wavelengths but makes no progress
+// until the stall elapses).
+func (s *scheduler) reconfigure(r *jobRec, width int) {
+	tail, err := r.totalRuntime(width)
+	if err != nil {
+		s.fail(err)
+		return
+	}
+	r.waves = s.allocate(width)
+	r.segStart = s.eng.Now()
+	r.segPenalty = s.pol.ReconfigDelaySec
+	r.segLen = r.segPenalty + tail*r.remaining
+	r.st.Width = width
+	r.st.Wavelengths = append([]int(nil), r.waves...)
+	r.st.Reconfigs++
+	s.busyNow += width
+	if s.busyNow > s.peak {
+		s.peak = s.busyNow
+	}
+	s.emit(r, EvReconfig, width)
+	r.epoch++
+	epoch := r.epoch
+	s.eng.After(r.segLen, func() { s.complete(r, epoch) })
 }
 
 // dispatch runs the policy's scheduling pass over the wait queue.
@@ -511,21 +635,60 @@ func (s *scheduler) dispatch() {
 		s.dispatchFirstFit()
 	case PriorityPreempt:
 		s.dispatchPriority()
+	case ElasticReallocate:
+		if !s.solvePending {
+			s.solvePending = true
+			s.eng.After(0, func() {
+				s.solvePending = false
+				if s.err == nil {
+					s.dispatchElastic()
+				}
+			})
+		}
 	}
 }
 
-// dispatchStatic starts FIFO-queued jobs while a tenant share is free. A
-// job narrower than its share runs at its own MaxWavelengths cap; the rest
-// of the share stays dark (static isolation: at most Partitions tenants).
+// dispatchStatic starts FIFO-queued jobs while a fitting tenant share is
+// free. The head job takes the narrowest free share that covers its full
+// appetite (so a width-capped job does not burn a wide remainder share
+// another tenant could use), falling back to the widest free share that
+// still fits its minimum; a job narrower than its share runs at its own
+// MaxWavelengths cap (the rest of the share stays dark — static isolation:
+// at most Partitions concurrent tenants). The queue is strictly FIFO: a
+// head job waiting for one of the wider remainder shares blocks later
+// arrivals.
 func (s *scheduler) dispatchStatic() {
-	for len(s.queue) > 0 && s.activeShares < s.parts {
+	for len(s.queue) > 0 {
 		r := s.queue[0]
+		desire := r.MaxWavelengths
+		if w := s.shareWidth[0]; desire > w {
+			desire = w
+		}
+		share := -1
+		for i, busy := range s.shareBusy {
+			if !busy && s.shareWidth[i] >= desire &&
+				(share < 0 || s.shareWidth[i] < s.shareWidth[share]) {
+				share = i
+			}
+		}
+		if share < 0 {
+			for i, busy := range s.shareBusy {
+				if !busy && s.shareWidth[i] >= r.MinWavelengths &&
+					(share < 0 || s.shareWidth[i] > s.shareWidth[share]) {
+					share = i
+				}
+			}
+		}
+		if share < 0 {
+			return // no fitting share free; head-of-line waits
+		}
 		s.queue = s.queue[1:]
-		width := s.shareSize
+		width := s.shareWidth[share]
 		if r.MaxWavelengths < width {
 			width = r.MaxWavelengths
 		}
-		s.activeShares++
+		s.shareBusy[share] = true
+		r.share = share
 		s.start(r, width)
 		if s.err != nil {
 			return
@@ -551,18 +714,26 @@ func (s *scheduler) dispatchFirstFit() {
 	s.queue = keep
 }
 
-// dispatchPriority serves the queue in (priority desc, arrival asc) order,
-// preempting strictly lower-priority running jobs when the pool is short.
+// jobLess is the scheduling order shared by the priority and elastic
+// policies: priority descending, then arrival ascending, then admission
+// index ascending — the final tie-break makes results stable across runs
+// and sweep parallelism. victimsFor sorts by its negation.
+func jobLess(a, b *jobRec) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.ArrivalSec != b.ArrivalSec {
+		return a.ArrivalSec < b.ArrivalSec
+	}
+	return a.idx < b.idx
+}
+
+// dispatchPriority serves the queue in jobLess order, preempting strictly
+// lower-priority running jobs when the pool is short.
 func (s *scheduler) dispatchPriority() {
 	for s.err == nil && len(s.queue) > 0 {
 		sort.SliceStable(s.queue, func(a, b int) bool {
-			if s.queue[a].Priority != s.queue[b].Priority {
-				return s.queue[a].Priority > s.queue[b].Priority
-			}
-			if s.queue[a].ArrivalSec != s.queue[b].ArrivalSec {
-				return s.queue[a].ArrivalSec < s.queue[b].ArrivalSec
-			}
-			return s.queue[a].idx < s.queue[b].idx
+			return jobLess(s.queue[a], s.queue[b])
 		})
 		head := s.queue[0]
 		if head.MinWavelengths > s.nfree {
@@ -606,15 +777,215 @@ func (s *scheduler) victimsFor(r *jobRec) []*jobRec {
 		}
 	}
 	sort.SliceStable(out, func(a, b int) bool {
-		if out[a].Priority != out[b].Priority {
-			return out[a].Priority < out[b].Priority
-		}
-		if out[a].ArrivalSec != out[b].ArrivalSec {
-			return out[a].ArrivalSec > out[b].ArrivalSec
-		}
-		return out[a].idx > out[b].idx
+		return jobLess(out[b], out[a])
 	})
 	return out
+}
+
+// dispatchElastic re-solves the stripe assignment for the live tenant set
+// (running plus queued) from scratch, in three passes:
+//
+//  1. admission — running jobs always keep at least their minimum (elastic
+//     shrinks, it never fully preempts); queued jobs are admitted in
+//     (priority desc, arrival asc, admission index asc) order until the
+//     first one whose minimum no longer fits, which blocks the rest of the
+//     queue (head-of-line, like dispatchPriority — backfilling past a
+//     blocked wide high-priority job would starve it);
+//  2. target widths — tiered water-filling: every admitted job starts at
+//     its minimum, then the surplus is dealt one wavelength at a time
+//     round-robin within each priority tier (highest tier saturates to its
+//     MaxWavelengths before the next tier sees any surplus);
+//  3. apply — changed running jobs are paused (work credited pro-rata),
+//     then restarted at their new width with the reconfiguration penalty;
+//     newly admitted jobs start penalty-free. A widening whose projected
+//     completion (now + penalty + re-priced tail) is not strictly earlier
+//     than the current segment's is skipped — near the end of a run the
+//     settling stall outweighs any wider stripe — and a job due to finish
+//     within the settling delay is pinned at its current width (its
+//     departure frees capacity sooner than a stalled resize would).
+//
+// All orderings are deterministic, so the co-simulation stays reproducible.
+func (s *scheduler) dispatchElastic() {
+	now := s.eng.Now()
+	var cands []*jobRec
+	for _, r := range s.recs {
+		// A running segment due to complete at this very instant is left
+		// alone: its pending completion event (same timestamp, later
+		// sequence) frees the wavelengths and re-enters this solver.
+		if r.state == stRunning && now < r.segStart+r.segLen {
+			cands = append(cands, r)
+		}
+	}
+	cands = append(cands, s.queue...)
+	sort.SliceStable(cands, func(a, b int) bool {
+		return jobLess(cands[a], cands[b])
+	})
+
+	// A running job due to finish within the settling delay is pinned at
+	// its current width: shrinking it can never pay — its natural departure
+	// frees the capacity sooner than a stalled resize would — and any
+	// widening would fail the widen guard anyway. Without the pin, an
+	// ill-timed arrival could stall a nearly-done job for the full delay
+	// and leave elastic strictly worse than grant-once first-fit.
+	pinned := func(r *jobRec) bool {
+		return r.state == stRunning && r.segStart+r.segLen-now <= s.pol.ReconfigDelaySec
+	}
+	// floor is the width a running job must keep through the solve: its
+	// minimum normally, its exact current width when pinned.
+	floor := func(r *jobRec) int {
+		if pinned(r) {
+			return len(r.waves)
+		}
+		return r.MinWavelengths
+	}
+
+	// Pass 1: admission. Running jobs' floors are pre-reserved; queued
+	// jobs join strictly in priority order while their minimums still fit.
+	// Admission stops at the first queued job that does not fit (matching
+	// dispatchPriority's head-of-line semantics): letting later
+	// lower-priority arrivals backfill past a blocked wide high-priority
+	// job would starve it indefinitely under a steady low-priority stream.
+	reserved := 0
+	for _, r := range cands {
+		if r.state == stRunning {
+			reserved += floor(r)
+		}
+	}
+	var admit []*jobRec
+	blocked := false
+	for _, r := range cands {
+		if r.state == stRunning {
+			// Running jobs always stay in the solve (they keep at least
+			// their minimum and share in the water-fill), even when they
+			// sort below a blocked queued job.
+			admit = append(admit, r)
+			continue
+		}
+		if blocked || reserved+r.MinWavelengths > s.budget {
+			blocked = true
+			continue
+		}
+		reserved += r.MinWavelengths
+		admit = append(admit, r)
+	}
+
+	// Pass 2: tiered water-filling over the admitted set. Fill caps start
+	// at each job's MaxWavelengths; when the widen guard below vetoes a
+	// widening, the job is re-capped at its current width and the fill
+	// re-solved, so the declined surplus flows to jobs whose own widening
+	// still pays instead of sitting dark until the next event. Each veto
+	// round permanently caps at least one job (a capped job's target can
+	// never exceed its current width again), so the loop runs at most
+	// len(admit) times.
+	caps := make([]int, len(admit))
+	for i, r := range admit {
+		caps[i] = r.MaxWavelengths
+		if pinned(r) {
+			caps[i] = len(r.waves)
+		}
+	}
+	solve := func() []int {
+		target := make([]int, len(admit))
+		for i, r := range admit {
+			target[i] = floor(r)
+		}
+		surplus := s.budget - reserved
+		for lo := 0; lo < len(admit) && surplus > 0; {
+			hi := lo
+			for hi < len(admit) && admit[hi].Priority == admit[lo].Priority {
+				hi++
+			}
+			for surplus > 0 {
+				progressed := false
+				for i := lo; i < hi && surplus > 0; i++ {
+					if target[i] < caps[i] {
+						target[i]++
+						surplus--
+						progressed = true
+					}
+				}
+				if !progressed {
+					break
+				}
+			}
+			lo = hi
+		}
+		return target
+	}
+	target := solve()
+	for s.err == nil {
+		vetoed := false
+		for i, r := range admit {
+			if r.state == stRunning && target[i] > len(r.waves) && !s.widenPays(r, target[i]) {
+				caps[i] = len(r.waves)
+				vetoed = true
+			}
+		}
+		if !vetoed {
+			break
+		}
+		target = solve()
+	}
+	if s.err != nil {
+		return
+	}
+
+	// Pass 3: apply. Release every shrinking/changed stripe before
+	// allocating any new one so a widening job can absorb a shrinking
+	// neighbor's wavelengths.
+	var changed []*jobRec
+	widths := make(map[*jobRec]int, len(admit))
+	for i, r := range admit {
+		if r.state != stRunning || target[i] == len(r.waves) {
+			continue
+		}
+		changed = append(changed, r)
+		widths[r] = target[i]
+	}
+	for _, r := range changed {
+		s.pause(r)
+	}
+	for _, r := range changed {
+		s.reconfigure(r, widths[r])
+		if s.err != nil {
+			return
+		}
+	}
+	// Newly admitted jobs start at their solved width, penalty-free.
+	admitted := make(map[*jobRec]bool, len(admit))
+	for i, r := range admit {
+		if r.state == stWaiting {
+			admitted[r] = true
+			widths[r] = target[i]
+		}
+	}
+	var keep []*jobRec
+	for _, r := range s.queue {
+		if !admitted[r] {
+			keep = append(keep, r)
+		}
+	}
+	s.queue = keep
+	for _, r := range admit {
+		if s.err == nil && admitted[r] {
+			s.start(r, widths[r])
+		}
+	}
+}
+
+// widenPays reports whether restarting r at the wider stripe strictly
+// beats letting the current segment finish: the reconfiguration stall plus
+// the re-priced tail must complete earlier than segStart+segLen. Pricing
+// the candidate width may hit the caller's runtime function for the first
+// time; its errors abort the simulation like any other runtime failure.
+func (s *scheduler) widenPays(r *jobRec, width int) bool {
+	tail, err := r.totalRuntime(width)
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	now := s.eng.Now()
+	return now+s.pol.ReconfigDelaySec+tail*r.remainingAt(now) < r.segStart+r.segLen
 }
 
 func (s *scheduler) running() []*jobRec {

@@ -1,7 +1,9 @@
 package fabric
 
 import (
+	"fmt"
 	"math"
+	"math/rand"
 	"reflect"
 	"testing"
 )
@@ -238,6 +240,81 @@ func TestPriorityEqualDoesNotPreempt(t *testing.T) {
 	}
 }
 
+func TestStaticPartitionDistributesRemainder(t *testing.T) {
+	// Budget 10 split 4 ways used to leave 10%4 = 2 wavelengths permanently
+	// dark (every share was 10/4 = 2 wide). The remainder is now spread
+	// round-robin: shares are 3,3,2,2 — every wavelength belongs to a share.
+	jobs := []Job{
+		{Name: "a", Runtime: perfectScaling(6)},
+		{Name: "b", Runtime: perfectScaling(6)},
+		{Name: "c", Runtime: perfectScaling(6)},
+		{Name: "d", Runtime: perfectScaling(6)},
+	}
+	res := mustSimulate(t, 10, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	widths := map[string]int{}
+	for _, j := range res.Jobs {
+		widths[j.Name] = j.Width
+	}
+	want := map[string]int{"a": 3, "b": 3, "c": 2, "d": 2}
+	if !reflect.DeepEqual(widths, want) {
+		t.Fatalf("share widths %v, want %v", widths, want)
+	}
+	// Old behavior gap (golden): with all shares 2 wide, peak was 8 of 10
+	// and every job took 3.0s; now the fabric lights all 10 wavelengths and
+	// the two wide-share tenants finish at 2.0s.
+	if res.PeakWavelengths != 10 {
+		t.Fatalf("peak %d, want 10 (remainder no longer dark)", res.PeakWavelengths)
+	}
+	if a := jobByName(t, res, "a"); !approx(a.DoneSec, 2.0) {
+		t.Fatalf("wide-share tenant: %+v", a)
+	}
+	if d := jobByName(t, res, "d"); !approx(d.DoneSec, 3.0) {
+		t.Fatalf("base-share tenant: %+v", d)
+	}
+}
+
+func TestStaticPartitionCappedJobTakesNarrowShare(t *testing.T) {
+	// Shares are 3,3,2,2. A width-capped job (Max 2) must take a narrow
+	// share, leaving the wide remainder shares for tenants that can use
+	// them: the min-3 job arriving right after it gets a wide share at once.
+	jobs := []Job{
+		{Name: "capped", MaxWavelengths: 2, Runtime: perfectScaling(4)},
+		{Name: "wide", ArrivalSec: 0.1, MinWavelengths: 3, Runtime: perfectScaling(3)},
+	}
+	res := mustSimulate(t, 10, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	capped, wide := jobByName(t, res, "capped"), jobByName(t, res, "wide")
+	if capped.Width != 2 || !approx(capped.DoneSec, 2.0) {
+		t.Fatalf("capped job: %+v", capped)
+	}
+	if wide.Width != 3 || !approx(wide.StartSec, 0.1) {
+		t.Fatalf("wide-minimum job should get a wide share immediately: %+v", wide)
+	}
+}
+
+func TestStaticPartitionRemainderAdmitsWiderMinimum(t *testing.T) {
+	// A job whose minimum exceeds the base share but fits a remainder share
+	// used to be rejected outright; now it waits for (or takes) a wide share.
+	jobs := []Job{
+		{Name: "wide", MinWavelengths: 3, Runtime: perfectScaling(3)},
+	}
+	res := mustSimulate(t, 10, jobs, Policy{Kind: StaticPartition, Partitions: 4})
+	j := jobByName(t, res, "wide")
+	if j.Rejected || j.Width != 3 || !approx(j.DoneSec, 1.0) {
+		t.Fatalf("wide-minimum tenant on a remainder share: %+v", j)
+	}
+	// Head-of-line semantics: when both wide shares are busy, a
+	// wide-minimum head job waits even though narrow shares sit free.
+	mix := []Job{
+		{Name: "w1", MinWavelengths: 3, Runtime: perfectScaling(3)},
+		{Name: "w2", MinWavelengths: 3, Runtime: perfectScaling(3)},
+		{Name: "w3", ArrivalSec: 0.1, MinWavelengths: 3, Runtime: perfectScaling(3)},
+	}
+	res = mustSimulate(t, 10, mix, Policy{Kind: StaticPartition, Partitions: 4})
+	if w3 := jobByName(t, res, "w3"); !approx(w3.StartSec, 1.0) {
+		t.Fatalf("third wide tenant should wait for a wide share: %+v", w3)
+	}
+}
+
 func TestAdmissionControlRejects(t *testing.T) {
 	// Static shares are 2 wide; a job demanding 3 can never be placed.
 	jobs := []Job{
@@ -343,6 +420,8 @@ func TestBudgetNeverExceeded(t *testing.T) {
 		{Kind: StaticPartition, Partitions: 4},
 		{Kind: FirstFitShare},
 		{Kind: PriorityPreempt},
+		{Kind: ElasticReallocate},
+		{Kind: ElasticReallocate, ReconfigDelaySec: 0.05},
 	} {
 		const budget = 8
 		res := mustSimulate(t, budget, heavyMix(), pol)
@@ -356,6 +435,12 @@ func TestBudgetNeverExceeded(t *testing.T) {
 				}
 				held[ev.Job] = ev.Wavelengths
 				total += ev.Wavelengths
+			case EvReconfig:
+				if held[ev.Job] == 0 {
+					t.Fatalf("%v: %s reconfigured while not running", pol.Kind, ev.Job)
+				}
+				total += ev.Wavelengths - held[ev.Job]
+				held[ev.Job] = ev.Wavelengths
 			case EvPreempt, EvFinish:
 				total -= held[ev.Job]
 				held[ev.Job] = 0
@@ -395,30 +480,39 @@ func TestBudgetNeverExceeded(t *testing.T) {
 
 // TestWorkConservation checks that under perfect scaling, every job receives
 // exactly its work in wavelength-seconds across all run segments, even
-// through preemptions.
+// through preemptions (priority) and mid-flight stripe changes (elastic at
+// zero settling delay — a nonzero delay adds stall wavelength-seconds on
+// top of the work by design).
 func TestWorkConservation(t *testing.T) {
-	jobs := heavyMix()
-	want := map[string]float64{}
-	for i, w := range []float64{8, 2, 16, 4, 1, 12, 3, 6, 2} {
-		want[jobs[i].Name] = w * float64(jobs[i].Iterations)
-	}
-	res := mustSimulate(t, 8, jobs, Policy{Kind: PriorityPreempt})
-	got := map[string]float64{}
-	holdW := map[string]int{}
-	holdT := map[string]float64{}
-	for _, ev := range res.Events {
-		switch ev.Kind {
-		case EvStart, EvResume:
-			holdW[ev.Job] = ev.Wavelengths
-			holdT[ev.Job] = ev.TimeSec
-		case EvPreempt, EvFinish:
-			got[ev.Job] += float64(holdW[ev.Job]) * (ev.TimeSec - holdT[ev.Job])
-			holdW[ev.Job] = 0
+	for _, pol := range []Policy{{Kind: PriorityPreempt}, {Kind: ElasticReallocate}} {
+		jobs := heavyMix()
+		want := map[string]float64{}
+		for i, w := range []float64{8, 2, 16, 4, 1, 12, 3, 6, 2} {
+			want[jobs[i].Name] = w * float64(jobs[i].Iterations)
 		}
-	}
-	for name, w := range want {
-		if !approx(got[name], w) {
-			t.Fatalf("job %s did %v wavelength-seconds of work, want %v", name, got[name], w)
+		res := mustSimulate(t, 8, jobs, pol)
+		got := map[string]float64{}
+		holdW := map[string]int{}
+		holdT := map[string]float64{}
+		for _, ev := range res.Events {
+			switch ev.Kind {
+			case EvStart, EvResume:
+				holdW[ev.Job] = ev.Wavelengths
+				holdT[ev.Job] = ev.TimeSec
+			case EvReconfig:
+				got[ev.Job] += float64(holdW[ev.Job]) * (ev.TimeSec - holdT[ev.Job])
+				holdW[ev.Job] = ev.Wavelengths
+				holdT[ev.Job] = ev.TimeSec
+			case EvPreempt, EvFinish:
+				got[ev.Job] += float64(holdW[ev.Job]) * (ev.TimeSec - holdT[ev.Job])
+				holdW[ev.Job] = 0
+			}
+		}
+		for name, w := range want {
+			if !approx(got[name], w) {
+				t.Fatalf("%v: job %s did %v wavelength-seconds of work, want %v",
+					pol.Kind, name, got[name], w)
+			}
 		}
 	}
 }
@@ -430,6 +524,7 @@ func TestDeterminism(t *testing.T) {
 		{Kind: StaticPartition, Partitions: 4},
 		{Kind: FirstFitShare},
 		{Kind: PriorityPreempt},
+		{Kind: ElasticReallocate, ReconfigDelaySec: 0.02},
 	} {
 		a := mustSimulate(t, 8, heavyMix(), pol)
 		b := mustSimulate(t, 8, heavyMix(), pol)
@@ -451,12 +546,315 @@ func TestIterationsScaleRuntime(t *testing.T) {
 
 func TestPolicyAndEventStrings(t *testing.T) {
 	if StaticPartition.String() != "static" || FirstFitShare.String() != "first-fit" ||
-		PriorityPreempt.String() != "priority" {
+		PriorityPreempt.String() != "priority" || ElasticReallocate.String() != "elastic" {
 		t.Fatal("policy names changed")
 	}
-	for _, k := range []EventKind{EvArrive, EvReject, EvStart, EvPreempt, EvResume, EvFinish} {
+	for _, k := range []EventKind{EvArrive, EvReject, EvStart, EvPreempt, EvResume, EvFinish, EvReconfig} {
 		if k.String() == "" {
 			t.Fatalf("event kind %d has no name", int(k))
 		}
+	}
+}
+
+func TestElasticWidensOnDeparture(t *testing.T) {
+	// a (work 8) and b (work 4) split the pool 4/4 at t=0. b departs at
+	// t=1; elastic re-solves and widens a to the full budget, so its
+	// remaining half runs at 8 wide: done at 1.5 instead of 2.0.
+	jobs := []Job{
+		{Name: "a", Runtime: perfectScaling(8)},
+		{Name: "b", Runtime: perfectScaling(4)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: ElasticReallocate})
+	a, b := jobByName(t, res, "a"), jobByName(t, res, "b")
+	if a.Width != 8 || a.Reconfigs != 1 || !approx(a.DoneSec, 1.5) {
+		t.Fatalf("widened job: %+v", a)
+	}
+	if !approx(b.DoneSec, 1.0) || b.Reconfigs != 0 {
+		t.Fatalf("departing job: %+v", b)
+	}
+	var sawReconfig bool
+	for _, ev := range res.Events {
+		if ev.Kind == EvReconfig {
+			if ev.Job != "a" || ev.Wavelengths != 8 || !approx(ev.TimeSec, 1.0) {
+				t.Fatalf("unexpected reconfig event: %+v", ev)
+			}
+			sawReconfig = true
+		}
+	}
+	if !sawReconfig {
+		t.Fatal("no reconfig event in the trace")
+	}
+}
+
+func TestElasticAdmitsQueuedOnDeparture(t *testing.T) {
+	// a needs the whole budget; b queues behind it and is admitted at the
+	// full width the moment a departs.
+	jobs := []Job{
+		{Name: "a", MinWavelengths: 8, Runtime: perfectScaling(8)},
+		{Name: "b", ArrivalSec: 0.5, Runtime: perfectScaling(4)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: ElasticReallocate})
+	b := jobByName(t, res, "b")
+	if !approx(b.StartSec, 1.0) || b.Width != 8 || !approx(b.DoneSec, 1.5) {
+		t.Fatalf("queued job after departure: %+v", b)
+	}
+	if !approx(b.QueueSec, 0.5) {
+		t.Fatalf("queue time %v, want 0.5", b.QueueSec)
+	}
+}
+
+func TestElasticShrinksInsteadOfPreempting(t *testing.T) {
+	// Low-priority a owns the fabric when high-priority b (min 6) arrives.
+	// Priority preemption would evict a entirely; elastic shrinks it to its
+	// 2-wavelength minimum so both make progress, then widens it back after
+	// b departs.
+	jobs := []Job{
+		{Name: "a", Priority: 0, MinWavelengths: 2, Runtime: perfectScaling(8)},
+		{Name: "b", Priority: 5, ArrivalSec: 0.5, MinWavelengths: 6, MaxWavelengths: 6,
+			Runtime: perfectScaling(6)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: ElasticReallocate})
+	a, b := jobByName(t, res, "a"), jobByName(t, res, "b")
+	if b.QueueSec != 0 || !approx(b.DoneSec, 1.5) || b.Width != 6 {
+		t.Fatalf("high-priority arrival: %+v", b)
+	}
+	// a: runs 8-wide 0..0.5 (half done), 2-wide 0.5..1.5 (quarter more),
+	// then widens back to 8 at b's departure: remaining quarter in 0.25s.
+	if a.Preemptions != 0 {
+		t.Fatalf("elastic must never fully preempt: %+v", a)
+	}
+	if a.Reconfigs != 2 || !approx(a.DoneSec, 1.75) {
+		t.Fatalf("shrunk-then-widened job: %+v", a)
+	}
+}
+
+func TestElasticReconfigPenaltyAndWidenGuard(t *testing.T) {
+	// Same departure as TestElasticWidensOnDeparture. With a 0.25s settling
+	// delay the widening still pays (1 + 0.25 + 0.5 = 1.75 < 2.0); with a
+	// 0.6s delay it would finish later than just staying at width 4, so the
+	// solver must skip it.
+	mk := func() []Job {
+		return []Job{
+			{Name: "a", Runtime: perfectScaling(8)},
+			{Name: "b", Runtime: perfectScaling(4)},
+		}
+	}
+	res := mustSimulate(t, 8, mk(), Policy{Kind: ElasticReallocate, ReconfigDelaySec: 0.25})
+	a := jobByName(t, res, "a")
+	if a.Reconfigs != 1 || !approx(a.DoneSec, 1.75) {
+		t.Fatalf("paying widen: %+v", a)
+	}
+	res = mustSimulate(t, 8, mk(), Policy{Kind: ElasticReallocate, ReconfigDelaySec: 0.6})
+	a = jobByName(t, res, "a")
+	if a.Reconfigs != 0 || !approx(a.DoneSec, 2.0) || a.Width != 4 {
+		t.Fatalf("widen guard should keep the narrow stripe: %+v", a)
+	}
+	// The guarded run still reports a valid utilization (stalls hold
+	// wavelengths, so utilization can exceed the pure-work level but not 1).
+	if res.Utilization <= 0 || res.Utilization > 1 {
+		t.Fatalf("utilization %v", res.Utilization)
+	}
+}
+
+func TestElasticVetoedSurplusFlowsToOtherJobs(t *testing.T) {
+	// X, Y, Z water-fill to 4 λ each at t=0. X departs at t=1, freeing 4 λ.
+	// The even re-split (Y, Z → 6 each) fails the widen guard for Y — with
+	// a 1.3s settling stall, 1 + 1.3 + 0.75·(16/6) = 4.3 > its current 4.0
+	// finish — so Y is re-capped at 4 and the re-solved fill hands the whole
+	// freed stripe to Z (4 → 8), whose widening does pay:
+	// 1 + 1.3 + (5/6)·(24/8) = 4.8 < 6.0. Without the re-solve the 4 λ
+	// would sit dark until the next event and Z would finish at 5.63.
+	jobs := []Job{
+		{Name: "x", MaxWavelengths: 4, Runtime: perfectScaling(4)},
+		{Name: "y", MaxWavelengths: 8, Runtime: perfectScaling(16)},
+		{Name: "z", MaxWavelengths: 12, Runtime: perfectScaling(24)},
+	}
+	res := mustSimulate(t, 12, jobs, Policy{Kind: ElasticReallocate, ReconfigDelaySec: 1.3})
+	y, z := jobByName(t, res, "y"), jobByName(t, res, "z")
+	if y.Reconfigs != 0 || y.Width != 4 || !approx(y.DoneSec, 4.0) {
+		t.Fatalf("vetoed job must keep its stripe untouched: %+v", y)
+	}
+	if z.Reconfigs != 1 || z.Width != 8 || !approx(z.DoneSec, 4.8) {
+		t.Fatalf("freed stripe should flow past the vetoed job: %+v", z)
+	}
+}
+
+func TestElasticPinsNearlyDoneJobInsteadOfShrinking(t *testing.T) {
+	// a holds the whole fabric and is due to finish at t=1.0 when b arrives
+	// at t=0.999 with a 0.5s settling delay. Shrinking a to admit b would
+	// stall a's last millisecond of work behind the full delay (finishing
+	// at ~1.5 and pushing makespan to ~2.0, strictly worse than first-fit's
+	// 1.5). The solver must pin a at its current width; b then starts at
+	// a's natural departure with the whole budget, matching first-fit.
+	jobs := []Job{
+		{Name: "a", Runtime: perfectScaling(8)},
+		{Name: "b", ArrivalSec: 0.999, Runtime: perfectScaling(4)},
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: ElasticReallocate, ReconfigDelaySec: 0.5})
+	a, b := jobByName(t, res, "a"), jobByName(t, res, "b")
+	if a.Reconfigs != 0 || !approx(a.DoneSec, 1.0) {
+		t.Fatalf("nearly-done job must not be shrunk: %+v", a)
+	}
+	if b.Width != 8 || !approx(b.StartSec, 1.0) || !approx(b.DoneSec, 1.5) {
+		t.Fatalf("arrival should wait for the natural departure: %+v", b)
+	}
+	if !approx(res.MakespanSec, 1.5) {
+		t.Fatalf("makespan %v, want first-fit-equivalent 1.5", res.MakespanSec)
+	}
+}
+
+func TestElasticSoloMatchesDedicated(t *testing.T) {
+	// A lone tenant gets the whole budget immediately and never
+	// reconfigures, so elastic reproduces the dedicated-ring time exactly.
+	res := mustSimulate(t, 8,
+		[]Job{{Name: "solo", Runtime: perfectScaling(8)}},
+		Policy{Kind: ElasticReallocate, ReconfigDelaySec: 0.1})
+	j := jobByName(t, res, "solo")
+	if j.Width != 8 || j.Reconfigs != 0 || !approx(j.DoneSec, 1.0) || !approx(j.Slowdown, 1.0) {
+		t.Fatalf("solo elastic tenant: %+v", j)
+	}
+}
+
+func TestElasticDoesNotStarveBlockedHighPriority(t *testing.T) {
+	// Two low-priority min-4 tenants hold the fabric when a high-priority
+	// full-width job H arrives, followed by a steady stream of low-priority
+	// min-4 jobs. Backfilling admission would slip each arrival into the
+	// half freed by every departure and starve H forever; head-of-line
+	// admission must start H at the first instant both halves are free.
+	jobs := []Job{
+		{Name: "low0", Priority: 0, MinWavelengths: 4, MaxWavelengths: 4, Runtime: perfectScaling(4)},
+		{Name: "low1", Priority: 0, MinWavelengths: 4, MaxWavelengths: 4, Runtime: perfectScaling(8)},
+		{Name: "H", Priority: 9, ArrivalSec: 0.1, MinWavelengths: 8, Runtime: perfectScaling(8)},
+	}
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, Job{
+			Name:           fmt.Sprintf("late%d", i),
+			Priority:       0,
+			ArrivalSec:     0.2 + 0.1*float64(i),
+			MinWavelengths: 4, MaxWavelengths: 4,
+			Runtime: perfectScaling(4),
+		})
+	}
+	res := mustSimulate(t, 8, jobs, Policy{Kind: ElasticReallocate})
+	h := jobByName(t, res, "H")
+	// low0 departs at 1.0, low1 at 2.0; H must start at 2.0, before any of
+	// the later low-priority arrivals run.
+	if !approx(h.StartSec, 2.0) {
+		t.Fatalf("blocked high-priority job started at %v, want 2.0: %+v", h.StartSec, h)
+	}
+	for i := 0; i < 6; i++ {
+		if late := jobByName(t, res, fmt.Sprintf("late%d", i)); late.StartSec < h.StartSec {
+			t.Fatalf("low-priority late%d overtook the blocked high-priority job: %+v", i, late)
+		}
+	}
+}
+
+func TestElasticValidation(t *testing.T) {
+	ok := []Job{{Name: "a", Runtime: perfectScaling(1)}}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if _, err := Simulate(8, ok, Policy{Kind: ElasticReallocate, ReconfigDelaySec: bad}); err == nil {
+			t.Errorf("reconfig delay %v accepted", bad)
+		}
+	}
+}
+
+// TestPriorityTieBreakByAdmissionIndex: two jobs with identical priority and
+// arrival time must start in admission (spec) order, every run.
+func TestPriorityTieBreakByAdmissionIndex(t *testing.T) {
+	mk := func() []Job {
+		var jobs []Job
+		for _, n := range []string{"first", "second", "third"} {
+			jobs = append(jobs, Job{
+				Name: n, Priority: 3, MinWavelengths: 8, Runtime: perfectScaling(8),
+			})
+		}
+		return jobs
+	}
+	want := mustSimulate(t, 8, mk(), Policy{Kind: PriorityPreempt})
+	for i, name := range []string{"first", "second", "third"} {
+		j := jobByName(t, want, name)
+		if !approx(j.StartSec, float64(i)) {
+			t.Fatalf("tied job %s started at %v, want admission order (t=%d)", name, j.StartSec, i)
+		}
+	}
+	for run := 0; run < 5; run++ {
+		if got := mustSimulate(t, 8, mk(), Policy{Kind: PriorityPreempt}); !reflect.DeepEqual(got, want) {
+			t.Fatalf("run %d: tied-priority schedule not stable", run)
+		}
+	}
+}
+
+// randomMix builds a seeded random job mix for the property tests: bursty
+// arrivals, mixed priorities, stripe appetites, and iteration counts, with
+// a mildly non-ideal (but monotone) speedup curve.
+func randomMix(seed int64, n, budget int) []Job {
+	rng := rand.New(rand.NewSource(seed))
+	var jobs []Job
+	for i := 0; i < n; i++ {
+		work := 0.5 + rng.Float64()*15
+		min := 1 + rng.Intn(3)
+		max := min + rng.Intn(budget-min+1)
+		jobs = append(jobs, Job{
+			Name:           fmt.Sprintf("r%02d", i),
+			ArrivalSec:     rng.Float64() * 3,
+			Priority:       rng.Intn(4),
+			MinWavelengths: min,
+			MaxWavelengths: max,
+			Iterations:     1 + rng.Intn(3),
+			Runtime: func(w int) (float64, error) {
+				return work/float64(w) + 0.01, nil
+			},
+		})
+	}
+	return jobs
+}
+
+// TestPreemptionAccountingInvariants property-tests the per-job accounting
+// through preemptions (priority) and mid-flight reconfigurations (elastic,
+// with and without settling delay) over seeded random mixes: queue time is
+// non-negative, service time fits inside the job's span, no job beats its
+// contention-free alone time, and slowdowns are >= 1.
+func TestPreemptionAccountingInvariants(t *testing.T) {
+	const budget = 8
+	const eps = 1e-9
+	preempts, reconfigs := 0, 0
+	for seed := int64(1); seed <= 8; seed++ {
+		for _, pol := range []Policy{
+			{Kind: PriorityPreempt},
+			{Kind: ElasticReallocate},
+			{Kind: ElasticReallocate, ReconfigDelaySec: 0.03},
+		} {
+			res := mustSimulate(t, budget, randomMix(seed, 10, budget), pol)
+			for _, j := range res.Jobs {
+				if j.Rejected {
+					t.Fatalf("seed %d %v: unexpected rejection %+v", seed, pol, j)
+				}
+				preempts += j.Preemptions
+				reconfigs += j.Reconfigs
+				if j.QueueSec < -eps || j.StartSec < j.ArrivalSec-eps {
+					t.Fatalf("seed %d %v: negative queue time %+v", seed, pol, j)
+				}
+				if j.ServiceSec <= 0 || j.DoneSec < j.StartSec-eps {
+					t.Fatalf("seed %d %v: inconsistent service span %+v", seed, pol, j)
+				}
+				if j.ServiceSec > j.DoneSec-j.ArrivalSec+eps {
+					t.Fatalf("seed %d %v: service exceeds span %+v", seed, pol, j)
+				}
+				if j.DoneSec-j.ArrivalSec < j.AloneSec-eps {
+					t.Fatalf("seed %d %v: job beat its alone time %+v", seed, pol, j)
+				}
+				if j.Slowdown < 1-eps {
+					t.Fatalf("seed %d %v: slowdown %v < 1 %+v", seed, pol, j.Slowdown, j)
+				}
+				if pol.Kind == ElasticReallocate && j.Preemptions != 0 {
+					t.Fatalf("seed %d: elastic preempted %+v", seed, j)
+				}
+			}
+		}
+	}
+	// The mixes are contended enough to exercise the machinery somewhere.
+	if preempts == 0 || reconfigs == 0 {
+		t.Fatalf("property mixes exercised %d preemptions, %d reconfigs; want both > 0",
+			preempts, reconfigs)
 	}
 }

@@ -8,13 +8,20 @@ import (
 )
 
 // FabricPolicyTable summarizes one job mix under several policies: one row
-// per policy with makespan, queueing, slowdown, fairness and utilization.
-// cmd/fabricsim renders it as text, markdown, or CSV.
+// per policy with makespan, queueing, slowdown, fairness, utilization, and
+// the total preemption/reconfiguration churn. cmd/fabricsim renders it as
+// text, markdown, or CSV.
 func FabricPolicyTable(title string, results []wrht.FabricResult) *stats.Table {
 	tb := stats.NewTable(title,
 		"policy", "makespan", "mean queue", "max queue",
-		"mean slowdown", "fairness", "utilization", "peak λ", "rejected")
+		"mean slowdown", "fairness", "utilization", "peak λ",
+		"preempts", "reconfigs", "rejected")
 	for _, r := range results {
+		preempts, reconfigs := 0, 0
+		for _, j := range r.Jobs {
+			preempts += j.Preemptions
+			reconfigs += j.Reconfigs
+		}
 		tb.AddRow(
 			r.Policy.String(),
 			stats.FormatSeconds(r.MakespanSec),
@@ -24,6 +31,8 @@ func FabricPolicyTable(title string, results []wrht.FabricResult) *stats.Table {
 			fmt.Sprintf("%.3f", r.Fairness),
 			fmt.Sprintf("%.1f%%", 100*r.Utilization),
 			fmt.Sprintf("%d/%d", r.PeakWavelengths, r.Budget),
+			fmt.Sprintf("%d", preempts),
+			fmt.Sprintf("%d", reconfigs),
 			fmt.Sprintf("%d", r.RejectedJobs),
 		)
 	}
@@ -34,11 +43,11 @@ func FabricPolicyTable(title string, results []wrht.FabricResult) *stats.Table {
 func FabricJobsTable(res wrht.FabricResult) *stats.Table {
 	tb := stats.NewTable(
 		fmt.Sprintf("per-job outcome under %s (budget %d λ)", res.Policy, res.Budget),
-		"job", "arrival", "queue", "service", "done", "λ", "preempts", "slowdown")
+		"job", "arrival", "queue", "service", "done", "λ", "preempts", "reconfigs", "slowdown")
 	for _, j := range res.Jobs {
 		if j.Rejected {
 			tb.AddRow(j.Name, stats.FormatSeconds(j.ArrivalSec),
-				"-", "-", "rejected", "-", "-", "-")
+				"-", "-", "rejected", "-", "-", "-", "-")
 			continue
 		}
 		tb.AddRow(
@@ -49,8 +58,34 @@ func FabricJobsTable(res wrht.FabricResult) *stats.Table {
 			stats.FormatSeconds(j.DoneSec),
 			fmt.Sprintf("%d", j.Width),
 			fmt.Sprintf("%d", j.Preemptions),
+			fmt.Sprintf("%d", j.Reconfigs),
 			fmt.Sprintf("%.2fx", j.Slowdown),
 		)
 	}
 	return tb
+}
+
+// ChurnMix is the canonical departure-heavy tenant mix for the elastic
+// policy comparison (EXPERIMENTS.md F2, BenchmarkFabricElastic): a burst of
+// short capped jobs fills the whole pool, then a long uncapped straggler
+// arrives while the fabric is full. A grant-once policy starts the
+// straggler at whatever sliver the first departure frees and leaves it
+// there while the rest of the fabric drains dark around it; elastic
+// re-allocation widens it into every freed stripe. The mix is fixed (not
+// seeded at call time) so every consumer prices the identical scenario.
+func ChurnMix() wrht.FabricMix {
+	var jobs []wrht.JobSpec
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, wrht.JobSpec{
+			Name:           fmt.Sprintf("burst%d-alexnet", i),
+			Model:          "AlexNet",
+			ArrivalSec:     float64(i) * 1e-4,
+			MaxWavelengths: 8,
+			Iterations:     1 + i%3,
+		})
+	}
+	jobs = append(jobs, wrht.JobSpec{
+		Name: "straggler-vgg", Model: "VGG16", ArrivalSec: 2e-3, Iterations: 2,
+	})
+	return wrht.FabricMix{Name: "churn", Jobs: jobs}
 }

@@ -23,17 +23,39 @@ func TestFabricPolicyTable(t *testing.T) {
 		t.Fatal(err)
 	}
 	tb := FabricPolicyTable("policy comparison", results)
-	if len(tb.Rows) != 3 {
+	if len(tb.Rows) != 4 {
 		t.Fatalf("%d rows", len(tb.Rows))
 	}
 	out := tb.String()
-	for _, want := range []string{"static", "first-fit", "priority", "fairness"} {
+	for _, want := range []string{"static", "first-fit", "priority", "elastic", "fairness"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("table missing %q:\n%s", want, out)
 		}
 	}
 	if csv := tb.CSV(); !strings.Contains(csv, "policy,makespan") {
 		t.Fatalf("bad CSV header:\n%s", csv)
+	}
+}
+
+// TestChurnMixElasticStrictlyImprovesOnFirstFit pins the PR's headline
+// claim (EXPERIMENTS.md F2): on the canonical departure-heavy mix the
+// elastic policy strictly improves both makespan and mean slowdown over
+// first-fit.
+func TestChurnMixElasticStrictlyImprovesOnFirstFit(t *testing.T) {
+	cfg := wrht.DefaultConfig(64)
+	results, err := wrht.CompareFabricPolicies(cfg, ChurnMix().Jobs, []wrht.FabricPolicy{
+		{Kind: wrht.FabricFirstFit},
+		{Kind: wrht.FabricElastic, ReconfigDelaySec: 2e-6},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ff, el := results[0], results[1]
+	if el.MakespanSec >= ff.MakespanSec {
+		t.Fatalf("elastic makespan %v >= first-fit %v", el.MakespanSec, ff.MakespanSec)
+	}
+	if el.MeanSlowdown >= ff.MeanSlowdown {
+		t.Fatalf("elastic mean slowdown %v >= first-fit %v", el.MeanSlowdown, ff.MeanSlowdown)
 	}
 }
 
