@@ -11,6 +11,14 @@
 //	fabricsim -seed 7 -nodes 128 -wavelengths 32
 //	fabricsim -policy elastic -reconfig 2
 //	fabricsim -scenario churn           # departure-heavy mix: elastic shines
+//	fabricsim -scenario churn -trace churn.json -metrics churn.md
+//
+// -trace writes the co-simulation's flight-recorder timeline — jobs as
+// tracks with admit/preempt/reconfig markers and run/settle spans,
+// queue-depth and lit-wavelength counter tracks, and one occupancy lane per
+// wavelength — as Chrome trace-event JSON for ui.perfetto.dev; -metrics
+// writes the observability snapshot (cache layers, event counters,
+// per-wavelength busy time) as markdown, or CSV with a .csv suffix.
 package main
 
 import (
@@ -40,6 +48,8 @@ func main() {
 		sweep       = flag.String("sweep", "", "comma-separated job counts to sweep (overrides -jobs)")
 		format      = flag.String("format", "table", "table | markdown | csv")
 		detail      = flag.Bool("detail", false, "also print per-job outcomes and the event trace")
+		tracePath   = flag.String("trace", "", "write Perfetto trace-event JSON to this file")
+		metrics     = flag.String("metrics", "", "write a metrics snapshot to this file (.csv for CSV, else markdown)")
 	)
 	flag.Parse()
 
@@ -59,6 +69,12 @@ func main() {
 		must(err)
 	}
 
+	ss := wrht.NewSweepSession()
+	var ob *wrht.Observer
+	if *tracePath != "" || *metrics != "" {
+		ob = ss.Observe()
+	}
+
 	for _, n := range counts {
 		var mix []wrht.JobSpec
 		switch *scenario {
@@ -69,7 +85,7 @@ func main() {
 		default:
 			must(fmt.Errorf("unknown scenario %q (want mixed or churn)", *scenario))
 		}
-		results, err := wrht.CompareFabricPolicies(cfg, mix, policies)
+		results, err := ss.CompareFabricPolicies(cfg, mix, policies)
 		must(err)
 		title := fmt.Sprintf("shared fabric (%s): %d jobs on %d nodes, %d wavelengths (seed %d)",
 			*scenario, n, *nodes, *wavelengths, *seed)
@@ -80,6 +96,20 @@ func main() {
 				render(traceTable(res), *format)
 			}
 		}
+	}
+
+	if *tracePath != "" {
+		must(ob.WriteTraceFile(*tracePath))
+		fmt.Printf("trace: %s (open in ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metrics != "" {
+		snap := ss.Snapshot()
+		body := snap.Markdown()
+		if strings.HasSuffix(*metrics, ".csv") {
+			body = snap.CSV()
+		}
+		must(os.WriteFile(*metrics, []byte(body), 0o644))
+		fmt.Printf("metrics: %s\n", *metrics)
 	}
 }
 

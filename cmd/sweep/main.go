@@ -12,12 +12,18 @@
 //	sweep -kind wavelengths -nodes 1024 -model VGG16
 //	sweep -kind size -nodes 1024
 //	sweep -kind scaling -model GoogLeNet
+//	sweep -kind size -trace trace.json -metrics metrics.md
+//
+// -trace writes the sweep's flight-recorder timeline as Chrome trace-event
+// JSON (open in ui.perfetto.dev); -metrics writes the observability snapshot
+// (cache layers, pricer counters) as markdown, or CSV with a .csv suffix.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"wrht"
 	"wrht/internal/report"
@@ -29,32 +35,54 @@ func main() {
 		nodes     = flag.Int("nodes", 1024, "number of workers")
 		modelName = flag.String("model", "VGG16", "catalog model")
 		parallel  = flag.Int("parallel", 0, "worker-pool size (0 = GOMAXPROCS)")
+		tracePath = flag.String("trace", "", "write Perfetto trace-event JSON to this file")
+		metrics   = flag.String("metrics", "", "write a metrics snapshot to this file (.csv for CSV, else markdown)")
 	)
 	flag.Parse()
 
+	ss := wrht.NewSweepSession()
+	var ob *wrht.Observer
+	if *tracePath != "" || *metrics != "" {
+		ob = ss.Observe()
+	}
+
 	switch *kind {
 	case "m":
-		tb, summary, err := report.GroupSizeSweep(wrht.DefaultConfig(*nodes), *modelName, *parallel)
+		tb, summary, err := report.GroupSizeSweep(ss, wrht.DefaultConfig(*nodes), *modelName, *parallel)
 		must(err)
 		fmt.Print(tb.String())
 		fmt.Println(summary)
 	case "wavelengths":
-		tb, err := report.WavelengthSweep(*nodes, *modelName, *parallel)
+		tb, err := report.WavelengthSweep(ss, *nodes, *modelName, *parallel)
 		must(err)
 		fmt.Print(tb.String())
 	case "size":
-		tb, err := report.SizeSweep(*nodes, *parallel)
+		tb, err := report.SizeSweep(ss, *nodes, *parallel)
 		must(err)
 		fmt.Print(tb.String())
 		fmt.Println("(the paper's O-Ring baseline is unstriped; this ablation bounds any ring schedule)")
 	case "scaling":
-		tb, err := report.ScalingSweep(*modelName, *parallel)
+		tb, err := report.ScalingSweep(ss, *modelName, *parallel)
 		must(err)
 		fmt.Print(tb.String())
 		fmt.Println("(N up to 65536 prices through the exact simulate paths; symmetry-aware classed pricing makes each point ~O(N))")
 	default:
 		fmt.Fprintf(os.Stderr, "sweep: unknown kind %q\n", *kind)
 		os.Exit(1)
+	}
+
+	if *tracePath != "" {
+		must(ob.WriteTraceFile(*tracePath))
+		fmt.Printf("trace: %s (open in ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metrics != "" {
+		snap := ss.Snapshot()
+		body := snap.Markdown()
+		if strings.HasSuffix(*metrics, ".csv") {
+			body = snap.CSV()
+		}
+		must(os.WriteFile(*metrics, []byte(body), 0o644))
+		fmt.Printf("metrics: %s\n", *metrics)
 	}
 }
 

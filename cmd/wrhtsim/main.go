@@ -6,6 +6,12 @@
 //	wrhtsim -nodes 1024 -model VGG16
 //	wrhtsim -nodes 512 -bytes 104857600 -algs wrht,o-ring,e-ring
 //	wrhtsim -nodes 1024 -model AlexNet -wavelengths 32 -m 5 -plan
+//	wrhtsim -nodes 256 -model VGG16 -trace trace.json -metrics metrics.md
+//
+// -trace writes the pricing flight-recorder timeline (per-step spans per
+// schedule) as Chrome trace-event JSON for ui.perfetto.dev; -metrics writes
+// the observability snapshot (cache layers, certificate and pricer
+// counters) as markdown, or CSV with a .csv suffix.
 package main
 
 import (
@@ -33,6 +39,8 @@ func main() {
 		markdown    = flag.Bool("markdown", false, "emit markdown instead of aligned text")
 		configPath  = flag.String("config", "", "load cluster config from JSON (see wrht.SaveConfig); flags still override -m/-greedy")
 		energy      = flag.Bool("energy", false, "also print per-algorithm energy estimates")
+		tracePath   = flag.String("trace", "", "write Perfetto trace-event JSON to this file")
+		metrics     = flag.String("metrics", "", "write a metrics snapshot to this file (.csv for CSV, else markdown)")
 	)
 	flag.Parse()
 
@@ -69,7 +77,12 @@ func main() {
 		}
 	}
 
-	results, err := wrht.Compare(cfg, algs, size)
+	ss := wrht.NewSweepSession()
+	var ob *wrht.Observer
+	if *tracePath != "" || *metrics != "" {
+		ob = ss.Observe()
+	}
+	results, err := ss.Compare(cfg, algs, size)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wrhtsim:", err)
 		os.Exit(1)
@@ -117,6 +130,26 @@ func main() {
 				fmt.Sprintf("%.3g J", rep.TotalJ))
 		}
 		fmt.Print(et.String())
+	}
+
+	if *tracePath != "" {
+		if err := ob.WriteTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "wrhtsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("trace: %s (open in ui.perfetto.dev)\n", *tracePath)
+	}
+	if *metrics != "" {
+		snap := ss.Snapshot()
+		body := snap.Markdown()
+		if strings.HasSuffix(*metrics, ".csv") {
+			body = snap.CSV()
+		}
+		if err := os.WriteFile(*metrics, []byte(body), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "wrhtsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("metrics: %s\n", *metrics)
 	}
 
 	if *plan {

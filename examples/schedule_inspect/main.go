@@ -54,4 +54,24 @@ func main() {
 	fmt.Println("\nwavelength reuse: groups occupy disjoint ring arcs, so every group's")
 	fmt.Println("collection shares the same ⌊m/2⌋ wavelengths (the λ column stays flat")
 	fmt.Println("across levels even as group spans grow).")
+
+	// Observability snapshot: how the classed-pricing lowering classified
+	// these steps, and what an observed pricing session records about them.
+	cstats, err := wrht.InspectScheduleClasses(cfg, wrht.AlgWrht, 4<<20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nclassed-pricing certificate stats (%s):\n", cstats.Algorithm)
+	fmt.Printf("  steps: %d total — %d certified symmetric, %d materialized (%d demoted)\n",
+		cstats.Steps, cstats.CertifiedSteps, cstats.MaterializedSteps, cstats.DemotedSteps)
+	fmt.Printf("  certified steps price %d transfers through %d equivalence classes\n",
+		cstats.Transfers, cstats.Classes)
+
+	ss := wrht.NewSweepSession()
+	ss.Observe()
+	if _, err := ss.CommunicationTime(cfg, wrht.AlgWrht, 4<<20); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nobserved pricing session snapshot:")
+	fmt.Println(ss.Snapshot().Markdown())
 }

@@ -2,6 +2,7 @@ package wrht
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sync"
 
@@ -294,7 +295,12 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 			Runtime:        cache.runtime(cfg, alg, bytes),
 		}
 	}
-	res, err := fabric.Simulate(cfg.Optical.Wavelengths, inner, pol)
+	rec := cache.sess.recorder()
+	proc := ""
+	if rec.Enabled() {
+		proc = fabricProcName(cfg, jobs, policy)
+	}
+	res, err := fabric.SimulateObserved(cfg.Optical.Wavelengths, inner, pol, rec, proc)
 	if err != nil {
 		return FabricResult{}, err
 	}
@@ -321,6 +327,20 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 	return out, nil
 }
 
+// fabricProcName names one fabric co-simulation's recorder process. The name
+// must be unique per (config, job mix, policy) so concurrent simulations on
+// a shared session record to disjoint track sets — that isolation is what
+// keeps trace exports byte-deterministic across sweep parallelism.
+func fabricProcName(cfg Config, jobs []JobSpec, policy FabricPolicy) string {
+	h := fnv.New32a()
+	for _, j := range jobs {
+		fmt.Fprintf(h, "%s|%s|%d|%g|%d|%d|%s;",
+			j.Name, j.Model, j.Bytes, j.ArrivalSec, j.Iterations, j.Priority, j.Algorithm)
+	}
+	return fmt.Sprintf("fabric %s · %d jobs · N=%d λ=%d · mix %08x",
+		policy, len(jobs), cfg.Nodes, cfg.Optical.Wavelengths, h.Sum32())
+}
+
 // fabricCache memoizes single-ring simulation results across the jobs of
 // one SimulateFabric call, across the policies of CompareFabricPolicies, and
 // across the concurrent points of a fabric-mode RunSweep (hence the mutex):
@@ -333,6 +353,17 @@ type fabricCache struct {
 	mu      sync.Mutex
 	entries map[fabricCacheKey]*fabricCacheEntry
 	sess    *session
+	// hits/builds count runtime-curve lookups under mu (a hit may still wait
+	// on the entry's once if another worker is computing it — it is a hit of
+	// the *entry*, so totals are deterministic for a fixed request set).
+	hits, builds int64
+}
+
+// Stats returns the cache's cumulative hit/build counters.
+func (fc *fabricCache) Stats() (hits, builds int64) {
+	fc.mu.Lock()
+	defer fc.mu.Unlock()
+	return fc.hits, fc.builds
 }
 
 // fabricCacheKey embeds the full Config: runtimes depend on every substrate
@@ -369,6 +400,9 @@ func (fc *fabricCache) runtime(cfg Config, alg Algorithm, bytes int64) func(int)
 		if !ok {
 			e = &fabricCacheEntry{}
 			fc.entries[key] = e
+			fc.builds++
+		} else {
+			fc.hits++
 		}
 		fc.mu.Unlock()
 		e.once.Do(func() {

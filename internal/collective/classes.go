@@ -64,6 +64,11 @@ type ClassSchedule struct {
 	fbDir                               []ring.Direction
 	fbRouted                            []bool
 	fbOp                                []Op
+
+	// certSteps counts steps whose symmetry certificate verified;
+	// demotedSteps counts claimed-symmetric steps that failed verification
+	// and were materialized (the observability layer surfaces both).
+	certSteps, demotedSteps int32
 }
 
 // TransferClass is one pricing equivalence class: Count transfers moving Len
@@ -122,6 +127,20 @@ func (c *ClassSchedule) StepTransfers(s int) int {
 	}
 	return int(st.fbHi - st.fbLo)
 }
+
+// CertStats reports how the builder classified this schedule's steps:
+// certified is the number of steps whose symmetry certificate verified
+// (priced through the O(N)-free classed path), materialized is the number of
+// steps priced transfer-by-transfer, and demoted counts the subset of
+// materialized steps that *claimed* a certificate but failed verification —
+// the silent fallbacks the flight recorder exists to surface.
+func (c *ClassSchedule) CertStats() (certified, materialized, demoted int) {
+	return int(c.certSteps), len(c.steps) - int(c.certSteps), int(c.demotedSteps)
+}
+
+// NumClasses returns the total number of pricing equivalence classes across
+// all certified steps.
+func (c *ClassSchedule) NumClasses() int { return len(c.clsCount) }
 
 // TotalTransfers returns the number of point-to-point transfers.
 func (c *ClassSchedule) TotalTransfers() int {
@@ -347,6 +366,7 @@ func NewClassScheduleBuilder(algorithm string, n, elems int) *ClassScheduleBuild
 	cs.lenRing, cs.offRing = cs.lenRing[:0], cs.offRing[:0]
 	cs.fbSrc, cs.fbDst, cs.fbLen, cs.fbOff, cs.fbWidth = cs.fbSrc[:0], cs.fbDst[:0], cs.fbLen[:0], cs.fbOff[:0], cs.fbWidth[:0]
 	cs.fbDir, cs.fbRouted, cs.fbOp = cs.fbDir[:0], cs.fbRouted[:0], cs.fbOp[:0]
+	cs.certSteps, cs.demotedSteps = 0, 0
 	return &ClassScheduleBuilder{cs: cs, clsScratch: map[classKey]int32{}}
 }
 
@@ -521,9 +541,11 @@ func (b *ClassScheduleBuilder) closeStep() {
 	}
 	if !b.verifySym(st, o) {
 		b.demote(st, o)
+		cs.demotedSteps++
 		return
 	}
 	b.buildClasses(st, o)
+	cs.certSteps++
 }
 
 // verifySym checks the certificate's structural conditions and sets the

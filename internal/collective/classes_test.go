@@ -212,3 +212,56 @@ func TestClassesRandomizedRoundTrip(t *testing.T) {
 		cs.Release()
 	}
 }
+
+// TestCertStatsPartition: CertStats partitions the steps — certified +
+// materialized = total, demoted ⊆ materialized — and agrees with the
+// per-step certificates Sym reports. The ring all-reduce certifies every
+// step; arbitrary random patterns certify none.
+func TestCertStatsPartition(t *testing.T) {
+	ringSched, err := RingAllReduce(16, 160)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cases := []*Schedule{
+		ringSched,
+		randomSymmetricSchedule(rng, 12, 600, 3),
+		randomSchedule(rng, 9, 300, 4),
+	}
+	for _, s := range cases {
+		cs := s.Compact()
+		cls := cs.Classes()
+		cert, mat, dem := cls.CertStats()
+		if cert+mat != cls.NumSteps() {
+			t.Fatalf("%s: certified %d + materialized %d != steps %d",
+				s.Algorithm, cert, mat, cls.NumSteps())
+		}
+		if dem < 0 || dem > mat {
+			t.Fatalf("%s: demoted %d outside [0, materialized %d]", s.Algorithm, dem, mat)
+		}
+		symSteps := 0
+		for si := 0; si < cls.NumSteps(); si++ {
+			if _, _, _, _, ok := cls.Sym(si); ok {
+				symSteps++
+			}
+		}
+		if symSteps != cert {
+			t.Fatalf("%s: %d steps report certificates via Sym, CertStats says %d",
+				s.Algorithm, symSteps, cert)
+		}
+		cls.Release()
+		cs.Release()
+	}
+
+	// The ring is fully certified end to end.
+	cs := ringSched.Compact()
+	cls := cs.Classes()
+	if cert, mat, dem := cls.CertStats(); cert != cls.NumSteps() || mat != 0 || dem != 0 {
+		t.Fatalf("ring CertStats = (%d, %d, %d), want (%d, 0, 0)", cert, mat, dem, cls.NumSteps())
+	}
+	if cls.NumClasses() == 0 {
+		t.Fatal("ring schedule reports zero pricing classes")
+	}
+	cls.Release()
+	cs.Release()
+}

@@ -11,7 +11,10 @@
 package exp
 
 import (
+	"context"
+	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 )
 
@@ -142,12 +145,17 @@ func Run[T any](n, parallelism int, fn func(i int) (T, error)) ([]T, []error) {
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
-		go func() {
+		// Label the worker goroutines so CPU and goroutine profiles
+		// attribute sweep time to the pool (and to the worker slot) instead
+		// of an anonymous closure. The serial parallelism==1 path above
+		// stays unlabeled and allocation-free.
+		labels := pprof.Labels("pool", "exp.Run", "worker", fmt.Sprintf("%d", w))
+		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer wg.Done()
 			for i := range idx {
 				results[i], errs[i] = fn(i)
 			}
-		}()
+		})
 	}
 	for i := 0; i < n; i++ {
 		idx <- i

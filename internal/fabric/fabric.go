@@ -33,6 +33,7 @@ import (
 	"math"
 	"sort"
 
+	"wrht/internal/obs"
 	"wrht/internal/sim"
 	"wrht/internal/stats"
 )
@@ -345,6 +346,15 @@ type scheduler struct {
 	busyNow int
 	peak    int
 
+	// Flight recorder (nil when disabled): one process per simulation, a
+	// span/instant track per job, queue-depth and lit-wavelength counter
+	// tracks, and one occupancy lane per wavelength index.
+	rec       *obs.Recorder
+	proc      obs.ProcID
+	jobTracks []obs.TrackID
+	queueTk   obs.TrackID
+	litTk     obs.TrackID
+
 	err error
 }
 
@@ -352,6 +362,19 @@ type scheduler struct {
 // the policy and returns per-job and aggregate statistics plus the full
 // event trace. The simulation is deterministic.
 func Simulate(budget int, jobs []Job, pol Policy) (Result, error) {
+	return SimulateObserved(budget, jobs, pol, nil, "")
+}
+
+// SimulateObserved is Simulate with a flight recorder attached: the run
+// becomes one recorder process (named proc — give each simulation a unique
+// name so concurrent runs stay on disjoint tracks), every job an
+// instant/span track (arrive/start/preempt/reconfig/finish markers plus
+// run/settle segments), queue depth and lit wavelengths counter tracks, and
+// each wavelength index an occupancy lane labeled with the holding job.
+// The recorder is write-only — scheduling decisions never read it — so
+// results are bit-identical to Simulate; a nil recorder costs one branch
+// per event.
+func SimulateObserved(budget int, jobs []Job, pol Policy, rec *obs.Recorder, proc string) (Result, error) {
 	if budget < 1 {
 		return Result{}, fmt.Errorf("fabric: wavelength budget %d", budget)
 	}
@@ -408,6 +431,16 @@ func Simulate(budget int, jobs []Job, pol Policy) (Result, error) {
 	for c := range s.free {
 		s.free[c] = true
 	}
+	if rec.Enabled() {
+		s.rec = rec
+		s.proc = rec.Process(proc)
+		s.jobTracks = make([]obs.TrackID, len(recs))
+		for i, r := range recs {
+			s.jobTracks[i] = rec.Track(s.proc, r.Name)
+		}
+		s.queueTk = rec.CounterTrack(s.proc, "queue depth")
+		s.litTk = rec.CounterTrack(s.proc, "lit wavelengths")
+	}
 	if pol.Kind == StaticPartition {
 		s.shareWidth = pol.shareWidths(budget)
 		s.shareBusy = make([]bool, len(s.shareWidth))
@@ -420,8 +453,53 @@ func Simulate(budget int, jobs []Job, pol Policy) (Result, error) {
 	if s.err != nil {
 		return Result{}, s.err
 	}
-
+	if s.rec != nil {
+		s.recordTotals()
+	}
 	return s.finalize(recs)
+}
+
+// recordTotals rolls the finished simulation up into recorder counters and
+// gauges: engine stats (event count, heap high-water mark), per-kind trace
+// event counts, and the lit wavelength-second integral.
+func (s *scheduler) recordTotals() {
+	s.rec.Add("fabric.sims", 1)
+	s.rec.Add("fabric.engine.events", s.eng.Steps())
+	s.rec.Gauge("fabric.engine.max_pending", float64(s.eng.MaxPending()))
+	s.rec.Gauge("fabric.peak_wavelengths", float64(s.peak))
+	var counts [EvReconfig + 1]int64
+	for _, ev := range s.events {
+		counts[ev.Kind]++
+	}
+	for k, c := range counts {
+		if c > 0 {
+			s.rec.Add(eventCounterName(EventKind(k)), c)
+		}
+	}
+	s.rec.AddSeconds("fabric.lambda_busy_seconds", s.busySec)
+}
+
+// eventCounterName maps an event kind to its fixed recorder counter name
+// (fixed strings so the enabled path never concatenates).
+func eventCounterName(k EventKind) string {
+	switch k {
+	case EvArrive:
+		return "fabric.events.arrive"
+	case EvReject:
+		return "fabric.events.reject"
+	case EvStart:
+		return "fabric.events.start"
+	case EvPreempt:
+		return "fabric.events.preempt"
+	case EvResume:
+		return "fabric.events.resume"
+	case EvFinish:
+		return "fabric.events.finish"
+	case EvReconfig:
+		return "fabric.events.reconfig"
+	default:
+		return "fabric.events.other"
+	}
 }
 
 // fail aborts the simulation at the first runtime-function error; remaining
@@ -436,6 +514,50 @@ func (s *scheduler) emit(r *jobRec, kind EventKind, width int) {
 	s.events = append(s.events, Event{
 		TimeSec: s.eng.Now(), Job: r.Name, Kind: kind, Wavelengths: width,
 	})
+	if s.rec != nil {
+		now := s.eng.Now()
+		s.rec.Instant(s.jobTracks[r.idx], kind.String(), now, int64(width))
+		s.rec.Sample(s.queueTk, now, float64(len(s.queue)))
+		s.rec.Sample(s.litTk, now, float64(s.busyNow))
+	}
+}
+
+// lanesOn opens r's wavelength occupancy lanes at the current instant.
+func (s *scheduler) lanesOn(r *jobRec) {
+	if s.rec == nil {
+		return
+	}
+	now := s.eng.Now()
+	for _, c := range r.waves {
+		s.rec.LaneOn(s.proc, c, now, r.Name)
+	}
+}
+
+// lanesOffAndCloseSeg closes r's occupancy lanes and records the finished
+// run segment as a span (with a leading "settle" span for the
+// reconfiguration stall, when one applied).
+func (s *scheduler) lanesOffAndCloseSeg(r *jobRec) {
+	if s.rec == nil {
+		return
+	}
+	now := s.eng.Now()
+	for _, c := range r.waves {
+		s.rec.LaneOff(s.proc, c, now)
+	}
+	if now <= r.segStart {
+		return
+	}
+	tk := s.jobTracks[r.idx]
+	width := obs.SpanArgs{Width: int64(len(r.waves))}
+	runStart := r.segStart
+	if r.segPenalty > 0 {
+		settle := math.Min(r.segPenalty, now-r.segStart)
+		s.rec.Span(tk, "settle", r.segStart, settle, width)
+		runStart += settle
+	}
+	if now > runStart {
+		s.rec.Span(tk, "run", runStart, now-runStart, width)
+	}
 }
 
 // account integrates lit wavelength-seconds up to the current time.
@@ -523,6 +645,7 @@ func (s *scheduler) start(r *jobRec, width int) {
 		s.peak = s.busyNow
 	}
 	s.emit(r, kind, width)
+	s.lanesOn(r)
 	r.epoch++
 	epoch := r.epoch
 	s.eng.After(r.segLen, func() { s.complete(r, epoch) })
@@ -537,6 +660,7 @@ func (s *scheduler) complete(r *jobRec, epoch int) {
 	r.remaining = 0
 	r.st.ServiceSec += r.segLen
 	r.st.DoneSec = s.eng.Now()
+	s.lanesOffAndCloseSeg(r)
 	s.busyNow -= len(r.waves)
 	s.release(r.waves)
 	r.waves = nil
@@ -580,6 +704,7 @@ func (s *scheduler) pause(r *jobRec) {
 	r.remaining = r.remainingAt(now)
 	r.st.ServiceSec += now - r.segStart
 	r.epoch++ // invalidate the pending completion event
+	s.lanesOffAndCloseSeg(r)
 	s.busyNow -= len(r.waves)
 	s.release(r.waves)
 	r.waves = nil
@@ -618,6 +743,7 @@ func (s *scheduler) reconfigure(r *jobRec, width int) {
 		s.peak = s.busyNow
 	}
 	s.emit(r, EvReconfig, width)
+	s.lanesOn(r)
 	r.epoch++
 	epoch := r.epoch
 	s.eng.After(r.segLen, func() { s.complete(r, epoch) })

@@ -1,0 +1,340 @@
+// Package obs is the flight-recorder substrate for the pricing and fabric
+// stack: monotonic counters, last/max gauges, timestamped span and instant
+// streams grouped into processes and tracks, counter-track samples, and a
+// per-wavelength occupancy accumulator.
+//
+// The recorder is a concrete *Recorder handle (never an interface, so the
+// disabled path never boxes) and every method is nil-safe: with a nil
+// receiver each call is a single predictable branch and performs zero
+// allocations, so hot loops thread a recorder unconditionally and pay
+// nothing when observability is off. All timestamps are simulated/priced
+// seconds supplied by the caller — the recorder never reads the wall clock —
+// which is what makes exported traces byte-deterministic across worker
+// parallelism.
+//
+// Enabled recorders are safe for concurrent use; ordering within a track is
+// made deterministic at export time by sorting on (track, time, per-track
+// sequence), so concurrent writers to *distinct* tracks cannot perturb the
+// output. Callers that need deterministic traces must therefore give each
+// logical run its own process (see Process).
+package obs
+
+import "sync"
+
+// ProcID names a process (a top-level Perfetto track group) created by
+// Process. The zero recorder path uses NoProc.
+type ProcID int32
+
+// TrackID names a span/instant or counter track within a process. The zero
+// recorder path uses NoTrack.
+type TrackID int32
+
+// NoProc and NoTrack are the ids handed out by a nil recorder; all recording
+// methods ignore them.
+const (
+	NoProc  ProcID  = -1
+	NoTrack TrackID = -1
+)
+
+// SpanArgs carries the optional numeric annotations of a span. It is passed
+// by value so the disabled path allocates nothing; zero fields are omitted
+// from the exported trace.
+type SpanArgs struct {
+	Width       int64 // allocated wavelengths (fabric job segments)
+	Wavelengths int64 // distinct wavelengths used (pricer steps)
+	Transfers   int64 // transfers carried by the step
+	Classes     int64 // symmetry classes priced
+	Rounds      int64 // WDM rounds the step serialized into
+}
+
+type gauge struct {
+	last float64
+	max  float64
+	set  bool
+}
+
+type span struct {
+	track TrackID
+	seq   int64
+	name  string
+	start float64
+	dur   float64
+	args  SpanArgs
+}
+
+type instant struct {
+	track TrackID
+	seq   int64
+	name  string
+	at    float64
+	val   int64
+}
+
+type sample struct {
+	track TrackID
+	seq   int64
+	at    float64
+	val   float64
+}
+
+type proc struct {
+	name string
+}
+
+type trackKind uint8
+
+const (
+	trackSlice trackKind = iota
+	trackCounter
+)
+
+type track struct {
+	proc ProcID
+	name string
+	kind trackKind
+	seq  int64 // per-track sequence, assigned under the recorder mutex
+}
+
+type trackKey struct {
+	proc ProcID
+	name string
+}
+
+// laneSeg is one closed busy interval of a wavelength lane.
+type laneSeg struct {
+	start, end float64
+	label      string
+}
+
+type laneKey struct {
+	proc ProcID
+	lane int
+}
+
+type lane struct {
+	open      bool
+	openSince float64
+	openLabel string
+	busy      float64
+	segs      []laneSeg
+}
+
+// Recorder is the flight recorder. A nil *Recorder is the disabled state:
+// every method no-ops (zero allocations, one branch). Construct with New.
+type Recorder struct {
+	mu       sync.Mutex
+	ints     map[string]int64
+	floats   map[string]float64
+	gauges   map[string]gauge
+	procs    []proc
+	procIdx  map[string]ProcID
+	tracks   []track
+	trackIdx map[trackKey]TrackID
+	spans    []span
+	insts    []instant
+	samples  []sample
+	lanes    map[laneKey]*lane
+}
+
+// New returns an enabled, empty recorder.
+func New() *Recorder {
+	return &Recorder{
+		ints:     make(map[string]int64),
+		floats:   make(map[string]float64),
+		gauges:   make(map[string]gauge),
+		procIdx:  make(map[string]ProcID),
+		trackIdx: make(map[trackKey]TrackID),
+		lanes:    make(map[laneKey]*lane),
+	}
+}
+
+// Enabled reports whether the recorder is live (non-nil).
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Process returns the id for the named process, creating it on first use.
+// Each logical run (one fabric simulation, one schedule pricing) should own a
+// distinct process so concurrent runs never interleave on shared tracks —
+// that per-run isolation is what keeps exports deterministic under
+// parallelism.
+func (r *Recorder) Process(name string) ProcID {
+	if r == nil {
+		return NoProc
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if id, ok := r.procIdx[name]; ok {
+		return id
+	}
+	id := ProcID(len(r.procs))
+	r.procs = append(r.procs, proc{name: name})
+	r.procIdx[name] = id
+	return id
+}
+
+// Track returns the id of the named span/instant track within p, creating it
+// on first use.
+func (r *Recorder) Track(p ProcID, name string) TrackID {
+	return r.track(p, name, trackSlice)
+}
+
+// CounterTrack returns the id of the named counter track within p, creating
+// it on first use. Counter tracks render as step graphs in Perfetto.
+func (r *Recorder) CounterTrack(p ProcID, name string) TrackID {
+	return r.track(p, name, trackCounter)
+}
+
+func (r *Recorder) track(p ProcID, name string, kind trackKind) TrackID {
+	if r == nil || p == NoProc {
+		return NoTrack
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := trackKey{proc: p, name: name}
+	if id, ok := r.trackIdx[key]; ok {
+		return id
+	}
+	id := TrackID(len(r.tracks))
+	r.tracks = append(r.tracks, track{proc: p, name: name, kind: kind})
+	r.trackIdx[key] = id
+	return id
+}
+
+// Span records a completed slice [start, start+dur) on track t.
+func (r *Recorder) Span(t TrackID, name string, start, dur float64, args SpanArgs) {
+	if r == nil || t == NoTrack {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracks[t].seq++
+	r.spans = append(r.spans, span{track: t, seq: r.tracks[t].seq, name: name, start: start, dur: dur, args: args})
+}
+
+// Instant records a zero-duration event at time at on track t; val is an
+// optional integer payload (e.g. the wavelength width of a fabric event).
+func (r *Recorder) Instant(t TrackID, name string, at float64, val int64) {
+	if r == nil || t == NoTrack {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracks[t].seq++
+	r.insts = append(r.insts, instant{track: t, seq: r.tracks[t].seq, name: name, at: at, val: val})
+}
+
+// Sample records a counter-track value at time at on track t.
+func (r *Recorder) Sample(t TrackID, at float64, val float64) {
+	if r == nil || t == NoTrack {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.tracks[t].seq++
+	r.samples = append(r.samples, sample{track: t, seq: r.tracks[t].seq, at: at, val: val})
+}
+
+// Add bumps the named monotonic integer counter by delta.
+func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.ints[name] += delta
+	r.mu.Unlock()
+}
+
+// AddSeconds accumulates delta into the named float counter (λ·seconds,
+// busy seconds, and similar integrals).
+func (r *Recorder) AddSeconds(name string, delta float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.floats[name] += delta
+	r.mu.Unlock()
+}
+
+// Gauge records the latest value of the named gauge, tracking last and max.
+func (r *Recorder) Gauge(name string, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	g := r.gauges[name]
+	g.last = v
+	if !g.set || v > g.max {
+		g.max = v
+	}
+	g.set = true
+	r.gauges[name] = g
+	r.mu.Unlock()
+}
+
+// Counter returns the current value of the named integer counter.
+func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ints[name]
+}
+
+// FloatCounter returns the current value of the named float counter.
+func (r *Recorder) FloatCounter(name string) float64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.floats[name]
+}
+
+// LaneOn marks wavelength lane (p, idx) busy from time at, labeled (e.g.
+// with the occupying job's name). Re-opening an open lane first closes the
+// running interval at at.
+func (r *Recorder) LaneOn(p ProcID, idx int, at float64, label string) {
+	if r == nil || p == NoProc {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ln := r.laneLocked(p, idx)
+	if ln.open {
+		r.closeLaneLocked(ln, at)
+	}
+	ln.open = true
+	ln.openSince = at
+	ln.openLabel = label
+}
+
+// LaneOff closes the busy interval of wavelength lane (p, idx) at time at.
+func (r *Recorder) LaneOff(p ProcID, idx int, at float64) {
+	if r == nil || p == NoProc {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	ln := r.laneLocked(p, idx)
+	if ln.open {
+		r.closeLaneLocked(ln, at)
+	}
+}
+
+func (r *Recorder) laneLocked(p ProcID, idx int) *lane {
+	key := laneKey{proc: p, lane: idx}
+	ln := r.lanes[key]
+	if ln == nil {
+		ln = &lane{}
+		r.lanes[key] = ln
+	}
+	return ln
+}
+
+func (r *Recorder) closeLaneLocked(ln *lane, at float64) {
+	ln.open = false
+	if at > ln.openSince {
+		ln.busy += at - ln.openSince
+		ln.segs = append(ln.segs, laneSeg{start: ln.openSince, end: at, label: ln.openLabel})
+	}
+}

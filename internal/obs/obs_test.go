@@ -1,0 +1,300 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilRecorderNoOps drives every method through a nil receiver: nothing
+// may panic, ids must come back as the No sentinels, and reads must report
+// zero values.
+func TestNilRecorderNoOps(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports Enabled")
+	}
+	p := r.Process("p")
+	if p != NoProc {
+		t.Fatalf("nil Process = %d, want NoProc", p)
+	}
+	tk := r.Track(p, "t")
+	if tk != NoTrack {
+		t.Fatalf("nil Track = %d, want NoTrack", tk)
+	}
+	if ct := r.CounterTrack(p, "c"); ct != NoTrack {
+		t.Fatalf("nil CounterTrack = %d, want NoTrack", ct)
+	}
+	r.Span(tk, "s", 0, 1, SpanArgs{Width: 3})
+	r.Instant(tk, "i", 0, 1)
+	r.Sample(tk, 0, 1)
+	r.Add("c", 1)
+	r.AddSeconds("f", 1.5)
+	r.Gauge("g", 2)
+	r.LaneOn(p, 0, 0, "job")
+	r.LaneOff(p, 0, 1)
+	if v := r.Counter("c"); v != 0 {
+		t.Fatalf("nil Counter = %d, want 0", v)
+	}
+	if v := r.FloatCounter("f"); v != 0 {
+		t.Fatalf("nil FloatCounter = %g, want 0", v)
+	}
+	snap := r.Snapshot()
+	if len(snap.Counters) != 0 || len(snap.Gauges) != 0 || len(snap.Lanes) != 0 {
+		t.Fatalf("nil Snapshot not empty: %+v", snap)
+	}
+}
+
+// TestDisabledPathAllocationFree is the contract the hot loops rely on: with
+// a nil recorder every recording call is allocation-free.
+func TestDisabledPathAllocationFree(t *testing.T) {
+	var r *Recorder
+	p := r.Process("p")
+	tk := r.Track(p, "t")
+	allocs := testing.AllocsPerRun(1000, func() {
+		r.Span(tk, "step", 1, 2, SpanArgs{Wavelengths: 4, Transfers: 8})
+		r.Instant(tk, "ev", 1, 3)
+		r.Sample(tk, 1, 5)
+		r.Add("counter", 1)
+		r.AddSeconds("float", 0.5)
+		r.Gauge("gauge", 7)
+		r.LaneOn(p, 3, 1, "job")
+		r.LaneOff(p, 3, 2)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled recorder path allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnabledNoTrackIgnored: recording against NoTrack/NoProc on a live
+// recorder is a no-op, not a panic — mixed enabled/disabled call sites stay
+// safe.
+func TestEnabledNoTrackIgnored(t *testing.T) {
+	r := New()
+	r.Span(NoTrack, "s", 0, 1, SpanArgs{})
+	r.Instant(NoTrack, "i", 0, 0)
+	r.Sample(NoTrack, 0, 0)
+	r.LaneOn(NoProc, 0, 0, "x")
+	r.LaneOff(NoProc, 0, 1)
+	if tk := r.Track(NoProc, "t"); tk != NoTrack {
+		t.Fatalf("Track(NoProc) = %d, want NoTrack", tk)
+	}
+	snap := r.Snapshot()
+	if snap.Spans != 0 || snap.Instants != 0 || snap.Samples != 0 || len(snap.Lanes) != 0 {
+		t.Fatalf("NoTrack records leaked into snapshot: %+v", snap)
+	}
+}
+
+func TestCountersGaugesSnapshot(t *testing.T) {
+	r := New()
+	r.Add("b.count", 2)
+	r.Add("b.count", 3)
+	r.Add("a.count", 1)
+	r.AddSeconds("c.seconds", 1.5)
+	r.AddSeconds("c.seconds", 0.25)
+	r.Gauge("depth", 4)
+	r.Gauge("depth", 9)
+	r.Gauge("depth", 2)
+
+	if v := r.Counter("b.count"); v != 5 {
+		t.Fatalf("Counter(b.count) = %d, want 5", v)
+	}
+	if v := r.FloatCounter("c.seconds"); v != 1.75 {
+		t.Fatalf("FloatCounter(c.seconds) = %g, want 1.75", v)
+	}
+	snap := r.Snapshot()
+	want := []Counter{{"a.count", 1}, {"b.count", 5}, {"c.seconds", 1.75}}
+	if len(snap.Counters) != len(want) {
+		t.Fatalf("snapshot counters = %+v, want %+v", snap.Counters, want)
+	}
+	for i, c := range want {
+		if snap.Counters[i] != c {
+			t.Fatalf("counter[%d] = %+v, want %+v (sorted by name)", i, snap.Counters[i], c)
+		}
+	}
+	if len(snap.Gauges) != 1 || snap.Gauges[0].Last != 2 || snap.Gauges[0].Max != 9 {
+		t.Fatalf("gauge = %+v, want last 2 max 9", snap.Gauges)
+	}
+}
+
+func TestLaneAccounting(t *testing.T) {
+	r := New()
+	p := r.Process("fab")
+	r.LaneOn(p, 0, 1.0, "jobA")
+	r.LaneOff(p, 0, 3.0)
+	// Re-opening an open lane closes the running interval first.
+	r.LaneOn(p, 1, 0.0, "jobA")
+	r.LaneOn(p, 1, 2.0, "jobB")
+	r.LaneOff(p, 1, 5.0)
+	// Zero-length intervals are dropped.
+	r.LaneOn(p, 2, 4.0, "jobC")
+	r.LaneOff(p, 2, 4.0)
+	// LaneOff on a closed lane is a no-op.
+	r.LaneOff(p, 0, 9.0)
+
+	snap := r.Snapshot()
+	if len(snap.Lanes) != 3 {
+		t.Fatalf("lanes = %+v, want 3", snap.Lanes)
+	}
+	l0, l1, l2 := snap.Lanes[0], snap.Lanes[1], snap.Lanes[2]
+	if l0.Lane != 0 || l0.BusySec != 2.0 || l0.Segments != 1 {
+		t.Fatalf("lane0 = %+v, want busy 2.0 over 1 segment", l0)
+	}
+	if l1.Lane != 1 || l1.BusySec != 5.0 || l1.Segments != 2 {
+		t.Fatalf("lane1 = %+v, want busy 5.0 over 2 segments", l1)
+	}
+	if l2.Lane != 2 || l2.BusySec != 0 || l2.Segments != 0 {
+		t.Fatalf("lane2 = %+v, want empty (zero-length segment dropped)", l2)
+	}
+}
+
+// record populates a recorder with a fixed scene; order describes which of
+// two processes records first, so the determinism test can interleave.
+func record(r *Recorder, order []string) {
+	for _, name := range order {
+		p := r.Process(name)
+		steps := r.Track(p, "steps")
+		depth := r.CounterTrack(p, "depth")
+		r.Span(steps, "reduce", 0.0, 1.0, SpanArgs{Wavelengths: 4, Transfers: 16})
+		r.Span(steps, "gather", 1.0, 0.5, SpanArgs{Wavelengths: 2})
+		r.Instant(steps, "start", 0.0, 4)
+		r.Sample(depth, 0.0, 3)
+		r.Sample(depth, 1.0, 1)
+		r.LaneOn(p, 0, 0.0, "job-"+name)
+		r.LaneOff(p, 0, 1.5)
+		r.Add("runs", 1)
+		r.AddSeconds("busy", 1.5)
+		r.Gauge("peak", 4)
+	}
+}
+
+// TestWriteTraceDeterministicAcrossInterleavings: two recorders whose
+// processes record in opposite orders (simulating different worker
+// interleavings) export byte-identical traces.
+func TestWriteTraceDeterministicAcrossInterleavings(t *testing.T) {
+	a, b := New(), New()
+	record(a, []string{"proc-one", "proc-two"})
+	record(b, []string{"proc-two", "proc-one"})
+	var ba, bb bytes.Buffer
+	if err := a.WriteTrace(&ba); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.WriteTrace(&bb); err != nil {
+		t.Fatal(err)
+	}
+	if ba.String() != bb.String() {
+		t.Fatalf("trace bytes differ across recording order:\n%s\nvs\n%s", ba.String(), bb.String())
+	}
+}
+
+// TestWriteTraceDeterministicAcrossRuns: concurrent writers to distinct
+// processes still export byte-identical traces run-to-run.
+func TestWriteTraceDeterministicAcrossRuns(t *testing.T) {
+	export := func() string {
+		r := New()
+		var wg sync.WaitGroup
+		for _, name := range []string{"pa", "pb", "pc", "pd"} {
+			wg.Add(1)
+			go func(name string) {
+				defer wg.Done()
+				record(r, []string{name})
+			}(name)
+		}
+		wg.Wait()
+		var buf bytes.Buffer
+		if err := r.WriteTrace(&buf); err != nil {
+			t.Error(err)
+		}
+		return buf.String()
+	}
+	first := export()
+	for i := 0; i < 10; i++ {
+		if got := export(); got != first {
+			t.Fatalf("run %d produced different trace bytes", i)
+		}
+	}
+}
+
+func TestWriteTraceShape(t *testing.T) {
+	r := New()
+	record(r, []string{"only"})
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Pid  int            `json:"pid"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if doc.DisplayUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q, want ms", doc.DisplayUnit)
+	}
+	var phases = map[string]int{}
+	var procName, laneName bool
+	for _, ev := range doc.TraceEvents {
+		phases[ev.Ph]++
+		if ev.Ph == "M" && ev.Name == "process_name" && ev.Args["name"] == "only" {
+			procName = true
+		}
+		if ev.Ph == "M" && ev.Name == "thread_name" && ev.Args["name"] == "λ00" {
+			laneName = true
+		}
+		if ev.Name == "reduce" {
+			if ev.Dur != 1e6 { // 1 s in µs
+				t.Fatalf("reduce span dur = %g µs, want 1e6", ev.Dur)
+			}
+			if ev.Args["wavelengths"] != float64(4) || ev.Args["transfers"] != float64(16) {
+				t.Fatalf("reduce span args = %v", ev.Args)
+			}
+		}
+	}
+	if !procName {
+		t.Fatal("missing process_name metadata")
+	}
+	if !laneName {
+		t.Fatal("missing λ00 lane thread_name metadata")
+	}
+	// 2 spans + 1 lane segment = 3 "X"; 1 instant; 2 counter samples.
+	if phases["X"] != 3 || phases["i"] != 1 || phases["C"] != 2 {
+		t.Fatalf("phase counts = %v, want X:3 i:1 C:2", phases)
+	}
+}
+
+func TestNilWriteTrace(t *testing.T) {
+	var r *Recorder
+	var buf bytes.Buffer
+	if err := r.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != `{"traceEvents":[]}` {
+		t.Fatalf("nil trace = %q", got)
+	}
+}
+
+func TestSnapshotTables(t *testing.T) {
+	r := New()
+	record(r, []string{"p"})
+	tables := r.Snapshot().Tables()
+	if len(tables) != 3 {
+		t.Fatalf("Tables() returned %d tables, want counters+gauges+lanes", len(tables))
+	}
+	md := tables[0].Markdown()
+	for _, want := range []string{"runs", "busy", "trace.spans"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("counters table missing %q:\n%s", want, md)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"sort"
+
+	"wrht/internal/stats"
+)
+
+// Counter is one named scalar in a Snapshot; integer counters and float
+// accumulators are merged into a single sorted list.
+type Counter struct {
+	Name  string
+	Value float64
+}
+
+// GaugeStat is the last/max pair of a recorded gauge.
+type GaugeStat struct {
+	Name string
+	Last float64
+	Max  float64
+}
+
+// LaneStat summarizes one wavelength lane's closed busy intervals.
+type LaneStat struct {
+	Process  string
+	Lane     int
+	BusySec  float64
+	Segments int
+}
+
+// Snapshot is a point-in-time copy of the recorder's aggregate state,
+// suitable for rendering (Markdown/CSV) or programmatic inspection. Streams
+// are summarized by count; lanes report accumulated busy seconds.
+type Snapshot struct {
+	Counters []Counter
+	Gauges   []GaugeStat
+	Lanes    []LaneStat
+	Spans    int
+	Instants int
+	Samples  int
+}
+
+// Snapshot copies the recorder's aggregate state. A nil recorder returns the
+// zero Snapshot.
+func (r *Recorder) Snapshot() Snapshot {
+	var s Snapshot
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s.Counters = make([]Counter, 0, len(r.ints)+len(r.floats))
+	for name, v := range r.ints {
+		s.Counters = append(s.Counters, Counter{Name: name, Value: float64(v)})
+	}
+	for name, v := range r.floats {
+		s.Counters = append(s.Counters, Counter{Name: name, Value: v})
+	}
+	sort.Slice(s.Counters, func(i, j int) bool { return s.Counters[i].Name < s.Counters[j].Name })
+	s.Gauges = make([]GaugeStat, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Last: g.last, Max: g.max})
+	}
+	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	s.Lanes = make([]LaneStat, 0, len(r.lanes))
+	for key, ln := range r.lanes {
+		s.Lanes = append(s.Lanes, LaneStat{
+			Process:  r.procs[key.proc].name,
+			Lane:     key.lane,
+			BusySec:  ln.busy,
+			Segments: len(ln.segs),
+		})
+	}
+	sort.Slice(s.Lanes, func(i, j int) bool {
+		if s.Lanes[i].Process != s.Lanes[j].Process {
+			return s.Lanes[i].Process < s.Lanes[j].Process
+		}
+		return s.Lanes[i].Lane < s.Lanes[j].Lane
+	})
+	s.Spans = len(r.spans)
+	s.Instants = len(r.insts)
+	s.Samples = len(r.samples)
+	return s
+}
+
+// Tables renders the snapshot as stats tables: counters+gauges, and (when
+// lanes were recorded) per-wavelength occupancy.
+func (s Snapshot) Tables() []*stats.Table {
+	var out []*stats.Table
+	ct := stats.NewTable("Counters", "name", "value")
+	for _, c := range s.Counters {
+		ct.AddRowf(c.Name, c.Value)
+	}
+	ct.AddRowf("trace.spans", s.Spans)
+	ct.AddRowf("trace.instants", s.Instants)
+	ct.AddRowf("trace.samples", s.Samples)
+	out = append(out, ct)
+	if len(s.Gauges) > 0 {
+		gt := stats.NewTable("Gauges", "name", "last", "max")
+		for _, g := range s.Gauges {
+			gt.AddRowf(g.Name, g.Last, g.Max)
+		}
+		out = append(out, gt)
+	}
+	if len(s.Lanes) > 0 {
+		lt := stats.NewTable("Wavelength occupancy", "process", "wavelength", "busy", "segments")
+		for _, ln := range s.Lanes {
+			lt.AddRowf(ln.Process, ln.Lane, stats.FormatSeconds(ln.BusySec), ln.Segments)
+		}
+		out = append(out, lt)
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one Chrome trace-event JSON object. Field order and
+// encoding/json's deterministic output (struct fields in declaration order,
+// map keys sorted) make the exported bytes a pure function of the recorded
+// content.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// WriteTrace exports the recorded streams as Chrome trace-event JSON
+// loadable in Perfetto (ui.perfetto.dev) or chrome://tracing: processes per
+// logical run, slice tracks for spans, instant events for fabric
+// transitions, counter tracks for sampled gauges, and one slice lane per
+// wavelength labeled with the occupying job.
+//
+// The export is byte-deterministic: processes are ordered by name, tracks by
+// name within their process, and events by (time, track, per-track
+// sequence). Timestamps are recorded seconds scaled to microseconds (the
+// trace-event unit).
+func (r *Recorder) WriteTrace(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, `{"traceEvents":[]}`)
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+
+	// Stable pids: processes sorted by name.
+	procOrder := make([]ProcID, len(r.procs))
+	for i := range procOrder {
+		procOrder[i] = ProcID(i)
+	}
+	sort.Slice(procOrder, func(i, j int) bool {
+		return r.procs[procOrder[i]].name < r.procs[procOrder[j]].name
+	})
+	pidOf := make(map[ProcID]int, len(procOrder))
+	for i, p := range procOrder {
+		pidOf[p] = i + 1
+	}
+
+	// Stable tids: named tracks sorted by (process, name), then wavelength
+	// lanes sorted by index after them.
+	trackOrder := make([]TrackID, len(r.tracks))
+	for i := range trackOrder {
+		trackOrder[i] = TrackID(i)
+	}
+	sort.Slice(trackOrder, func(i, j int) bool {
+		a, b := r.tracks[trackOrder[i]], r.tracks[trackOrder[j]]
+		if pidOf[a.proc] != pidOf[b.proc] {
+			return pidOf[a.proc] < pidOf[b.proc]
+		}
+		return a.name < b.name
+	})
+	tidOf := make(map[TrackID]int, len(trackOrder))
+	nextTid := make(map[ProcID]int, len(r.procs))
+	for _, t := range trackOrder {
+		p := r.tracks[t].proc
+		nextTid[p]++
+		tidOf[t] = nextTid[p]
+	}
+	laneKeys := make([]laneKey, 0, len(r.lanes))
+	for k := range r.lanes {
+		laneKeys = append(laneKeys, k)
+	}
+	sort.Slice(laneKeys, func(i, j int) bool {
+		if pidOf[laneKeys[i].proc] != pidOf[laneKeys[j].proc] {
+			return pidOf[laneKeys[i].proc] < pidOf[laneKeys[j].proc]
+		}
+		return laneKeys[i].lane < laneKeys[j].lane
+	})
+	laneTid := make(map[laneKey]int, len(laneKeys))
+	for _, k := range laneKeys {
+		nextTid[k.proc]++
+		laneTid[k] = nextTid[k.proc]
+	}
+
+	const usec = 1e6
+	events := make([]traceEvent, 0,
+		len(procOrder)+len(trackOrder)+2*len(laneKeys)+len(r.spans)+len(r.insts)+len(r.samples))
+
+	// Metadata: process and thread names.
+	for _, p := range procOrder {
+		events = append(events, traceEvent{
+			Name: "process_name", Ph: "M", Pid: pidOf[p],
+			Args: map[string]any{"name": r.procs[p].name},
+		})
+	}
+	for _, t := range trackOrder {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pidOf[r.tracks[t].proc], Tid: tidOf[t],
+			Args: map[string]any{"name": r.tracks[t].name},
+		})
+	}
+	for _, k := range laneKeys {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: pidOf[k.proc], Tid: laneTid[k],
+			Args: map[string]any{"name": fmt.Sprintf("λ%02d", k.lane)},
+		})
+	}
+	nmeta := len(events)
+
+	type orderKey struct {
+		ts   float64
+		pid  int
+		tid  int
+		seq  int64
+		kind int
+	}
+	keys := make([]orderKey, 0, cap(events)-nmeta)
+	push := func(ev traceEvent, seq int64, kind int) {
+		events = append(events, ev)
+		keys = append(keys, orderKey{ts: ev.Ts, pid: ev.Pid, tid: ev.Tid, seq: seq, kind: kind})
+	}
+
+	for _, s := range r.spans {
+		t := r.tracks[s.track]
+		push(traceEvent{
+			Name: s.name, Ph: "X", Ts: s.start * usec, Dur: s.dur * usec,
+			Pid: pidOf[t.proc], Tid: tidOf[s.track], Args: spanArgsMap(s.args),
+		}, s.seq, 0)
+	}
+	for _, in := range r.insts {
+		t := r.tracks[in.track]
+		var args map[string]any
+		if in.val != 0 {
+			args = map[string]any{"value": in.val}
+		}
+		push(traceEvent{
+			Name: in.name, Ph: "i", Ts: in.at * usec,
+			Pid: pidOf[t.proc], Tid: tidOf[in.track], Args: args,
+		}, in.seq, 1)
+	}
+	for _, sm := range r.samples {
+		t := r.tracks[sm.track]
+		push(traceEvent{
+			Name: t.name, Ph: "C", Ts: sm.at * usec,
+			Pid: pidOf[t.proc], Tid: tidOf[sm.track], Args: map[string]any{"value": sm.val},
+		}, sm.seq, 2)
+	}
+	for _, k := range laneKeys {
+		for _, seg := range r.lanes[k].segs {
+			push(traceEvent{
+				Name: seg.label, Ph: "X", Ts: seg.start * usec, Dur: (seg.end - seg.start) * usec,
+				Pid: pidOf[k.proc], Tid: laneTid[k],
+			}, 0, 3)
+		}
+	}
+
+	// Sort the non-metadata tail by (time, track, per-track sequence): lane
+	// segments within a lane are already in time order, and distinct tracks
+	// never share (pid, tid), so the order is total and deterministic.
+	tail := events[nmeta:]
+	idx := make([]int, len(tail))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(i, j int) bool {
+		a, b := keys[idx[i]], keys[idx[j]]
+		if a.ts != b.ts {
+			return a.ts < b.ts
+		}
+		if a.pid != b.pid {
+			return a.pid < b.pid
+		}
+		if a.tid != b.tid {
+			return a.tid < b.tid
+		}
+		if a.kind != b.kind {
+			return a.kind < b.kind
+		}
+		return a.seq < b.seq
+	})
+	sorted := make([]traceEvent, len(tail))
+	for i, j := range idx {
+		sorted[i] = tail[j]
+	}
+	copy(tail, sorted)
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+		DisplayUnit string       `json:"displayTimeUnit"`
+	}{TraceEvents: events, DisplayUnit: "ms"})
+}
+
+func spanArgsMap(a SpanArgs) map[string]any {
+	if a == (SpanArgs{}) {
+		return nil
+	}
+	m := make(map[string]any, 5)
+	if a.Width != 0 {
+		m["width"] = a.Width
+	}
+	if a.Wavelengths != 0 {
+		m["wavelengths"] = a.Wavelengths
+	}
+	if a.Transfers != 0 {
+		m["transfers"] = a.Transfers
+	}
+	if a.Classes != 0 {
+		m["classes"] = a.Classes
+	}
+	if a.Rounds != 0 {
+		m["rounds"] = a.Rounds
+	}
+	return m
+}

@@ -1,0 +1,199 @@
+package report
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"wrht"
+)
+
+// churnElastic runs the canonical churn mix under the F2 elastic policy on
+// an observed session and returns the session plus the fabric result.
+func churnElastic(t *testing.T) (*wrht.SweepSession, *wrht.Observer, wrht.FabricResult) {
+	t.Helper()
+	ss := wrht.NewSweepSession()
+	ob := ss.Observe()
+	res, err := ss.SimulateFabric(wrht.DefaultConfig(64), ChurnMix().Jobs, wrht.FabricPolicy{
+		Kind: wrht.FabricElastic, ReconfigDelaySec: 2e-6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ss, ob, res
+}
+
+// traceEvent is the subset of the Chrome trace-event schema the golden test
+// reads back.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args"`
+}
+
+// TestChurnMixPerfettoGolden pins the per-job event counts of the F2 elastic
+// churn run as read back from the exported Perfetto trace: the straggler
+// widens through 6 reconfigurations, every later burst job narrows then
+// restores (2 reconfigs each), the first burst job finishes untouched, and
+// nothing is ever preempted. The counts are asserted on the exported JSON —
+// not the in-memory result — so the export path itself is under test.
+func TestChurnMixPerfettoGolden(t *testing.T) {
+	_, ob, res := churnElastic(t)
+
+	var buf bytes.Buffer
+	if err := ob.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []traceEvent `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("exported trace is not valid JSON: %v", err)
+	}
+
+	// Resolve the fabric process and its job-named threads from metadata.
+	procName := map[int]string{}
+	threadName := map[[2]int]string{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "M" {
+			continue
+		}
+		name, _ := ev.Args["name"].(string)
+		switch ev.Name {
+		case "process_name":
+			procName[ev.Pid] = name
+		case "thread_name":
+			threadName[[2]int{ev.Pid, ev.Tid}] = name
+		}
+	}
+
+	// Count instant events (fabric transitions) per (job, kind).
+	counts := map[string]map[string]int{}
+	total := 0
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "i" || !strings.HasPrefix(procName[ev.Pid], "fabric ") {
+			continue
+		}
+		job := threadName[[2]int{ev.Pid, ev.Tid}]
+		if counts[job] == nil {
+			counts[job] = map[string]int{}
+		}
+		counts[job][ev.Name]++
+		total++
+	}
+
+	if total != len(res.Events) {
+		t.Fatalf("trace carries %d fabric instants, result has %d events", total, len(res.Events))
+	}
+	// Golden per-job counts for the fixed mix (see ChurnMix): reconfigs per
+	// job, exactly one arrive/start/finish each, zero preemptions anywhere.
+	wantReconfigs := map[string]int{
+		"burst0-alexnet": 0,
+		"burst1-alexnet": 2, "burst2-alexnet": 2, "burst3-alexnet": 2,
+		"burst4-alexnet": 2, "burst5-alexnet": 2, "burst6-alexnet": 2,
+		"burst7-alexnet": 2,
+		"straggler-vgg":  6,
+	}
+	for job, want := range wantReconfigs {
+		c := counts[job]
+		if c == nil {
+			t.Fatalf("job %s missing from trace (jobs seen: %v)", job, counts)
+		}
+		if c["reconfig"] != want {
+			t.Errorf("%s: %d reconfig instants in trace, want %d", job, c["reconfig"], want)
+		}
+		if c["arrive"] != 1 || c["start"] != 1 || c["finish"] != 1 {
+			t.Errorf("%s: arrive/start/finish = %d/%d/%d, want 1/1/1",
+				job, c["arrive"], c["start"], c["finish"])
+		}
+		if c["preempt"] != 0 {
+			t.Errorf("%s: %d preempt instants, want 0 (elastic never preempts here)", job, c["preempt"])
+		}
+	}
+	if len(counts) != len(wantReconfigs) {
+		t.Errorf("trace has %d fabric job tracks, want %d", len(counts), len(wantReconfigs))
+	}
+}
+
+// TestChurnObservabilityTables: the F3 tables render with one utilization
+// row per 8-λ bucket and a timeline that includes the straggler's
+// progressive widening.
+func TestChurnObservabilityTables(t *testing.T) {
+	util, timeline, err := ChurnObservability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	utilMD := util.Markdown()
+	if got := strings.Count(utilMD, "λ"); got == 0 {
+		t.Fatalf("utilization table has no wavelength rows:\n%s", utilMD)
+	}
+	if !strings.Contains(utilMD, "λ00–07") || !strings.Contains(utilMD, "λ56–63") {
+		t.Fatalf("utilization table missing bucket rows:\n%s", utilMD)
+	}
+	tlMD := timeline.Markdown()
+	for _, want := range []string{"straggler-vgg", "reconfig", "finish"} {
+		if !strings.Contains(tlMD, want) {
+			t.Fatalf("timeline missing %q:\n%s", want, tlMD)
+		}
+	}
+}
+
+// TestFabricChurnColumnsAgreeAcrossFormats: the policy and per-job tables
+// carry the same preempts/reconfigs numbers in markdown and CSV (both render
+// from one shared stats.Table), and those numbers match the golden mix.
+func TestFabricChurnColumnsAgreeAcrossFormats(t *testing.T) {
+	_, _, res := churnElastic(t)
+
+	pt := FabricPolicyTable("churn", []wrht.FabricResult{res})
+	md, csv := pt.Markdown(), pt.CSV()
+	// Totals over the golden mix: 7 burst jobs × 2 + straggler × 6 = 20
+	// reconfigs, 0 preempts; both formats must carry them.
+	for _, format := range []string{md, csv} {
+		if !strings.Contains(format, "preempts") || !strings.Contains(format, "reconfigs") {
+			t.Fatalf("policy table missing churn columns:\n%s", format)
+		}
+	}
+	mdRow := lastDataRow(t, md, "|")
+	csvRow := lastDataRow(t, csv, ",")
+	wantPre, wantRec := "0", "20"
+	if mdRow[8] != wantPre || mdRow[9] != wantRec {
+		t.Fatalf("markdown preempts/reconfigs = %s/%s, want %s/%s", mdRow[8], mdRow[9], wantPre, wantRec)
+	}
+	if csvRow[8] != wantPre || csvRow[9] != wantRec {
+		t.Fatalf("CSV preempts/reconfigs = %s/%s, want %s/%s", csvRow[8], csvRow[9], wantPre, wantRec)
+	}
+
+	jt := FabricJobsTable(res)
+	jmd, jcsv := jt.Markdown(), jt.CSV()
+	for _, format := range []string{jmd, jcsv} {
+		// The straggler's row carries its 6 reconfigurations in both formats.
+		found := false
+		for _, line := range strings.Split(format, "\n") {
+			if strings.Contains(line, "straggler-vgg") && strings.Contains(line, "6") {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("jobs table missing straggler reconfig count:\n%s", format)
+		}
+	}
+}
+
+// lastDataRow splits the last non-empty line of a rendered table on sep and
+// trims each cell.
+func lastDataRow(t *testing.T, rendered, sep string) []string {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(rendered), "\n")
+	cells := strings.Split(lines[len(lines)-1], sep)
+	out := make([]string, 0, len(cells))
+	for _, c := range cells {
+		c = strings.TrimSpace(c)
+		if c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -24,12 +24,24 @@ var (
 	CanonicalScalingNodes = []int{4096, 16384, 65536}
 )
 
+// runOn routes a sweep through the caller's session when one is supplied
+// (sharing its caches and, when observed, its flight recorder) and through a
+// fresh per-call session otherwise. Every canonical sweep below takes an
+// optional *wrht.SweepSession for this reason; nil keeps the historical
+// behavior.
+func runOn(ss *wrht.SweepSession, spec wrht.SweepSpec) (*wrht.SweepResult, error) {
+	if ss == nil {
+		return wrht.RunSweep(spec)
+	}
+	return ss.RunSweep(spec)
+}
+
 // GroupSizeSweep runs the canonical group-size ablation (A3) for the model
 // on cfg's ring and renders it with the plan shape per row, plus a summary
 // line naming the optimizer's choice. Infeasible group sizes are skipped,
 // matching the historical serial sweep.
-func GroupSizeSweep(cfg wrht.Config, model string, parallelism int) (*stats.Table, string, error) {
-	res, err := wrht.RunSweep(wrht.SweepSpec{
+func GroupSizeSweep(ss *wrht.SweepSession, cfg wrht.Config, model string, parallelism int) (*stats.Table, string, error) {
+	res, err := runOn(ss, wrht.SweepSpec{
 		Base:        cfg,
 		Models:      []string{model},
 		GroupSizes:  CanonicalGroupSizes,
@@ -72,8 +84,8 @@ func GroupSizeSweep(cfg wrht.Config, model string, parallelism int) (*stats.Tabl
 
 // WavelengthSweep runs the canonical wavelength-budget sweep (A6): Wrht vs
 // the unstriped optical ring for the model at every budget.
-func WavelengthSweep(nodes int, model string, parallelism int) (*stats.Table, error) {
-	res, err := wrht.RunSweep(wrht.SweepSpec{
+func WavelengthSweep(ss *wrht.SweepSession, nodes int, model string, parallelism int) (*stats.Table, error) {
+	res, err := runOn(ss, wrht.SweepSpec{
 		Base:        wrht.DefaultConfig(nodes),
 		Wavelengths: CanonicalWavelengths,
 		Models:      []string{model},
@@ -117,8 +129,8 @@ func WavelengthSweep(nodes int, model string, parallelism int) (*stats.Table, er
 // price through the same exact simulate paths as the Figure-2 grid — the
 // symmetry-aware classed pricer makes them ~O(N) per point instead of O(N²),
 // which is what admits them to a routine sweep at all.
-func ScalingSweep(model string, parallelism int) (*stats.Table, error) {
-	res, err := wrht.RunSweep(wrht.SweepSpec{
+func ScalingSweep(ss *wrht.SweepSession, model string, parallelism int) (*stats.Table, error) {
+	res, err := runOn(ss, wrht.SweepSpec{
 		Nodes:       CanonicalScalingNodes,
 		Models:      []string{model},
 		Algorithms:  wrht.PaperAlgorithms(),
@@ -168,8 +180,8 @@ func ScalingSweep(model string, parallelism int) (*stats.Table, error) {
 // SizeSweep runs the canonical message-size crossover (A1): Wrht vs the
 // fully striped optical ring, the bandwidth-optimal bound on any ring
 // schedule.
-func SizeSweep(nodes, parallelism int) (*stats.Table, error) {
-	res, err := wrht.RunSweep(wrht.SweepSpec{
+func SizeSweep(ss *wrht.SweepSession, nodes, parallelism int) (*stats.Table, error) {
+	res, err := runOn(ss, wrht.SweepSpec{
 		Base:         wrht.DefaultConfig(nodes),
 		MessageBytes: CanonicalMessageSizes,
 		Algorithms:   []wrht.Algorithm{wrht.AlgWrht, wrht.AlgORingStriped},

@@ -5,6 +5,7 @@ import (
 
 	"wrht/internal/collective"
 	"wrht/internal/electrical"
+	"wrht/internal/obs"
 	"wrht/internal/optical"
 	"wrht/internal/ring"
 	"wrht/internal/wdm"
@@ -20,6 +21,16 @@ import (
 // Results are bit-identical to RunOpticalCompact on the materialized
 // schedule (golden and property tests enforce this).
 func RunOpticalClassed(cls *collective.ClassSchedule, opts OpticalOptions) (Result, error) {
+	return RunOpticalClassedObserved(cls, opts, nil, "")
+}
+
+// RunOpticalClassedObserved is RunOpticalClassed with a flight recorder
+// attached: each step is recorded as a span (duration, wavelengths,
+// transfers, classes, rounds) on a per-run process named proc, plus a "λ
+// used" counter track and symmetric-vs-materialized step counters. The
+// recorder never influences pricing — results are bit-identical to the
+// unobserved path — and a nil recorder costs one branch per step.
+func RunOpticalClassedObserved(cls *collective.ClassSchedule, opts OpticalOptions, rec *obs.Recorder, proc string) (Result, error) {
 	if err := cls.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -60,6 +71,12 @@ func RunOpticalClassed(cls *collective.ClassSchedule, opts OpticalOptions) (Resu
 		orbit         []wdm.Demand
 		classes       []optical.ClassSpec
 	)
+	stepTrack, widthTrack := obs.NoTrack, obs.NoTrack
+	if rec.Enabled() {
+		p := rec.Process(proc)
+		stepTrack = rec.Track(p, "steps")
+		widthTrack = rec.CounterTrack(p, "λ used")
+	}
 	now := 0.0
 	for si := 0; si < cls.NumSteps(); si++ {
 		var sr optical.StepResult
@@ -134,8 +151,29 @@ func RunOpticalClassed(cls *collective.ClassSchedule, opts OpticalOptions) (Resu
 		if sr.Rounds > 1 {
 			res.ExtraRounds += sr.Rounds - 1
 		}
+		if rec.Enabled() {
+			nClasses := 0
+			if priced {
+				lo, hi := cls.ClassBounds(si)
+				nClasses = hi - lo
+			}
+			rec.Span(stepTrack, cls.StepLabel(si), now, sr.Duration, obs.SpanArgs{
+				Wavelengths: int64(sr.WavelengthsUsed),
+				Transfers:   int64(cls.StepTransfers(si)),
+				Classes:     int64(nClasses),
+				Rounds:      int64(sr.Rounds),
+			})
+			rec.Sample(widthTrack, now, float64(sr.WavelengthsUsed))
+			if priced {
+				rec.Add("pricer.optical.steps.symmetric", 1)
+			} else {
+				rec.Add("pricer.optical.steps.materialized", 1)
+			}
+			rec.AddSeconds("pricer.optical.lambda_seconds", float64(sr.WavelengthsUsed)*sr.Duration)
+		}
 		now += sr.Duration
 	}
+	rec.Add("pricer.optical.runs", 1)
 	return res, nil
 }
 
@@ -146,6 +184,14 @@ func RunOpticalClassed(cls *collective.ClassSchedule, opts OpticalOptions) (Resu
 // fairness); everything else — including every step on a custom Network —
 // is materialized and priced by the exact per-flow path.
 func RunElectricalClassed(cls *collective.ClassSchedule, opts ElectricalOptions) (Result, error) {
+	return RunElectricalClassedObserved(cls, opts, nil, "")
+}
+
+// RunElectricalClassedObserved is RunElectricalClassed with a flight
+// recorder attached (see RunOpticalClassedObserved for the contract): each
+// step records a span on process proc plus classed-vs-exact flow-solver
+// counters. A nil recorder costs one branch per step.
+func RunElectricalClassedObserved(cls *collective.ClassSchedule, opts ElectricalOptions, rec *obs.Recorder, proc string) (Result, error) {
 	if err := cls.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -177,10 +223,17 @@ func RunElectricalClassed(cls *collective.ClassSchedule, opts ElectricalOptions)
 	var classSolver *electrical.ClassSolver
 	var flows []electrical.Flow
 	var bits []float64
+	stepTrack := obs.NoTrack
+	if rec.Enabled() {
+		stepTrack = rec.Track(rec.Process(proc), "steps")
+	}
+	now := 0.0
 	for si := 0; si < cls.NumSteps(); si++ {
 		var d float64
 		var err error
+		classed := false
 		if _, _, _, perm, sym := cls.Sym(si); sym && perm && defaultNet {
+			classed = true
 			bits = bits[:0]
 			lo, hi := cls.ClassBounds(si)
 			for i := lo; i < hi; i++ {
@@ -212,6 +265,24 @@ func RunElectricalClassed(cls *collective.ClassSchedule, opts ElectricalOptions)
 		}
 		res.StepSec = append(res.StepSec, d)
 		res.TotalSec += d
+		if rec.Enabled() {
+			nClasses := 0
+			if classed {
+				lo, hi := cls.ClassBounds(si)
+				nClasses = hi - lo
+			}
+			rec.Span(stepTrack, cls.StepLabel(si), now, d, obs.SpanArgs{
+				Transfers: int64(cls.StepTransfers(si)),
+				Classes:   int64(nClasses),
+			})
+			if classed {
+				rec.Add("pricer.electrical.steps.classed", 1)
+			} else {
+				rec.Add("pricer.electrical.steps.exact", 1)
+			}
+		}
+		now += d
 	}
+	rec.Add("pricer.electrical.runs", 1)
 	return res, nil
 }

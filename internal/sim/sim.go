@@ -48,9 +48,10 @@ func (a event) before(b event) bool {
 
 // Engine is a discrete-event executor. The zero value is ready to use.
 type Engine struct {
-	now    float64
-	seq    int64
-	nsteps int64
+	now        float64
+	seq        int64
+	nsteps     int64
+	maxPending int
 	// heap is a 4-ary min-heap of events ordered by (time, seq). A 4-ary
 	// layout halves the tree depth of a binary heap, trading slightly more
 	// comparisons per level for far fewer cache-missing swaps.
@@ -72,6 +73,10 @@ func (e *Engine) Pending() int { return len(e.heap) }
 
 // Steps returns the number of events executed so far.
 func (e *Engine) Steps() int64 { return e.nsteps }
+
+// MaxPending returns the high-water mark of the event queue — the deepest
+// the heap has been since the last Reset.
+func (e *Engine) MaxPending() int { return e.maxPending }
 
 // Register installs fn as an integer-dispatch callback and returns its id.
 // Register once per callback kind (not per event); Schedule then enqueues
@@ -101,6 +106,9 @@ func (e *Engine) push(t float64, h HandlerID, arg int32) {
 	e.seq++
 	ev := event{time: t, seq: e.seq, h: h, arg: arg}
 	e.heap = append(e.heap, ev)
+	if len(e.heap) > e.maxPending {
+		e.maxPending = len(e.heap)
+	}
 	// Sift up.
 	i := len(e.heap) - 1
 	for i > 0 {
@@ -165,6 +173,7 @@ func (e *Engine) Grow(n int) {
 // event slab and registered handlers for reuse.
 func (e *Engine) Reset() {
 	e.now, e.seq, e.nsteps = 0, 0, 0
+	e.maxPending = 0
 	e.heap = e.heap[:0]
 	for i := range e.fns {
 		e.fns[i] = nil

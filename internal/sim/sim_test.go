@@ -287,3 +287,32 @@ func TestRunAllocationFree(t *testing.T) {
 		t.Fatalf("Run allocated %.1f times per run, want 0", allocs)
 	}
 }
+
+func TestMaxPendingTracksHeapDepth(t *testing.T) {
+	var e Engine
+	if e.MaxPending() != 0 {
+		t.Fatalf("fresh engine MaxPending = %d, want 0", e.MaxPending())
+	}
+	for i := 1; i <= 5; i++ {
+		e.At(float64(i), func() {})
+	}
+	// Draining events must not lower the recorded peak.
+	e.Run()
+	if got := e.MaxPending(); got != 5 {
+		t.Fatalf("MaxPending = %d, want 5", got)
+	}
+	// Nested scheduling past the prior peak raises it.
+	e.Reset()
+	if e.MaxPending() != 0 {
+		t.Fatalf("Reset did not clear MaxPending: %d", e.MaxPending())
+	}
+	e.At(1, func() {
+		for i := 0; i < 7; i++ {
+			e.At(2+float64(i), func() {})
+		}
+	})
+	e.Run()
+	if got := e.MaxPending(); got != 7 {
+		t.Fatalf("MaxPending after nested scheduling = %d, want 7", got)
+	}
+}

@@ -1,9 +1,13 @@
 package wrht
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"wrht/internal/collective"
 	"wrht/internal/core"
 	"wrht/internal/exp"
+	"wrht/internal/obs"
 	"wrht/internal/runner"
 )
 
@@ -17,6 +21,41 @@ type session struct {
 	scheds *exp.ScheduleCache
 	sims   *exp.SimCache
 	fabric *fabricCache
+	// rec is the session's flight recorder; nil (the default) disables
+	// observability at zero cost. Set once via SweepSession.Observe before
+	// pricing begins — the recorder pointer itself is not synchronized.
+	rec *obs.Recorder
+}
+
+// recorder returns the session's flight recorder; nil sessions (and
+// unobserved sessions) report nil, which every obs method treats as "off".
+func (s *session) recorder() *obs.Recorder {
+	if s == nil {
+		return nil
+	}
+	return s.rec
+}
+
+// simProc names one substrate simulation's recorder process: the hash of the
+// full memoization key (schedule identity + substrate options) guarantees
+// distinct sims never share tracks, so concurrent cache fills stay
+// byte-deterministic in trace exports.
+func (s *session) simProc(key exp.SimKey) string {
+	if s.recorder() == nil {
+		return ""
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", key)
+	substrate := "optical"
+	if key.Electrical {
+		substrate = "electrical"
+	}
+	alg := key.Sched.Algorithm
+	if alg == "" {
+		alg = "wrht" // Wrht plans carry identity in Sig, not the name
+	}
+	return fmt.Sprintf("price %s %s N=%d elems=%d · key %016x",
+		substrate, alg, key.Sched.N, key.Sched.Elems, h.Sum64())
 }
 
 // newSession returns an empty session.
@@ -54,8 +93,9 @@ func (s *session) simOptical(key exp.ScheduleKey, cls *collective.ClassSchedule,
 	if s == nil {
 		return runner.RunOpticalClassed(cls, opts)
 	}
-	return s.sims.Run(exp.SimKey{Sched: key, OptOpts: opts}, func() (runner.Result, error) {
-		return runner.RunOpticalClassed(cls, opts)
+	simKey := exp.SimKey{Sched: key, OptOpts: opts}
+	return s.sims.Run(simKey, func() (runner.Result, error) {
+		return runner.RunOpticalClassedObserved(cls, opts, s.rec, s.simProc(simKey))
 	})
 }
 
@@ -67,8 +107,9 @@ func (s *session) simElectrical(key exp.ScheduleKey, cls *collective.ClassSchedu
 	if s == nil || opts.Network != nil {
 		return runner.RunElectricalClassed(cls, opts)
 	}
-	return s.sims.Run(exp.SimKey{Sched: key, Electrical: true, ElecOpts: opts}, func() (runner.Result, error) {
-		return runner.RunElectricalClassed(cls, opts)
+	simKey := exp.SimKey{Sched: key, Electrical: true, ElecOpts: opts}
+	return s.sims.Run(simKey, func() (runner.Result, error) {
+		return runner.RunElectricalClassedObserved(cls, opts, s.rec, s.simProc(simKey))
 	})
 }
 
@@ -118,11 +159,29 @@ func (ss *SweepSession) CompareFabricPolicies(cfg Config, jobs []JobSpec, polici
 	return compareFabricPolicies(cfg, jobs, policies, ss.sess.fabric)
 }
 
+// Compare is Compare sharing this session's caches (and, when observed, its
+// flight recorder).
+func (ss *SweepSession) Compare(cfg Config, algs []Algorithm, bytes int64) ([]Result, error) {
+	out := make([]Result, 0, len(algs))
+	for _, a := range algs {
+		r, _, err := communicationTime(cfg, a, bytes, ss.sess)
+		if err != nil {
+			return nil, fmt.Errorf("wrht: %s: %w", a, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
 // CacheStats reports the session's cumulative cache effectiveness per layer.
 type CacheStats struct {
 	PlanHits, PlanBuilds           int64
 	ScheduleHits, ScheduleBuilds   int64
 	SimulationHits, SimulationRuns int64
+	// FabricRuntimeHits/Builds count the fabric layer's per-tenant runtime
+	// curve lookups — the memoized (config, algorithm, bytes, width) →
+	// seconds entries that fabric co-simulations price tenants through.
+	FabricRuntimeHits, FabricRuntimeBuilds int64
 }
 
 // Stats returns the session's cumulative cache counters.
@@ -131,5 +190,6 @@ func (ss *SweepSession) Stats() CacheStats {
 	st.PlanHits, st.PlanBuilds = ss.sess.plans.Stats()
 	st.ScheduleHits, st.ScheduleBuilds = ss.sess.scheds.Stats()
 	st.SimulationHits, st.SimulationRuns = ss.sess.sims.Stats()
+	st.FabricRuntimeHits, st.FabricRuntimeBuilds = ss.sess.fabric.Stats()
 	return st
 }

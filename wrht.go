@@ -336,6 +336,22 @@ func buildClassSchedule(cfg Config, alg Algorithm, elems int, sess *session) (*c
 	default:
 		return nil, nil, key, fmt.Errorf("wrht: unknown algorithm %q", alg)
 	}
+	if rec := sess.recorder(); rec != nil {
+		// Wrap the build so certificate outcomes are recorded exactly once
+		// per distinct schedule (cache hits re-serve the same build).
+		inner := build
+		build = func() (*collective.ClassSchedule, error) {
+			cs, err := inner()
+			if err == nil {
+				cert, mat, dem := cs.CertStats()
+				rec.Add("collective.schedules.built", 1)
+				rec.Add("collective.steps.certified", int64(cert))
+				rec.Add("collective.steps.materialized", int64(mat))
+				rec.Add("collective.certificate.demotions", int64(dem))
+			}
+			return cs, err
+		}
+	}
 	cls, err := sess.schedule(key, build)
 	if err != nil {
 		return nil, nil, key, err
@@ -494,16 +510,7 @@ func communicationTime(cfg Config, alg Algorithm, bytes int64, sess *session) (R
 // so algorithms that lower to the same schedule (E-Ring and O-Ring both ride
 // the ring schedule) build it once.
 func Compare(cfg Config, algs []Algorithm, bytes int64) ([]Result, error) {
-	sess := newSession()
-	out := make([]Result, 0, len(algs))
-	for _, a := range algs {
-		r, _, err := communicationTime(cfg, a, bytes, sess)
-		if err != nil {
-			return nil, fmt.Errorf("wrht: %s: %w", a, err)
-		}
-		out = append(out, r)
-	}
-	return out, nil
+	return NewSweepSession().Compare(cfg, algs, bytes)
 }
 
 // VerifyAlgorithm executes the algorithm's schedule on real buffers with
