@@ -452,6 +452,68 @@ func BenchmarkFabricElastic(b *testing.B) {
 	})
 }
 
+// fleetBenchFabrics builds the benchmark fleet by cycling three pod
+// classes (the same heterogeneity pattern as cmd/fabricsim -scenario
+// trace): big 16 λ pods, mid 8 λ pods, and small 4 λ edge fabrics.
+func fleetBenchFabrics(n int) []wrht.FleetFabricSpec {
+	classes := []wrht.FleetFabricSpec{
+		{Nodes: 32, Wavelengths: 16, ReconfigDelaySec: 2e-6, MigrationCostSec: 20e-3},
+		{Nodes: 16, Wavelengths: 8, ReconfigDelaySec: 5e-6, MigrationCostSec: 10e-3},
+		{Nodes: 16, Wavelengths: 4, ReconfigDelaySec: 10e-6, MigrationCostSec: 5e-3},
+	}
+	out := make([]wrht.FleetFabricSpec, n)
+	for i := range out {
+		out[i] = classes[i%len(classes)]
+		out[i].Name = fmt.Sprintf("pod%02d", i)
+	}
+	return out
+}
+
+// BenchmarkFabricTrace is the headline fleet benchmark (EXPERIMENTS.md F4):
+// a seeded million-event Poisson arrival trace (250k jobs, ~1.5M executed
+// events) placed across a 16-fabric heterogeneous fleet in aggregate-only
+// lite mode, every fabric running the incremental elastic solver at ~79%
+// utilization. Runtime curves come warm from the shared SweepSession after
+// the first iteration, so steady-state ns/op measures trace placement plus
+// the incremental re-solve path itself. cmd/bench holds this benchmark to
+// a committed wall-time gate (cmd/bench/timegates.json: the trace must
+// price in ≤ 10 s/op); the short CI variant runs 20k jobs on 8 fabrics.
+func BenchmarkFabricTrace(b *testing.B) {
+	nFab, nJobs, gap := 16, 250000, 0.01
+	if testing.Short() {
+		nFab, nJobs, gap = 8, 20000, 0.02
+	}
+	cfg := wrht.DefaultConfig(32)
+	fabrics := fleetBenchFabrics(nFab)
+	shapes := report.FleetChurnShapes()
+	jobs, err := wrht.GenerateFleetTrace(wrht.FleetTraceSpec{
+		Kind: "poisson", Jobs: nJobs, Seed: 1, MeanGapSec: gap,
+		NumShapes: len(shapes), NumFabrics: nFab, MaxWidth: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess := wrht.NewSweepSession()
+	b.Run(fmt.Sprintf("poisson/%dfabrics/%dkjobs", nFab, nJobs/1000), func(b *testing.B) {
+		b.ReportAllocs()
+		var last wrht.FleetResult
+		for i := 0; i < b.N; i++ {
+			res, err := sess.SimulateFleet(cfg, fabrics, shapes, jobs,
+				wrht.FleetOptions{Placement: wrht.FleetLeastLoaded, Lite: true})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.ReportMetric(float64(last.EngineEvents), "events/op")
+		b.ReportMetric(float64(last.SolverSolves), "solves/op")
+		if total := last.SolverTiersTouched + last.SolverTiersSkipped; total > 0 {
+			b.ReportMetric(100*float64(last.SolverTiersSkipped)/float64(total), "tiersSkipped%")
+		}
+		b.ReportMetric(100*last.Utilization, "util%")
+	})
+}
+
 // BenchmarkExtensionFigure (beyond the paper): the Figure-2 grid on
 // transformer workloads — BERT-Large (1.34 GB gradients) and GPT-2 XL
 // (6.23 GB) — showing the paper's ordering survives at modern model sizes.

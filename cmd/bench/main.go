@@ -1,15 +1,19 @@
 // Command bench runs the repository's headline performance benchmarks with
-// -benchmem and emits a machine-readable report (BENCH_PR5.json by default):
+// -benchmem and emits a machine-readable report (BENCH_PR7.json by default):
 // ns/op, B/op, allocs/op, and every custom metric for the sweep engine, the
-// simulator throughput path, the message-level optical simulator, and the
+// simulator throughput path, the message-level optical simulator, the
 // multi-tenant fabric co-simulation (grant-once policies and the elastic
-// re-allocation path).
+// re-allocation path), and the trace-driven fleet placement path.
 //
-// It is two regression gates in one:
+// It is three regression gates in one:
 //
 //   - allocation gate: committed per-benchmark allocs/op ceilings
 //     (cmd/bench/ceilings.json) are checked against the fresh numbers, and
 //     any benchmark above its ceiling fails the run;
+//   - wall-time gate: committed absolute ns/op bounds
+//     (cmd/bench/timegates.json) are hard acceptance limits — e.g.
+//     BenchmarkFabricTrace must price its million-event 16-fabric trace in
+//     ≤ 10 s regardless of history;
 //   - time gate: the fresh ns/op numbers are compared against the previous
 //     committed BENCH_*.json (auto-discovered, or -prev), and any headline
 //     benchmark more than 25% slower fails the run. Only entries recorded
@@ -25,7 +29,7 @@
 // Regenerate the committed full-scale report (and run the full-scale time
 // gate against the previous report) with:
 //
-//	go run ./cmd/bench -out BENCH_PR5.json
+//	go run ./cmd/bench -out BENCH_PR7.json
 package main
 
 import (
@@ -42,7 +46,7 @@ import (
 )
 
 // headline selects the benchmarks the report covers.
-const headline = "BenchmarkSweepEngine|BenchmarkSimulatorThroughput|BenchmarkOpticalsimThroughput|BenchmarkFabricCoSim|BenchmarkFabricElastic"
+const headline = "BenchmarkSweepEngine|BenchmarkSimulatorThroughput|BenchmarkOpticalsimThroughput|BenchmarkFabricCoSim|BenchmarkFabricElastic|BenchmarkFabricTrace"
 
 // Result is one benchmark line of the report.
 type Result struct {
@@ -66,8 +70,9 @@ func main() {
 	short := flag.Bool("short", false, "run benchmarks in -short mode (CI smoke scales)")
 	benchtime := flag.String("benchtime", "2x", "benchtime passed to go test")
 	bench := flag.String("bench", headline, "benchmark regex")
-	out := flag.String("out", "BENCH_PR5.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR7.json", "output JSON path")
 	ceilingsPath := flag.String("ceilings", "cmd/bench/ceilings.json", "allocs/op ceilings (empty disables the gate)")
+	timegatesPath := flag.String("timegates", "cmd/bench/timegates.json", "absolute ns/op wall-time gates (empty disables the gate)")
 	prev := flag.String("prev", "auto", "previous BENCH_*.json to gate ns/op against (auto = newest committed report other than -out; empty disables)")
 	flag.Parse()
 
@@ -108,11 +113,47 @@ func main() {
 			fatalf("%v", err)
 		}
 	}
+	if *timegatesPath != "" {
+		if err := checkTimeGates(*timegatesPath, report.Results); err != nil {
+			fatalf("%v", err)
+		}
+	}
 	if *prev != "" {
 		if err := checkTimes(*prev, *out, report); err != nil {
 			fatalf("%v", err)
 		}
 	}
+}
+
+// checkTimeGates fails when any result exceeds its committed absolute
+// wall-time gate (ns/op). Unlike the relative time gate against the
+// previous report, these are hard acceptance bounds — e.g.
+// BenchmarkFabricTrace must price its million-event trace in ≤ 10 s
+// regardless of history. Keys with no matching result are ignored (the
+// short and full scales carry different names), and a missing gates file
+// only disables this gate when -timegates ” is passed explicitly.
+func checkTimeGates(path string, results []Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read time gates %s: %w", path, err)
+	}
+	var gates map[string]float64
+	if err := json.Unmarshal(data, &gates); err != nil {
+		return fmt.Errorf("parse time gates %s: %w", path, err)
+	}
+	for _, r := range results {
+		gate, ok := gates[r.Name]
+		if !ok {
+			continue
+		}
+		if r.NsPerOp > gate {
+			return fmt.Errorf("wall-time gate: %s at %.3gs/op exceeds the committed bound %.3gs/op",
+				r.Name, r.NsPerOp/1e9, gate/1e9)
+		}
+		fmt.Fprintf(os.Stderr, "bench: wall-time gate: %s %.3gs/op <= %.3gs/op\n",
+			r.Name, r.NsPerOp/1e9, gate/1e9)
+	}
+	return nil
 }
 
 // maxTimeRegression is the time gate's threshold: a headline benchmark more

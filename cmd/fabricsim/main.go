@@ -12,6 +12,16 @@
 //	fabricsim -policy elastic -reconfig 2
 //	fabricsim -scenario churn           # departure-heavy mix: elastic shines
 //	fabricsim -scenario churn -trace churn.json -metrics churn.md
+//	fabricsim -scenario trace           # trace-driven fleet placement
+//	fabricsim -scenario trace -fabrics 8 -trace-jobs 20000 -trace-kind heavy-tail
+//	fabricsim -scenario trace -placement priority-aware -detail
+//
+// -scenario trace co-simulates a datacenter of heterogeneous fabrics fed by
+// a seeded synthetic arrival trace (wrht.SimulateFleet): -fabrics sizes the
+// fleet, -trace-kind picks the arrival process (poisson, diurnal, or
+// heavy-tail bursts), -trace-jobs its length, and -placement the routing
+// policy (least-loaded, best-fit, priority-aware, or all). Traces above
+// -lite-over jobs run in aggregate-only lite mode.
 //
 // -trace writes the co-simulation's flight-recorder timeline — jobs as
 // tracks with admit/preempt/reconfig markers and run/settle spans,
@@ -42,7 +52,12 @@ func main() {
 		policy      = flag.String("policy", "all", "static | first-fit | priority | elastic | all")
 		partitions  = flag.Int("partitions", 0, "shares for the static policy (0 = default 4, clamped to the budget)")
 		reconfigUs  = flag.Float64("reconfig", 2, "elastic reconfiguration (switch settling) delay [µs]")
-		scenario    = flag.String("scenario", "mixed", "mixed | churn (departure-heavy: short capped bursts + long uncapped stragglers)")
+		scenario    = flag.String("scenario", "mixed", "mixed | churn (departure-heavy single fabric) | trace (trace-driven fleet placement)")
+		fabrics     = flag.Int("fabrics", 4, "fleet size for -scenario trace")
+		placement   = flag.String("placement", "all", "least-loaded | best-fit | priority-aware | all (-scenario trace)")
+		traceKind   = flag.String("trace-kind", "heavy-tail", "poisson | diurnal | heavy-tail (-scenario trace)")
+		traceJobs   = flag.Int("trace-jobs", 4000, "arrival-trace length for -scenario trace")
+		liteOver    = flag.Int("lite-over", 10000, "use aggregate-only lite stats above this many trace jobs")
 		seed        = flag.Int64("seed", 1, "deterministic job-mix seed")
 		gapMs       = flag.Float64("gap", 2, "mean inter-arrival gap [ms]")
 		sweep       = flag.String("sweep", "", "comma-separated job counts to sweep (overrides -jobs)")
@@ -75,25 +90,33 @@ func main() {
 		ob = ss.Observe()
 	}
 
-	for _, n := range counts {
-		var mix []wrht.JobSpec
-		switch *scenario {
-		case "mixed":
-			mix = generateJobs(n, *seed, *gapMs, *wavelengths)
-		case "churn":
-			mix = generateChurnJobs(n, *seed, *gapMs, *wavelengths)
-		default:
-			must(fmt.Errorf("unknown scenario %q (want mixed or churn)", *scenario))
-		}
-		results, err := ss.CompareFabricPolicies(cfg, mix, policies)
-		must(err)
-		title := fmt.Sprintf("shared fabric (%s): %d jobs on %d nodes, %d wavelengths (seed %d)",
-			*scenario, n, *nodes, *wavelengths, *seed)
-		render(report.FabricPolicyTable(title, results), *format)
-		if *detail {
-			for _, res := range results {
-				render(report.FabricJobsTable(res), *format)
-				render(traceTable(res), *format)
+	if *scenario == "trace" {
+		must(runFleet(ss, cfg, fleetFlags{
+			fabrics: *fabrics, placement: *placement, kind: *traceKind,
+			jobs: *traceJobs, seed: *seed, gapMs: *gapMs, liteOver: *liteOver,
+			reconfigSec: *reconfigUs * 1e-6, format: *format, detail: *detail,
+		}))
+	} else {
+		for _, n := range counts {
+			var mix []wrht.JobSpec
+			switch *scenario {
+			case "mixed":
+				mix = generateJobs(n, *seed, *gapMs, *wavelengths)
+			case "churn":
+				mix = generateChurnJobs(n, *seed, *gapMs, *wavelengths)
+			default:
+				must(fmt.Errorf("unknown scenario %q (want mixed, churn, or trace)", *scenario))
+			}
+			results, err := ss.CompareFabricPolicies(cfg, mix, policies)
+			must(err)
+			title := fmt.Sprintf("shared fabric (%s): %d jobs on %d nodes, %d wavelengths (seed %d)",
+				*scenario, n, *nodes, *wavelengths, *seed)
+			render(report.FabricPolicyTable(title, results), *format)
+			if *detail {
+				for _, res := range results {
+					render(report.FabricJobsTable(res), *format)
+					render(traceTable(res), *format)
+				}
 			}
 		}
 	}
@@ -111,6 +134,84 @@ func main() {
 		must(os.WriteFile(*metrics, []byte(body), 0o644))
 		fmt.Printf("metrics: %s\n", *metrics)
 	}
+}
+
+// fleetFlags bundles the -scenario trace knobs.
+type fleetFlags struct {
+	fabrics     int
+	placement   string
+	kind        string
+	jobs        int
+	seed        int64
+	gapMs       float64
+	liteOver    int
+	reconfigSec float64
+	format      string
+	detail      bool
+}
+
+// genFleet builds a deterministic heterogeneous fleet of n fabrics by
+// cycling three pod classes: big (32 nodes, 16 λ), mid (16 nodes, 8 λ),
+// and edge (16 nodes, 4 λ, cheap migration).
+func genFleet(n int, reconfigSec float64) []wrht.FleetFabricSpec {
+	classes := []wrht.FleetFabricSpec{
+		{Nodes: 32, Wavelengths: 16, MigrationCostSec: 20e-3},
+		{Nodes: 16, Wavelengths: 8, MigrationCostSec: 10e-3},
+		{Nodes: 16, Wavelengths: 4, MigrationCostSec: 5e-3},
+	}
+	out := make([]wrht.FleetFabricSpec, n)
+	for i := range out {
+		out[i] = classes[i%len(classes)]
+		out[i].Name = fmt.Sprintf("pod%02d", i)
+		out[i].ReconfigDelaySec = reconfigSec * float64(1+i%len(classes))
+	}
+	return out
+}
+
+// runFleet executes -scenario trace: a seeded synthetic arrival trace
+// placed across a heterogeneous fleet under one or all placement policies.
+func runFleet(ss *wrht.SweepSession, cfg wrht.Config, ff fleetFlags) error {
+	var placements []string
+	switch ff.placement {
+	case "all":
+		placements = []string{wrht.FleetLeastLoaded, wrht.FleetBestFit, wrht.FleetPriorityAware}
+	case wrht.FleetLeastLoaded, wrht.FleetBestFit, wrht.FleetPriorityAware:
+		placements = []string{ff.placement}
+	default:
+		return fmt.Errorf("unknown placement %q", ff.placement)
+	}
+	fleet := genFleet(ff.fabrics, ff.reconfigSec)
+	shapes := report.FleetChurnShapes()
+	jobs, err := wrht.GenerateFleetTrace(wrht.FleetTraceSpec{
+		Kind: ff.kind, Jobs: ff.jobs, Seed: ff.seed, MeanGapSec: ff.gapMs * 1e-3,
+		NumShapes: len(shapes), NumFabrics: ff.fabrics, MaxWidth: 8,
+	})
+	if err != nil {
+		return err
+	}
+	lite := ff.jobs > ff.liteOver
+	var results []wrht.FleetResult
+	for _, placement := range placements {
+		res, err := ss.SimulateFleet(cfg, fleet, shapes, jobs,
+			wrht.FleetOptions{Placement: placement, Lite: lite})
+		if err != nil {
+			return fmt.Errorf("placement %s: %w", placement, err)
+		}
+		results = append(results, res)
+	}
+	mode := "full"
+	if lite {
+		mode = "lite"
+	}
+	title := fmt.Sprintf("fleet (%s trace, %s stats): %d jobs over %d fabrics (seed %d)",
+		ff.kind, mode, ff.jobs, ff.fabrics, ff.seed)
+	render(report.FleetPlacementTable(title, results), ff.format)
+	if ff.detail {
+		for _, res := range results {
+			render(report.FleetFabricTable(res), ff.format)
+		}
+	}
+	return nil
 }
 
 // selectPolicies resolves the -policy flag.

@@ -1,0 +1,610 @@
+package fabric
+
+import (
+	"math"
+	"sort"
+)
+
+// This file holds both elastic solvers. dispatchElasticFull is the
+// reference: a from-scratch three-pass solve over the whole live tenant set
+// on every arrival/departure, exactly as documented on ElasticReallocate.
+// elasticIndex.solve is the production incremental solver: live tenants are
+// indexed by priority tier with cached fill state, so a solve visits only
+// the tiers whose water level can actually change and proves the rest
+// untouched in O(1) per tier. The two are bit-identical — same events, same
+// stats, same recorder traces — which the equivalence property tests pin;
+// the incremental solver is what makes million-event traces affordable
+// (solver work scales with the churned tiers, not the live set).
+
+// jobLess is the scheduling order shared by the priority and elastic
+// policies: priority descending, then arrival ascending, then admission
+// index ascending — the final tie-break makes results stable across runs
+// and sweep parallelism. victimsFor sorts by its negation.
+func jobLess(a, b *jobRec) bool {
+	if a.Priority != b.Priority {
+		return a.Priority > b.Priority
+	}
+	if a.ArrivalSec != b.ArrivalSec {
+		return a.ArrivalSec < b.ArrivalSec
+	}
+	return a.idx < b.idx
+}
+
+// widenPays reports whether restarting r at the wider stripe strictly
+// beats letting the current segment finish: the reconfiguration stall plus
+// the re-priced tail must complete earlier than segStart+segLen. Pricing
+// the candidate width may hit the caller's runtime function for the first
+// time; its errors abort the simulation like any other runtime failure.
+func (s *scheduler) widenPays(r *jobRec, width int) bool {
+	tail, err := s.price(r, width)
+	if err != nil {
+		s.fail(err)
+		return false
+	}
+	now := s.eng.Now()
+	return now+s.pol.ReconfigDelaySec+tail*r.remainingAt(now) < r.segStart+r.segLen
+}
+
+// dispatchElastic routes an elastic solve to the incremental tier index,
+// or to the reference full solver when Policy.fullSolve asks for it.
+func (s *scheduler) dispatchElastic() {
+	if s.el != nil {
+		s.el.solve(s)
+		return
+	}
+	s.dispatchElasticFull()
+}
+
+// elTier is one priority tier of the incremental solver's live-tenant
+// index: its member set (sorted by arrival, then admission index — the
+// water-fill deal order) plus the cached fill state that lets a solve skip
+// the tier entirely when its inputs are provably unchanged.
+type elTier struct {
+	prio    int
+	members []*jobRec
+	// sumMin/sumMax are Σ MinWavelengths / Σ MaxWavelengths over members:
+	// the tier's floor and cap sums in the common case of no pinned and no
+	// due members.
+	sumMin int
+	sumMax int
+	// minEnd is a lower bound on the earliest running member completion
+	// (exact as of the last fill; only member removals happen in between,
+	// so it can only err conservative). A solve at now with
+	// minEnd-now <= ReconfigDelaySec must scan members for pins and
+	// exclusions; otherwise the cached sums are exact.
+	minEnd float64
+	// lastTotal is the tier's total width after the last applied fill
+	// (-1 before the first); clean records that that fill had no pinned or
+	// due members and no widen vetoes; dirty marks a membership change
+	// since. A tier may be skipped — its assignments provably
+	// byte-identical — iff !dirty && clean && no pins possible now && no
+	// veto this solve && its granted total equals lastTotal: identical
+	// inputs to a deterministic fill reproduce the applied widths exactly.
+	lastTotal int
+	clean     bool
+	dirty     bool
+	// Per-solve scratch, valid while stamp matches the solve number.
+	stamp     int64
+	exact     bool // pins/due members possible: member scan required
+	hasVeto   bool
+	fillClean bool // the last fill this solve saw no pins/due members
+	floorSum  int  // exact floor sum (when exact)
+	capSum    int  // exact cap sum (when exact)
+}
+
+// elasticIndex is the incremental solver's persistent state plus reusable
+// scratch, so steady-state solves allocate nothing.
+type elasticIndex struct {
+	tiers   []*elTier // priority descending
+	byPrio  map[int]*elTier
+	filled  []*elTier // tiers filled in the current round
+	changed []*jobRec // running members whose width changes this solve
+	nAdmit  int
+}
+
+func newElasticIndex() *elasticIndex {
+	return &elasticIndex{byPrio: map[int]*elTier{}}
+}
+
+// enqueue inserts r into the wait queue keeping it sorted by jobLess, so
+// admission walks a pre-sorted queue instead of re-sorting per solve.
+func (el *elasticIndex) enqueue(s *scheduler, r *jobRec) {
+	q := s.queue
+	i := sort.Search(len(q), func(i int) bool { return jobLess(r, q[i]) })
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = r
+	s.queue = q
+}
+
+// tierFor returns (creating on demand) the tier for priority prio.
+func (el *elasticIndex) tierFor(prio int) *elTier {
+	if t := el.byPrio[prio]; t != nil {
+		return t
+	}
+	t := &elTier{prio: prio, minEnd: math.Inf(1), lastTotal: -1}
+	el.byPrio[prio] = t
+	i := sort.Search(len(el.tiers), func(i int) bool { return el.tiers[i].prio < prio })
+	el.tiers = append(el.tiers, nil)
+	copy(el.tiers[i+1:], el.tiers[i:])
+	el.tiers[i] = t
+	return t
+}
+
+// insertMember adds r to tier t in (ArrivalSec, idx) order — the
+// water-fill deal order — and marks the tier dirty.
+func (el *elasticIndex) insertMember(t *elTier, r *jobRec) {
+	i := sort.Search(len(t.members), func(i int) bool {
+		m := t.members[i]
+		if r.ArrivalSec != m.ArrivalSec {
+			return r.ArrivalSec < m.ArrivalSec
+		}
+		return r.idx < m.idx
+	})
+	t.members = append(t.members, nil)
+	copy(t.members[i+1:], t.members[i:])
+	t.members[i] = r
+	t.sumMin += r.MinWavelengths
+	t.sumMax += r.MaxWavelengths
+	t.dirty = true
+	r.tier = t
+}
+
+// removeMember detaches a completed member from its tier.
+func (el *elasticIndex) removeMember(r *jobRec) {
+	t := r.tier
+	if t == nil {
+		return
+	}
+	r.tier = nil
+	for i, m := range t.members {
+		if m == r {
+			copy(t.members[i:], t.members[i+1:])
+			t.members[len(t.members)-1] = nil
+			t.members = t.members[:len(t.members)-1]
+			break
+		}
+	}
+	t.sumMin -= r.MinWavelengths
+	t.sumMax -= r.MaxWavelengths
+	t.dirty = true
+}
+
+// solve is the incremental elastic re-solve: bit-identical in effect to
+// dispatchElasticFull, but an event only pays for the tiers it can touch.
+func (el *elasticIndex) solve(s *scheduler) {
+	now := s.eng.Now()
+	s.solver.Solves++
+	solveID := s.solver.Solves
+	delay := s.pol.ReconfigDelaySec
+
+	// Phase 1: per-tier floor sums. A tier whose earliest member
+	// completion lies within the settling delay may hold pinned (floor =
+	// cap = current width) or due-to-complete (excluded) members and needs
+	// an exact member scan; any other tier's floor sum is its cached
+	// sumMin.
+	reserved := 0
+	for _, t := range el.tiers {
+		t.stamp = solveID
+		t.hasVeto = false
+		if len(t.members) == 0 {
+			t.exact = false
+			continue
+		}
+		t.exact = t.minEnd-now <= delay
+		if !t.exact {
+			reserved += t.sumMin
+			continue
+		}
+		t.floorSum, t.capSum = 0, 0
+		for _, m := range t.members {
+			end := m.segStart + m.segLen
+			if m.state == stRunning && now >= end {
+				continue // due to complete at this instant: left alone
+			}
+			f, c := m.MinWavelengths, m.MaxWavelengths
+			if m.state == stRunning && end-now <= delay {
+				f = len(m.waves) // pinned at its current width
+				c = f
+			}
+			t.floorSum += f
+			t.capSum += c
+		}
+		reserved += t.floorSum
+	}
+
+	// Phase 2: admission. The wait queue is kept sorted by jobLess, so
+	// queued jobs are admitted from the front while their minimums fit;
+	// the first failure blocks the rest (head-of-line, matching
+	// dispatchPriority — backfilling past a blocked wide high-priority job
+	// would starve it).
+	el.nAdmit = 0
+	for _, r := range s.queue {
+		if reserved+r.MinWavelengths > s.budget {
+			break
+		}
+		reserved += r.MinWavelengths
+		el.nAdmit++
+		t := el.tierFor(r.Priority)
+		if t.stamp != solveID { // tier created (or first seen) this solve
+			t.stamp, t.exact, t.hasVeto = solveID, false, false
+		}
+		el.insertMember(t, r)
+		if t.exact {
+			t.floorSum += r.MinWavelengths
+			t.capSum += r.MaxWavelengths
+		}
+	}
+
+	// Phase 3: water-fill with the widen-guard veto fixed point. Each
+	// round deals the surplus tier by tier (highest priority first); a
+	// tier is skipped outright when its fill inputs are provably identical
+	// to its last applied fill. Vetoed widenings re-cap the job at its
+	// current width and trigger another round, exactly like the reference
+	// solver's global re-solve; each round permanently caps at least one
+	// job, so the loop terminates.
+	for {
+		el.filled = el.filled[:0]
+		remaining := s.budget - reserved
+		anyVeto := false
+		for _, t := range el.tiers {
+			if len(t.members) == 0 {
+				continue
+			}
+			floorSum, capSum := t.sumMin, t.sumMax
+			if t.exact {
+				floorSum, capSum = t.floorSum, t.capSum
+			}
+			if t.hasVeto {
+				capSum = el.capSumWithVetoes(t, now, delay, solveID)
+			}
+			g := capSum - floorSum
+			if g > remaining {
+				g = remaining
+			}
+			total := floorSum + g
+			remaining -= g
+			if !t.dirty && !t.exact && !t.hasVeto && t.clean && t.lastTotal == total {
+				s.solver.TiersSkipped++
+				continue // assignments provably unchanged, byte-identical
+			}
+			el.fillTier(s, t, g, now, delay, solveID)
+			el.filled = append(el.filled, t)
+		}
+		s.solver.TiersTouched += int64(len(el.filled))
+		for _, t := range el.filled {
+			for _, m := range t.members {
+				if m.state == stRunning && m.elTarget > len(m.waves) && !s.widenPays(m, m.elTarget) {
+					if s.err != nil {
+						return
+					}
+					m.vetoCap = len(m.waves)
+					m.vetoStamp = solveID
+					t.hasVeto = true
+					anyVeto = true
+				}
+			}
+		}
+		if s.err != nil {
+			return
+		}
+		if !anyVeto {
+			break
+		}
+	}
+
+	// Phase 4: apply, in the reference solver's exact order — pause every
+	// changed running member (tiers descending, members in deal order),
+	// reconfigure them in the same order, drop the admitted prefix from
+	// the queue, then start the admitted jobs.
+	el.changed = el.changed[:0]
+	for _, t := range el.filled {
+		for _, m := range t.members {
+			if m.state == stRunning && m.elTarget != len(m.waves) {
+				el.changed = append(el.changed, m)
+			}
+		}
+	}
+	for _, m := range el.changed {
+		s.pause(m)
+	}
+	for _, m := range el.changed {
+		s.reconfigure(m, m.elTarget)
+		if s.err != nil {
+			return
+		}
+	}
+	s.queue = s.queue[el.nAdmit:]
+	for _, t := range el.filled {
+		for _, m := range t.members {
+			if s.err == nil && m.state == stWaiting {
+				s.start(m, m.elTarget)
+			}
+		}
+	}
+	if s.err != nil {
+		return
+	}
+
+	// Phase 5: refresh the cached fill state of every touched tier from
+	// the applied assignment.
+	for _, t := range el.filled {
+		t.dirty = false
+		t.clean = t.fillClean && !t.hasVeto
+		total := 0
+		minEnd := math.Inf(1)
+		for _, m := range t.members {
+			if m.state == stRunning {
+				total += len(m.waves)
+				if end := m.segStart + m.segLen; end < minEnd {
+					minEnd = end
+				}
+			}
+		}
+		t.lastTotal = total
+		t.minEnd = minEnd
+	}
+}
+
+// capSumWithVetoes recomputes a tier's cap sum with this solve's veto caps
+// (and pins/exclusions) applied.
+func (el *elasticIndex) capSumWithVetoes(t *elTier, now, delay float64, solveID int64) int {
+	sum := 0
+	for _, m := range t.members {
+		end := m.segStart + m.segLen
+		if m.state == stRunning && now >= end {
+			continue
+		}
+		c := m.MaxWavelengths
+		if m.state == stRunning && end-now <= delay {
+			c = len(m.waves)
+		}
+		if m.vetoStamp == solveID && m.vetoCap < c {
+			c = m.vetoCap
+		}
+		sum += c
+	}
+	return sum
+}
+
+// fillTier materializes one tier's water-fill: targets start at each
+// member's floor, then g surplus wavelengths are dealt one at a time
+// round-robin in member order until every member hits its cap — the exact
+// deal the reference solver performs on this tier's segment of the global
+// admitted list.
+func (el *elasticIndex) fillTier(s *scheduler, t *elTier, g int, now, delay float64, solveID int64) {
+	t.fillClean = true
+	for _, m := range t.members {
+		s.solver.JobsRepriced++
+		end := m.segStart + m.segLen
+		if m.state == stRunning && now >= end {
+			// Due to complete at this instant: untouched by the solve.
+			m.elTarget = len(m.waves)
+			m.elCap = m.elTarget
+			t.fillClean = false
+			continue
+		}
+		f, c := m.MinWavelengths, m.MaxWavelengths
+		if m.state == stRunning && end-now <= delay {
+			f = len(m.waves)
+			c = f
+			t.fillClean = false
+		}
+		if m.vetoStamp == solveID && m.vetoCap < c {
+			c = m.vetoCap
+		}
+		m.elTarget = f
+		m.elCap = c
+	}
+	for g > 0 {
+		progressed := false
+		for _, m := range t.members {
+			if g == 0 {
+				break
+			}
+			if m.elTarget < m.elCap {
+				m.elTarget++
+				g--
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+}
+
+// dispatchElasticFull re-solves the stripe assignment for the live tenant
+// set (running plus queued) from scratch, in three passes:
+//
+//  1. admission — running jobs always keep at least their minimum (elastic
+//     shrinks, it never fully preempts); queued jobs are admitted in
+//     (priority desc, arrival asc, admission index asc) order until the
+//     first one whose minimum no longer fits, which blocks the rest of the
+//     queue (head-of-line, like dispatchPriority — backfilling past a
+//     blocked wide high-priority job would starve it);
+//  2. target widths — tiered water-filling: every admitted job starts at
+//     its minimum, then the surplus is dealt one wavelength at a time
+//     round-robin within each priority tier (highest tier saturates to its
+//     MaxWavelengths before the next tier sees any surplus);
+//  3. apply — changed running jobs are paused (work credited pro-rata),
+//     then restarted at their new width with the reconfiguration penalty;
+//     newly admitted jobs start penalty-free. A widening whose projected
+//     completion (now + penalty + re-priced tail) is not strictly earlier
+//     than the current segment's is skipped — near the end of a run the
+//     settling stall outweighs any wider stripe — and a job due to finish
+//     within the settling delay is pinned at its current width (its
+//     departure frees capacity sooner than a stalled resize would).
+//
+// All orderings are deterministic, so the co-simulation stays reproducible.
+// This is the reference implementation the incremental solver is proven
+// against; it walks every record on every solve, so it is only selected by
+// the in-package equivalence tests (Policy.fullSolve).
+func (s *scheduler) dispatchElasticFull() {
+	now := s.eng.Now()
+	s.solver.Solves++
+	var cands []*jobRec
+	for _, r := range s.recs {
+		// A running segment due to complete at this very instant is left
+		// alone: its pending completion event (same timestamp, later
+		// sequence) frees the wavelengths and re-enters this solver.
+		if r.state == stRunning && now < r.segStart+r.segLen {
+			cands = append(cands, r)
+		}
+	}
+	cands = append(cands, s.queue...)
+	sort.SliceStable(cands, func(a, b int) bool {
+		return jobLess(cands[a], cands[b])
+	})
+
+	// A running job due to finish within the settling delay is pinned at
+	// its current width: shrinking it can never pay — its natural departure
+	// frees the capacity sooner than a stalled resize would — and any
+	// widening would fail the widen guard anyway. Without the pin, an
+	// ill-timed arrival could stall a nearly-done job for the full delay
+	// and leave elastic strictly worse than grant-once first-fit.
+	pinned := func(r *jobRec) bool {
+		return r.state == stRunning && r.segStart+r.segLen-now <= s.pol.ReconfigDelaySec
+	}
+	// floor is the width a running job must keep through the solve: its
+	// minimum normally, its exact current width when pinned.
+	floor := func(r *jobRec) int {
+		if pinned(r) {
+			return len(r.waves)
+		}
+		return r.MinWavelengths
+	}
+
+	// Pass 1: admission. Running jobs' floors are pre-reserved; queued
+	// jobs join strictly in priority order while their minimums still fit.
+	// Admission stops at the first queued job that does not fit (matching
+	// dispatchPriority's head-of-line semantics): letting later
+	// lower-priority arrivals backfill past a blocked wide high-priority
+	// job would starve it indefinitely under a steady low-priority stream.
+	reserved := 0
+	for _, r := range cands {
+		if r.state == stRunning {
+			reserved += floor(r)
+		}
+	}
+	var admit []*jobRec
+	blocked := false
+	for _, r := range cands {
+		if r.state == stRunning {
+			// Running jobs always stay in the solve (they keep at least
+			// their minimum and share in the water-fill), even when they
+			// sort below a blocked queued job.
+			admit = append(admit, r)
+			continue
+		}
+		if blocked || reserved+r.MinWavelengths > s.budget {
+			blocked = true
+			continue
+		}
+		reserved += r.MinWavelengths
+		admit = append(admit, r)
+	}
+
+	// Pass 2: tiered water-filling over the admitted set. Fill caps start
+	// at each job's MaxWavelengths; when the widen guard below vetoes a
+	// widening, the job is re-capped at its current width and the fill
+	// re-solved, so the declined surplus flows to jobs whose own widening
+	// still pays instead of sitting dark until the next event. Each veto
+	// round permanently caps at least one job (a capped job's target can
+	// never exceed its current width again), so the loop runs at most
+	// len(admit) times.
+	caps := make([]int, len(admit))
+	for i, r := range admit {
+		caps[i] = r.MaxWavelengths
+		if pinned(r) {
+			caps[i] = len(r.waves)
+		}
+	}
+	solve := func() []int {
+		target := make([]int, len(admit))
+		for i, r := range admit {
+			target[i] = floor(r)
+		}
+		surplus := s.budget - reserved
+		for lo := 0; lo < len(admit) && surplus > 0; {
+			hi := lo
+			for hi < len(admit) && admit[hi].Priority == admit[lo].Priority {
+				hi++
+			}
+			for surplus > 0 {
+				progressed := false
+				for i := lo; i < hi && surplus > 0; i++ {
+					if target[i] < caps[i] {
+						target[i]++
+						surplus--
+						progressed = true
+					}
+				}
+				if !progressed {
+					break
+				}
+			}
+			lo = hi
+		}
+		return target
+	}
+	target := solve()
+	for s.err == nil {
+		vetoed := false
+		for i, r := range admit {
+			if r.state == stRunning && target[i] > len(r.waves) && !s.widenPays(r, target[i]) {
+				caps[i] = len(r.waves)
+				vetoed = true
+			}
+		}
+		if !vetoed {
+			break
+		}
+		target = solve()
+	}
+	if s.err != nil {
+		return
+	}
+
+	// Pass 3: apply. Release every shrinking/changed stripe before
+	// allocating any new one so a widening job can absorb a shrinking
+	// neighbor's wavelengths.
+	var changed []*jobRec
+	widths := make(map[*jobRec]int, len(admit))
+	for i, r := range admit {
+		if r.state != stRunning || target[i] == len(r.waves) {
+			continue
+		}
+		changed = append(changed, r)
+		widths[r] = target[i]
+	}
+	for _, r := range changed {
+		s.pause(r)
+	}
+	for _, r := range changed {
+		s.reconfigure(r, widths[r])
+		if s.err != nil {
+			return
+		}
+	}
+	// Newly admitted jobs start at their solved width, penalty-free.
+	admitted := make(map[*jobRec]bool, len(admit))
+	for i, r := range admit {
+		if r.state == stWaiting {
+			admitted[r] = true
+			widths[r] = target[i]
+		}
+	}
+	var keep []*jobRec
+	for _, r := range s.queue {
+		if !admitted[r] {
+			keep = append(keep, r)
+		}
+	}
+	s.queue = keep
+	for _, r := range admit {
+		if s.err == nil && admitted[r] {
+			s.start(r, widths[r])
+		}
+	}
+}

@@ -20,6 +20,15 @@
 // higher-priority arrivals, and each mid-flight width change pays a
 // configurable optical reconfiguration penalty).
 //
+// The elastic solve is incremental: live tenants are indexed by priority
+// tier with cached fill state, so an arrival or departure touches only the
+// tiers whose water level can change while lower tiers' assignments stay
+// untouched (and byte-identical to a from-scratch solve — see elastic.go).
+// Together with the shape-keyed runtime-curve cache and the aggregate-only
+// Lite stats mode this scales fabric co-simulation to million-event traces;
+// internal/fleet runs many fabrics on one shared engine on top of the
+// external-engine Scheduler API.
+//
 // The co-simulation is a discrete-event program on internal/sim, so runs are
 // deterministic: same jobs, same policy, same trace. Per-job runtimes are
 // supplied by the caller as a function of the granted wavelength count —
@@ -31,11 +40,9 @@ package fabric
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"wrht/internal/obs"
 	"wrht/internal/sim"
-	"wrht/internal/stats"
 )
 
 // Job is one tenant: an all-reduce workload arriving at a shared fabric.
@@ -56,6 +63,14 @@ type Job struct {
 	// Iterations is the number of back-to-back all-reduces the job runs
 	// (default 1).
 	Iterations int
+	// Shape keys the scheduler's shared runtime-curve cache: jobs with the
+	// same non-zero Shape are priced by the same Runtime curve, so one
+	// (shape, width) pair hits the runtime function at most once per
+	// scheduler no matter how many tenants share the shape. Shape 0 (the
+	// default) keeps a private per-job memo. Jobs sharing a Shape must
+	// supply equivalent Runtime functions; Iterations may differ (the cache
+	// stores one-iteration seconds).
+	Shape int
 	// Runtime prices ONE all-reduce at stripe budget w (MinWavelengths <=
 	// w <= MaxWavelengths). It must be positive and finite; wider grants
 	// should not run slower. Preempted jobs resume pro-rata: remaining
@@ -126,6 +141,12 @@ type Policy struct {
 	// switch retunes). Ignored by the other policies. Must be >= 0 and
 	// finite; 0 models an idealized instantly-reconfigurable fabric.
 	ReconfigDelaySec float64
+
+	// fullSolve forces the reference from-scratch elastic solver instead
+	// of the incremental tier-indexed one. The two are bit-identical by
+	// construction (the equivalence property tests pin this); the flag
+	// exists only so in-package tests can run both sides of the proof.
+	fullSolve bool
 }
 
 // Validate checks the policy against a wavelength budget.
@@ -252,10 +273,49 @@ type JobStats struct {
 	Slowdown float64
 }
 
+// SolverStats counts the scheduling work a run performed. Under
+// ElasticReallocate with the incremental solver they measure how much of
+// each re-solve the tier index skipped; the reference full solver touches
+// every tier on every solve by construction. The curve counters track the
+// shape-keyed runtime cache (Job.Shape) and stay zero for shape-0 jobs.
+type SolverStats struct {
+	// Solves is the number of elastic re-solve passes (coalesced per
+	// simulated instant).
+	Solves int64
+	// TiersTouched / TiersSkipped count priority tiers the solver filled
+	// exactly vs. proved untouched (assignments carried over byte-identical
+	// without visiting members).
+	TiersTouched int64
+	TiersSkipped int64
+	// JobsRepriced counts member jobs whose target width was recomputed
+	// (the water-fill visited them); jobs in skipped tiers are not
+	// re-priced.
+	JobsRepriced int64
+	// CurveHits / CurveBuilds count shape-keyed runtime-curve lookups that
+	// were served from cache vs. priced through the job's Runtime function.
+	CurveHits   int64
+	CurveBuilds int64
+}
+
+func (a SolverStats) add(b SolverStats) SolverStats {
+	a.Solves += b.Solves
+	a.TiersTouched += b.TiersTouched
+	a.TiersSkipped += b.TiersSkipped
+	a.JobsRepriced += b.JobsRepriced
+	a.CurveHits += b.CurveHits
+	a.CurveBuilds += b.CurveBuilds
+	return a
+}
+
+// Sum returns the elementwise sum of two counter sets (fleet aggregation).
+func (a SolverStats) Sum(b SolverStats) SolverStats { return a.add(b) }
+
 // Result is the outcome of co-simulating all jobs on the shared fabric.
 type Result struct {
 	Policy Policy
 	Budget int
+	// Jobs and Events are nil when the run used SchedOpts.Lite (only the
+	// aggregate fields below are kept).
 	Jobs   []JobStats
 	Events []Event
 	// MakespanSec is the completion time of the last job.
@@ -271,6 +331,20 @@ type Result struct {
 	// PeakWavelengths is the most wavelengths simultaneously allocated.
 	PeakWavelengths int
 	RejectedJobs    int
+	// CompletedJobs counts jobs that ran to completion (available in Lite
+	// mode where Jobs is nil).
+	CompletedJobs int
+	// Preemptions/Reconfigs total the per-job counters (available in Lite
+	// mode where Jobs is nil).
+	Preemptions int
+	Reconfigs   int
+	// SlowdownSum / SlowdownSumSq are Σ slowdown and Σ slowdown² over
+	// completed jobs — enough to recombine mean and Jain fairness across
+	// fabrics (internal/fleet) without per-job stats.
+	SlowdownSum   float64
+	SlowdownSumSq float64
+	// Solver counts the scheduling work the run performed.
+	Solver SolverStats
 }
 
 // jobRec is the scheduler's mutable view of one job.
@@ -290,6 +364,19 @@ type jobRec struct {
 	segPenalty float64
 	st         JobStats
 	memo       map[int]float64
+
+	// Incremental elastic solver state (elastic.go): the tier this member
+	// belongs to, its per-solve fill target and cap, and the per-solve
+	// widen-veto cap (valid when the stamp matches the current solve
+	// number).
+	tier      *elTier
+	elTarget  int
+	elCap     int
+	vetoCap   int
+	vetoStamp int64
+	// runPos is the job's index in scheduler.liveRun while running (-1
+	// otherwise), for O(1) removal at completion under Lite mode.
+	runPos int
 }
 
 const (
@@ -298,65 +385,6 @@ const (
 	stDone     = 3
 	stRejected = 4
 )
-
-// totalRuntime prices the job's full workload (all iterations) at width w.
-func (j *jobRec) totalRuntime(w int) (float64, error) {
-	if v, ok := j.memo[w]; ok {
-		return v, nil
-	}
-	one, err := j.Runtime(w)
-	if err != nil {
-		return 0, fmt.Errorf("fabric: job %q at width %d: %w", j.Name, w, err)
-	}
-	if one <= 0 || math.IsNaN(one) || math.IsInf(one, 0) {
-		return 0, fmt.Errorf("fabric: job %q runtime %v at width %d", j.Name, one, w)
-	}
-	v := one * float64(j.Iterations)
-	j.memo[w] = v
-	return v, nil
-}
-
-type scheduler struct {
-	eng    sim.Engine
-	pol    Policy
-	budget int
-	free   []bool // free[c] = wavelength c unallocated
-	nfree  int
-	queue  []*jobRec
-	recs   []*jobRec
-	events []Event
-
-	// shareWidth holds the per-share wavelength counts under
-	// StaticPartition (the remainder of an inexact division makes the
-	// leading shares one wavelength wider); shareBusy marks shares
-	// currently occupied by a tenant.
-	shareWidth []int
-	shareBusy  []bool
-
-	// solvePending coalesces ElasticReallocate re-solves: every arrival
-	// and departure in one simulated instant triggers a single assignment
-	// solve (scheduled at the same timestamp, after the instant's other
-	// events), so physically simultaneous events cause one reconfiguration
-	// decision instead of a cascade of transient ones.
-	solvePending bool
-
-	// utilization accounting
-	lastT   float64
-	busySec float64
-	busyNow int
-	peak    int
-
-	// Flight recorder (nil when disabled): one process per simulation, a
-	// span/instant track per job, queue-depth and lit-wavelength counter
-	// tracks, and one occupancy lane per wavelength index.
-	rec       *obs.Recorder
-	proc      obs.ProcID
-	jobTracks []obs.TrackID
-	queueTk   obs.TrackID
-	litTk     obs.TrackID
-
-	err error
-}
 
 // Simulate co-schedules the jobs on a fabric of `budget` wavelengths under
 // the policy and returns per-job and aggregate statistics plus the full
@@ -381,787 +409,17 @@ func SimulateObserved(budget int, jobs []Job, pol Policy, rec *obs.Recorder, pro
 	if len(jobs) == 0 {
 		return Result{}, fmt.Errorf("fabric: no jobs")
 	}
-	if err := pol.Validate(budget); err != nil {
+	var eng sim.Engine
+	s, err := NewScheduler(&eng, budget, pol, SchedOpts{Rec: rec, Proc: proc})
+	if err != nil {
 		return Result{}, err
 	}
-	recs := make([]*jobRec, len(jobs))
-	seen := map[string]bool{}
-	for i, j := range jobs {
-		if j.Name == "" {
-			j.Name = fmt.Sprintf("job%d", i)
-		}
-		if seen[j.Name] {
-			return Result{}, fmt.Errorf("fabric: duplicate job name %q", j.Name)
-		}
-		seen[j.Name] = true
-		if j.ArrivalSec < 0 || math.IsNaN(j.ArrivalSec) || math.IsInf(j.ArrivalSec, 0) {
-			return Result{}, fmt.Errorf("fabric: job %q arrival %v", j.Name, j.ArrivalSec)
-		}
-		if j.MinWavelengths == 0 {
-			j.MinWavelengths = 1
-		}
-		if j.MinWavelengths < 1 ||
-			(j.MaxWavelengths != 0 && j.MaxWavelengths < j.MinWavelengths) {
-			return Result{}, fmt.Errorf("fabric: job %q wavelength range [%d,%d]",
-				j.Name, j.MinWavelengths, j.MaxWavelengths)
-		}
-		// A minimum beyond the budget is not a spec error: admission
-		// control rejects that job at arrival while the rest of the mix
-		// still runs.
-		if j.MaxWavelengths == 0 || j.MaxWavelengths > budget {
-			j.MaxWavelengths = budget
-		}
-		if j.Iterations == 0 {
-			j.Iterations = 1
-		}
-		if j.Iterations < 1 {
-			return Result{}, fmt.Errorf("fabric: job %q iterations %d", j.Name, j.Iterations)
-		}
-		if j.Runtime == nil {
-			return Result{}, fmt.Errorf("fabric: job %q has no runtime function", j.Name)
-		}
-		recs[i] = &jobRec{
-			Job: j, idx: i, remaining: 1, share: -1,
-			st:   JobStats{Name: j.Name, ArrivalSec: j.ArrivalSec},
-			memo: map[int]float64{},
-		}
-	}
-
-	s := &scheduler{pol: pol, budget: budget, free: make([]bool, budget), nfree: budget, recs: recs}
-	for c := range s.free {
-		s.free[c] = true
-	}
-	if rec.Enabled() {
-		s.rec = rec
-		s.proc = rec.Process(proc)
-		s.jobTracks = make([]obs.TrackID, len(recs))
-		for i, r := range recs {
-			s.jobTracks[i] = rec.Track(s.proc, r.Name)
-		}
-		s.queueTk = rec.CounterTrack(s.proc, "queue depth")
-		s.litTk = rec.CounterTrack(s.proc, "lit wavelengths")
-	}
-	if pol.Kind == StaticPartition {
-		s.shareWidth = pol.shareWidths(budget)
-		s.shareBusy = make([]bool, len(s.shareWidth))
-	}
-	for _, r := range recs {
-		r := r
-		s.eng.At(r.ArrivalSec, func() { s.arrive(r) })
-	}
-	s.eng.Run()
-	if s.err != nil {
-		return Result{}, s.err
-	}
-	if s.rec != nil {
-		s.recordTotals()
-	}
-	return s.finalize(recs)
-}
-
-// recordTotals rolls the finished simulation up into recorder counters and
-// gauges: engine stats (event count, heap high-water mark), per-kind trace
-// event counts, and the lit wavelength-second integral.
-func (s *scheduler) recordTotals() {
-	s.rec.Add("fabric.sims", 1)
-	s.rec.Add("fabric.engine.events", s.eng.Steps())
-	s.rec.Gauge("fabric.engine.max_pending", float64(s.eng.MaxPending()))
-	s.rec.Gauge("fabric.peak_wavelengths", float64(s.peak))
-	var counts [EvReconfig + 1]int64
-	for _, ev := range s.events {
-		counts[ev.Kind]++
-	}
-	for k, c := range counts {
-		if c > 0 {
-			s.rec.Add(eventCounterName(EventKind(k)), c)
-		}
-	}
-	s.rec.AddSeconds("fabric.lambda_busy_seconds", s.busySec)
-}
-
-// eventCounterName maps an event kind to its fixed recorder counter name
-// (fixed strings so the enabled path never concatenates).
-func eventCounterName(k EventKind) string {
-	switch k {
-	case EvArrive:
-		return "fabric.events.arrive"
-	case EvReject:
-		return "fabric.events.reject"
-	case EvStart:
-		return "fabric.events.start"
-	case EvPreempt:
-		return "fabric.events.preempt"
-	case EvResume:
-		return "fabric.events.resume"
-	case EvFinish:
-		return "fabric.events.finish"
-	case EvReconfig:
-		return "fabric.events.reconfig"
-	default:
-		return "fabric.events.other"
-	}
-}
-
-// fail aborts the simulation at the first runtime-function error; remaining
-// events become no-ops.
-func (s *scheduler) fail(err error) {
-	if s.err == nil {
-		s.err = err
-	}
-}
-
-func (s *scheduler) emit(r *jobRec, kind EventKind, width int) {
-	s.events = append(s.events, Event{
-		TimeSec: s.eng.Now(), Job: r.Name, Kind: kind, Wavelengths: width,
-	})
-	if s.rec != nil {
-		now := s.eng.Now()
-		s.rec.Instant(s.jobTracks[r.idx], kind.String(), now, int64(width))
-		s.rec.Sample(s.queueTk, now, float64(len(s.queue)))
-		s.rec.Sample(s.litTk, now, float64(s.busyNow))
-	}
-}
-
-// lanesOn opens r's wavelength occupancy lanes at the current instant.
-func (s *scheduler) lanesOn(r *jobRec) {
-	if s.rec == nil {
-		return
-	}
-	now := s.eng.Now()
-	for _, c := range r.waves {
-		s.rec.LaneOn(s.proc, c, now, r.Name)
-	}
-}
-
-// lanesOffAndCloseSeg closes r's occupancy lanes and records the finished
-// run segment as a span (with a leading "settle" span for the
-// reconfiguration stall, when one applied).
-func (s *scheduler) lanesOffAndCloseSeg(r *jobRec) {
-	if s.rec == nil {
-		return
-	}
-	now := s.eng.Now()
-	for _, c := range r.waves {
-		s.rec.LaneOff(s.proc, c, now)
-	}
-	if now <= r.segStart {
-		return
-	}
-	tk := s.jobTracks[r.idx]
-	width := obs.SpanArgs{Width: int64(len(r.waves))}
-	runStart := r.segStart
-	if r.segPenalty > 0 {
-		settle := math.Min(r.segPenalty, now-r.segStart)
-		s.rec.Span(tk, "settle", r.segStart, settle, width)
-		runStart += settle
-	}
-	if now > runStart {
-		s.rec.Span(tk, "run", runStart, now-runStart, width)
-	}
-}
-
-// account integrates lit wavelength-seconds up to the current time.
-func (s *scheduler) account() {
-	now := s.eng.Now()
-	s.busySec += float64(s.busyNow) * (now - s.lastT)
-	s.lastT = now
-}
-
-// maxGrant is the widest allocation any job can ever receive.
-func (s *scheduler) maxGrant() int {
-	if s.pol.Kind == StaticPartition {
-		return s.shareWidth[0] // leading shares are widest
-	}
-	return s.budget
-}
-
-func (s *scheduler) arrive(r *jobRec) {
-	if s.err != nil {
-		return
-	}
-	s.emit(r, EvArrive, 0)
-	if r.MinWavelengths > s.maxGrant() {
-		// Admission control: this job can never be satisfied here.
-		r.state = stRejected
-		r.st.Rejected = true
-		s.emit(r, EvReject, 0)
-		return
-	}
-	r.state = stWaiting
-	s.queue = append(s.queue, r)
-	s.dispatch()
-}
-
-// allocate takes `width` lowest-indexed free wavelengths (first fit).
-func (s *scheduler) allocate(width int) []int {
-	waves := make([]int, 0, width)
-	for c := 0; c < s.budget && len(waves) < width; c++ {
-		if s.free[c] {
-			s.free[c] = false
-			waves = append(waves, c)
-		}
-	}
-	if len(waves) != width {
-		panic(fmt.Sprintf("fabric: allocated %d of %d requested wavelengths", len(waves), width))
-	}
-	s.nfree -= width
-	return waves
-}
-
-func (s *scheduler) release(waves []int) {
-	for _, c := range waves {
-		if s.free[c] {
-			panic(fmt.Sprintf("fabric: double free of wavelength %d", c))
-		}
-		s.free[c] = true
-	}
-	s.nfree += len(waves)
-}
-
-// start grants `width` wavelengths to r and schedules its (remaining) run.
-func (s *scheduler) start(r *jobRec, width int) {
-	seg, err := r.totalRuntime(width)
-	if err != nil {
-		s.fail(err)
-		return
-	}
-	s.account()
-	r.waves = s.allocate(width)
-	r.state = stRunning
-	r.segStart = s.eng.Now()
-	r.segLen = seg * r.remaining
-	r.segPenalty = 0
-	r.st.Width = width
-	r.st.Wavelengths = append([]int(nil), r.waves...)
-	kind := EvStart
-	if r.st.Preemptions > 0 {
-		kind = EvResume
-	} else {
-		r.st.StartSec = s.eng.Now()
-		r.st.QueueSec = r.st.StartSec - r.ArrivalSec
-	}
-	s.busyNow += width
-	if s.busyNow > s.peak {
-		s.peak = s.busyNow
-	}
-	s.emit(r, kind, width)
-	s.lanesOn(r)
-	r.epoch++
-	epoch := r.epoch
-	s.eng.After(r.segLen, func() { s.complete(r, epoch) })
-}
-
-func (s *scheduler) complete(r *jobRec, epoch int) {
-	if s.err != nil || r.epoch != epoch || r.state != stRunning {
-		return // stale completion of a preempted segment
-	}
-	s.account()
-	r.state = stDone
-	r.remaining = 0
-	r.st.ServiceSec += r.segLen
-	r.st.DoneSec = s.eng.Now()
-	s.lanesOffAndCloseSeg(r)
-	s.busyNow -= len(r.waves)
-	s.release(r.waves)
-	r.waves = nil
-	if r.share >= 0 {
-		s.shareBusy[r.share] = false
-		r.share = -1
-	}
-	s.emit(r, EvFinish, 0)
-	s.dispatch()
-}
-
-// remainingAt projects the fraction of r's total work still outstanding if
-// its running segment were cut at time now: completed work is credited
-// pro-rata, net of the segment's leading reconfiguration stall (during
-// which no progress was made). pause applies this credit and widenPays
-// previews it, so both must price the cut identically.
-func (r *jobRec) remainingAt(now float64) float64 {
-	active := r.segLen - r.segPenalty
-	if active <= 0 {
-		return 0
-	}
-	run := now - r.segStart - r.segPenalty
-	if run < 0 {
-		run = 0 // still inside the settling stall: no progress yet
-	}
-	frac := run / active
-	if frac > 1 {
-		frac = 1
-	}
-	return r.remaining * (1 - frac)
-}
-
-// pause stops r's running segment at the current instant: completed work is
-// credited pro-rata (remainingAt), the pending completion event is
-// invalidated, and the job's wavelengths return to the pool. The caller
-// decides what happens next — requeue (preemption) or an immediate restart
-// at a new width (elastic reconfiguration).
-func (s *scheduler) pause(r *jobRec) {
-	s.account()
-	now := s.eng.Now()
-	r.remaining = r.remainingAt(now)
-	r.st.ServiceSec += now - r.segStart
-	r.epoch++ // invalidate the pending completion event
-	s.lanesOffAndCloseSeg(r)
-	s.busyNow -= len(r.waves)
-	s.release(r.waves)
-	r.waves = nil
-}
-
-// preempt pauses a running job, returning its wavelengths to the pool and
-// requeueing its remaining work.
-func (s *scheduler) preempt(r *jobRec) {
-	s.pause(r)
-	r.st.Preemptions++
-	r.state = stWaiting
-	s.queue = append(s.queue, r)
-	s.emit(r, EvPreempt, 0)
-}
-
-// reconfigure restarts a paused job at a new stripe width without it ever
-// leaving the fabric: the remaining work is re-priced at the new width and
-// the segment is stretched by the policy's reconfiguration delay (optical
-// switch settling — the job holds its new wavelengths but makes no progress
-// until the stall elapses).
-func (s *scheduler) reconfigure(r *jobRec, width int) {
-	tail, err := r.totalRuntime(width)
-	if err != nil {
-		s.fail(err)
-		return
-	}
-	r.waves = s.allocate(width)
-	r.segStart = s.eng.Now()
-	r.segPenalty = s.pol.ReconfigDelaySec
-	r.segLen = r.segPenalty + tail*r.remaining
-	r.st.Width = width
-	r.st.Wavelengths = append([]int(nil), r.waves...)
-	r.st.Reconfigs++
-	s.busyNow += width
-	if s.busyNow > s.peak {
-		s.peak = s.busyNow
-	}
-	s.emit(r, EvReconfig, width)
-	s.lanesOn(r)
-	r.epoch++
-	epoch := r.epoch
-	s.eng.After(r.segLen, func() { s.complete(r, epoch) })
-}
-
-// dispatch runs the policy's scheduling pass over the wait queue.
-func (s *scheduler) dispatch() {
-	if s.err != nil {
-		return
-	}
-	switch s.pol.Kind {
-	case StaticPartition:
-		s.dispatchStatic()
-	case FirstFitShare:
-		s.dispatchFirstFit()
-	case PriorityPreempt:
-		s.dispatchPriority()
-	case ElasticReallocate:
-		if !s.solvePending {
-			s.solvePending = true
-			s.eng.After(0, func() {
-				s.solvePending = false
-				if s.err == nil {
-					s.dispatchElastic()
-				}
-			})
-		}
-	}
-}
-
-// dispatchStatic starts FIFO-queued jobs while a fitting tenant share is
-// free. The head job takes the narrowest free share that covers its full
-// appetite (so a width-capped job does not burn a wide remainder share
-// another tenant could use), falling back to the widest free share that
-// still fits its minimum; a job narrower than its share runs at its own
-// MaxWavelengths cap (the rest of the share stays dark — static isolation:
-// at most Partitions concurrent tenants). The queue is strictly FIFO: a
-// head job waiting for one of the wider remainder shares blocks later
-// arrivals.
-func (s *scheduler) dispatchStatic() {
-	for len(s.queue) > 0 {
-		r := s.queue[0]
-		desire := r.MaxWavelengths
-		if w := s.shareWidth[0]; desire > w {
-			desire = w
-		}
-		share := -1
-		for i, busy := range s.shareBusy {
-			if !busy && s.shareWidth[i] >= desire &&
-				(share < 0 || s.shareWidth[i] < s.shareWidth[share]) {
-				share = i
-			}
-		}
-		if share < 0 {
-			for i, busy := range s.shareBusy {
-				if !busy && s.shareWidth[i] >= r.MinWavelengths &&
-					(share < 0 || s.shareWidth[i] > s.shareWidth[share]) {
-					share = i
-				}
-			}
-		}
-		if share < 0 {
-			return // no fitting share free; head-of-line waits
-		}
-		s.queue = s.queue[1:]
-		width := s.shareWidth[share]
-		if r.MaxWavelengths < width {
-			width = r.MaxWavelengths
-		}
-		s.shareBusy[share] = true
-		r.share = share
-		s.start(r, width)
-		if s.err != nil {
-			return
-		}
-	}
-}
-
-// dispatchFirstFit scans the queue in arrival order and starts every job
-// whose minimum fits the remaining pool, granting up to its maximum.
-func (s *scheduler) dispatchFirstFit() {
-	var keep []*jobRec
-	for _, r := range s.queue {
-		if s.err == nil && r.MinWavelengths <= s.nfree {
-			width := r.MaxWavelengths
-			if width > s.nfree {
-				width = s.nfree
-			}
-			s.start(r, width)
-			continue
-		}
-		keep = append(keep, r)
-	}
-	s.queue = keep
-}
-
-// jobLess is the scheduling order shared by the priority and elastic
-// policies: priority descending, then arrival ascending, then admission
-// index ascending — the final tie-break makes results stable across runs
-// and sweep parallelism. victimsFor sorts by its negation.
-func jobLess(a, b *jobRec) bool {
-	if a.Priority != b.Priority {
-		return a.Priority > b.Priority
-	}
-	if a.ArrivalSec != b.ArrivalSec {
-		return a.ArrivalSec < b.ArrivalSec
-	}
-	return a.idx < b.idx
-}
-
-// dispatchPriority serves the queue in jobLess order, preempting strictly
-// lower-priority running jobs when the pool is short.
-func (s *scheduler) dispatchPriority() {
-	for s.err == nil && len(s.queue) > 0 {
-		sort.SliceStable(s.queue, func(a, b int) bool {
-			return jobLess(s.queue[a], s.queue[b])
-		})
-		head := s.queue[0]
-		if head.MinWavelengths > s.nfree {
-			// Reclaimable width from strictly lower-priority tenants.
-			victims := s.victimsFor(head)
-			reclaim := 0
-			for _, v := range victims {
-				reclaim += len(v.waves)
-			}
-			if s.nfree+reclaim < head.MinWavelengths {
-				return // even preempting everything eligible is not enough
-			}
-			for _, v := range victims {
-				if s.nfree >= head.MinWavelengths {
-					break
-				}
-				s.preempt(v)
-			}
-		}
-		s.queue = s.queue[1:]
-		width := head.MaxWavelengths
-		if width > s.nfree {
-			width = s.nfree
-		}
-		s.start(head, width)
-	}
-}
-
-// victimsFor lists running jobs preemptible by r: strictly lower priority,
-// cheapest first (lowest priority, then latest arrival). A job whose
-// segment is already due to complete at the current instant is not a
-// victim — its pending completion event (same timestamp, later sequence)
-// will free the wavelengths anyway, and preempting it would spuriously
-// discard a finished run.
-func (s *scheduler) victimsFor(r *jobRec) []*jobRec {
-	now := s.eng.Now()
-	var out []*jobRec
-	for _, v := range s.running() {
-		if v.Priority < r.Priority && now < v.segStart+v.segLen {
-			out = append(out, v)
-		}
-	}
-	sort.SliceStable(out, func(a, b int) bool {
-		return jobLess(out[b], out[a])
-	})
-	return out
-}
-
-// dispatchElastic re-solves the stripe assignment for the live tenant set
-// (running plus queued) from scratch, in three passes:
-//
-//  1. admission — running jobs always keep at least their minimum (elastic
-//     shrinks, it never fully preempts); queued jobs are admitted in
-//     (priority desc, arrival asc, admission index asc) order until the
-//     first one whose minimum no longer fits, which blocks the rest of the
-//     queue (head-of-line, like dispatchPriority — backfilling past a
-//     blocked wide high-priority job would starve it);
-//  2. target widths — tiered water-filling: every admitted job starts at
-//     its minimum, then the surplus is dealt one wavelength at a time
-//     round-robin within each priority tier (highest tier saturates to its
-//     MaxWavelengths before the next tier sees any surplus);
-//  3. apply — changed running jobs are paused (work credited pro-rata),
-//     then restarted at their new width with the reconfiguration penalty;
-//     newly admitted jobs start penalty-free. A widening whose projected
-//     completion (now + penalty + re-priced tail) is not strictly earlier
-//     than the current segment's is skipped — near the end of a run the
-//     settling stall outweighs any wider stripe — and a job due to finish
-//     within the settling delay is pinned at its current width (its
-//     departure frees capacity sooner than a stalled resize would).
-//
-// All orderings are deterministic, so the co-simulation stays reproducible.
-func (s *scheduler) dispatchElastic() {
-	now := s.eng.Now()
-	var cands []*jobRec
-	for _, r := range s.recs {
-		// A running segment due to complete at this very instant is left
-		// alone: its pending completion event (same timestamp, later
-		// sequence) frees the wavelengths and re-enters this solver.
-		if r.state == stRunning && now < r.segStart+r.segLen {
-			cands = append(cands, r)
-		}
-	}
-	cands = append(cands, s.queue...)
-	sort.SliceStable(cands, func(a, b int) bool {
-		return jobLess(cands[a], cands[b])
-	})
-
-	// A running job due to finish within the settling delay is pinned at
-	// its current width: shrinking it can never pay — its natural departure
-	// frees the capacity sooner than a stalled resize would — and any
-	// widening would fail the widen guard anyway. Without the pin, an
-	// ill-timed arrival could stall a nearly-done job for the full delay
-	// and leave elastic strictly worse than grant-once first-fit.
-	pinned := func(r *jobRec) bool {
-		return r.state == stRunning && r.segStart+r.segLen-now <= s.pol.ReconfigDelaySec
-	}
-	// floor is the width a running job must keep through the solve: its
-	// minimum normally, its exact current width when pinned.
-	floor := func(r *jobRec) int {
-		if pinned(r) {
-			return len(r.waves)
-		}
-		return r.MinWavelengths
-	}
-
-	// Pass 1: admission. Running jobs' floors are pre-reserved; queued
-	// jobs join strictly in priority order while their minimums still fit.
-	// Admission stops at the first queued job that does not fit (matching
-	// dispatchPriority's head-of-line semantics): letting later
-	// lower-priority arrivals backfill past a blocked wide high-priority
-	// job would starve it indefinitely under a steady low-priority stream.
-	reserved := 0
-	for _, r := range cands {
-		if r.state == stRunning {
-			reserved += floor(r)
-		}
-	}
-	var admit []*jobRec
-	blocked := false
-	for _, r := range cands {
-		if r.state == stRunning {
-			// Running jobs always stay in the solve (they keep at least
-			// their minimum and share in the water-fill), even when they
-			// sort below a blocked queued job.
-			admit = append(admit, r)
-			continue
-		}
-		if blocked || reserved+r.MinWavelengths > s.budget {
-			blocked = true
-			continue
-		}
-		reserved += r.MinWavelengths
-		admit = append(admit, r)
-	}
-
-	// Pass 2: tiered water-filling over the admitted set. Fill caps start
-	// at each job's MaxWavelengths; when the widen guard below vetoes a
-	// widening, the job is re-capped at its current width and the fill
-	// re-solved, so the declined surplus flows to jobs whose own widening
-	// still pays instead of sitting dark until the next event. Each veto
-	// round permanently caps at least one job (a capped job's target can
-	// never exceed its current width again), so the loop runs at most
-	// len(admit) times.
-	caps := make([]int, len(admit))
-	for i, r := range admit {
-		caps[i] = r.MaxWavelengths
-		if pinned(r) {
-			caps[i] = len(r.waves)
-		}
-	}
-	solve := func() []int {
-		target := make([]int, len(admit))
-		for i, r := range admit {
-			target[i] = floor(r)
-		}
-		surplus := s.budget - reserved
-		for lo := 0; lo < len(admit) && surplus > 0; {
-			hi := lo
-			for hi < len(admit) && admit[hi].Priority == admit[lo].Priority {
-				hi++
-			}
-			for surplus > 0 {
-				progressed := false
-				for i := lo; i < hi && surplus > 0; i++ {
-					if target[i] < caps[i] {
-						target[i]++
-						surplus--
-						progressed = true
-					}
-				}
-				if !progressed {
-					break
-				}
-			}
-			lo = hi
-		}
-		return target
-	}
-	target := solve()
-	for s.err == nil {
-		vetoed := false
-		for i, r := range admit {
-			if r.state == stRunning && target[i] > len(r.waves) && !s.widenPays(r, target[i]) {
-				caps[i] = len(r.waves)
-				vetoed = true
-			}
-		}
-		if !vetoed {
-			break
-		}
-		target = solve()
-	}
-	if s.err != nil {
-		return
-	}
-
-	// Pass 3: apply. Release every shrinking/changed stripe before
-	// allocating any new one so a widening job can absorb a shrinking
-	// neighbor's wavelengths.
-	var changed []*jobRec
-	widths := make(map[*jobRec]int, len(admit))
-	for i, r := range admit {
-		if r.state != stRunning || target[i] == len(r.waves) {
-			continue
-		}
-		changed = append(changed, r)
-		widths[r] = target[i]
-	}
-	for _, r := range changed {
-		s.pause(r)
-	}
-	for _, r := range changed {
-		s.reconfigure(r, widths[r])
-		if s.err != nil {
-			return
-		}
-	}
-	// Newly admitted jobs start at their solved width, penalty-free.
-	admitted := make(map[*jobRec]bool, len(admit))
-	for i, r := range admit {
-		if r.state == stWaiting {
-			admitted[r] = true
-			widths[r] = target[i]
-		}
-	}
-	var keep []*jobRec
-	for _, r := range s.queue {
-		if !admitted[r] {
-			keep = append(keep, r)
-		}
-	}
-	s.queue = keep
-	for _, r := range admit {
-		if s.err == nil && admitted[r] {
-			s.start(r, widths[r])
-		}
-	}
-}
-
-// widenPays reports whether restarting r at the wider stripe strictly
-// beats letting the current segment finish: the reconfiguration stall plus
-// the re-priced tail must complete earlier than segStart+segLen. Pricing
-// the candidate width may hit the caller's runtime function for the first
-// time; its errors abort the simulation like any other runtime failure.
-func (s *scheduler) widenPays(r *jobRec, width int) bool {
-	tail, err := r.totalRuntime(width)
-	if err != nil {
-		s.fail(err)
-		return false
-	}
-	now := s.eng.Now()
-	return now+s.pol.ReconfigDelaySec+tail*r.remainingAt(now) < r.segStart+r.segLen
-}
-
-func (s *scheduler) running() []*jobRec {
-	var out []*jobRec
-	for _, r := range s.recs {
-		if r.state == stRunning {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-func (s *scheduler) finalize(recs []*jobRec) (Result, error) {
-	res := Result{
-		Policy: s.pol, Budget: s.budget,
-		Events:          s.events,
-		PeakWavelengths: s.peak,
-	}
-	var queues, slowdowns []float64
-	for _, r := range recs {
-		if r.state == stRejected {
-			res.RejectedJobs++
-			res.Jobs = append(res.Jobs, r.st)
-			continue
-		}
-		if r.state != stDone {
-			return Result{}, fmt.Errorf("fabric: job %q never completed (deadlock?)", r.Name)
-		}
-		alone, err := r.totalRuntime(r.MaxWavelengths)
-		if err != nil {
+	s.s.ownEng = true
+	for _, j := range jobs {
+		if err := s.Submit(j); err != nil {
 			return Result{}, err
 		}
-		r.st.AloneSec = alone
-		r.st.Slowdown = (r.st.DoneSec - r.st.ArrivalSec) / alone
-		if r.st.DoneSec > res.MakespanSec {
-			res.MakespanSec = r.st.DoneSec
-		}
-		queues = append(queues, r.st.QueueSec)
-		slowdowns = append(slowdowns, r.st.Slowdown)
-		res.Jobs = append(res.Jobs, r.st)
 	}
-	if len(slowdowns) == 0 {
-		return Result{}, fmt.Errorf("fabric: every job was rejected")
-	}
-	res.MeanQueueSec = stats.Mean(queues)
-	res.MaxQueueSec = stats.Max(queues)
-	res.MeanSlowdown = stats.Mean(slowdowns)
-	res.Fairness = stats.JainIndex(slowdowns)
-	if res.MakespanSec > 0 {
-		res.Utilization = s.busySec / (float64(s.budget) * res.MakespanSec)
-	}
-	return res, nil
+	eng.Run()
+	return s.Finalize()
 }

@@ -1,0 +1,553 @@
+// Package fleet co-simulates a datacenter of heterogeneous optical fabrics
+// on one shared event timeline. Each fabric is an internal/fabric scheduler
+// with its own wavelength budget, node count, and reconfiguration delay;
+// jobs arrive from a (typically generated — see trace.go) trace and a
+// placement policy routes each arrival to one fabric, paying an inter-fabric
+// migration cost when a job lands away from its affinity fabric. This is
+// the TopoOpt/RAMP regime on top of the paper's single-ring pricing: the
+// incremental elastic solver and shape-keyed runtime curves keep
+// million-event traces affordable.
+package fleet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wrht/internal/fabric"
+	"wrht/internal/obs"
+	"wrht/internal/sim"
+)
+
+// FabricSpec describes one fabric of the fleet.
+type FabricSpec struct {
+	// Name identifies the fabric in summaries and recorder processes
+	// (default "fabric<i>").
+	Name string
+	// Nodes is the ring size of the fabric (informational at this layer:
+	// the runtime function prices against it).
+	Nodes int
+	// Wavelengths is the fabric's wavelength budget.
+	Wavelengths int
+	// ReconfigDelaySec is the optical switch settling time for elastic
+	// stripe changes on this fabric. Must be >= 0 and finite.
+	ReconfigDelaySec float64
+	// MigrationCostSec is the delay a job pays before starting here when
+	// placed away from its affinity fabric (checkpoint transfer plus
+	// connection re-establishment). Must be >= 0 and finite.
+	MigrationCostSec float64
+}
+
+// Validate mirrors JobSpec.Validate's style: every rejected field names
+// itself and its value.
+func (s FabricSpec) Validate() error {
+	if s.Nodes < 2 {
+		return fmt.Errorf("fleet: fabric %q node count %d (need >= 2)", s.Name, s.Nodes)
+	}
+	if s.Wavelengths < 1 {
+		return fmt.Errorf("fleet: fabric %q wavelength budget %d (need >= 1)", s.Name, s.Wavelengths)
+	}
+	if s.ReconfigDelaySec < 0 || math.IsNaN(s.ReconfigDelaySec) || math.IsInf(s.ReconfigDelaySec, 0) {
+		return fmt.Errorf("fleet: fabric %q reconfiguration delay %v", s.Name, s.ReconfigDelaySec)
+	}
+	if s.MigrationCostSec < 0 || math.IsNaN(s.MigrationCostSec) || math.IsInf(s.MigrationCostSec, 0) {
+		return fmt.Errorf("fleet: fabric %q migration cost %v", s.Name, s.MigrationCostSec)
+	}
+	return nil
+}
+
+// PlacementKind selects the fleet's job-to-fabric routing policy.
+type PlacementKind int
+
+const (
+	// LeastLoaded routes each arrival to the admissible fabric with the
+	// lowest committed-load fraction (running widths plus queued minimums
+	// over budget), ignoring migration cost.
+	LeastLoaded PlacementKind = iota
+	// BestFit routes to the admissible fabric whose free wavelength count
+	// most tightly fits the job's desired width (classic best-fit bin
+	// packing), falling back to the minimum grant and then to least load
+	// when nothing currently fits.
+	BestFit
+	// PriorityAware scores each fabric by the projected cost to THIS job:
+	// the migration delay it would pay to land there plus its solo runtime
+	// scaled by the fabric's committed load at or above the job's priority
+	// (lower-priority tenants shrink out of an elastic job's way, so they
+	// do not count). It is the only policy that weighs migration cost
+	// against contention.
+	PriorityAware
+)
+
+func (k PlacementKind) String() string {
+	switch k {
+	case LeastLoaded:
+		return "least-loaded"
+	case BestFit:
+		return "best-fit"
+	case PriorityAware:
+		return "priority-aware"
+	default:
+		return fmt.Sprintf("PlacementKind(%d)", int(k))
+	}
+}
+
+func (k PlacementKind) validate() error {
+	switch k {
+	case LeastLoaded, BestFit, PriorityAware:
+		return nil
+	default:
+		return fmt.Errorf("fleet: unknown placement kind %d", int(k))
+	}
+}
+
+// Job is one trace entry: a tenant to be placed on some fabric.
+type Job struct {
+	// Name labels the job in per-job stats (default "j<i>"; unused and
+	// left empty under Lite).
+	Name string
+	// ArrivalSec is when the job reaches the fleet front door. Placement
+	// happens here; landing off-affinity adds the target fabric's
+	// migration cost before the job enters that fabric's queue.
+	ArrivalSec float64
+	Priority   int
+	// MinWavelengths/MaxWavelengths/Iterations as in fabric.Job (defaults
+	// 1 / fabric budget / 1).
+	MinWavelengths int
+	MaxWavelengths int
+	Iterations     int
+	// Shape indexes the job's model/workload shape (0-based); jobs with
+	// the same shape share runtime curves. Must be >= 0.
+	Shape int
+	// Affinity is the job's home fabric index (where its data already
+	// lives); -1 means no affinity (first placement is free everywhere).
+	Affinity int
+}
+
+func (j Job) validate(i, nFabrics int) error {
+	if j.ArrivalSec < 0 || math.IsNaN(j.ArrivalSec) || math.IsInf(j.ArrivalSec, 0) {
+		return fmt.Errorf("fleet: job %d (%q) arrival %v", i, j.Name, j.ArrivalSec)
+	}
+	if j.MinWavelengths < 0 || (j.MaxWavelengths != 0 && j.MaxWavelengths < j.MinWavelengths) {
+		return fmt.Errorf("fleet: job %d (%q) wavelength range [%d,%d]",
+			i, j.Name, j.MinWavelengths, j.MaxWavelengths)
+	}
+	if j.Iterations < 0 {
+		return fmt.Errorf("fleet: job %d (%q) iterations %d", i, j.Name, j.Iterations)
+	}
+	if j.Shape < 0 {
+		return fmt.Errorf("fleet: job %d (%q) shape %d", i, j.Name, j.Shape)
+	}
+	if j.Affinity < -1 || j.Affinity >= nFabrics {
+		return fmt.Errorf("fleet: job %d (%q) affinity %d with %d fabrics",
+			i, j.Name, j.Affinity, nFabrics)
+	}
+	return nil
+}
+
+// RuntimeFunc prices ONE all-reduce iteration of shape `shape` on fabric
+// `fab` at stripe width w. wrht.SimulateFleet wires this to the paper's
+// single-ring simulation through the session runtime-curve cache.
+type RuntimeFunc func(fab, shape, w int) (float64, error)
+
+// Options configures a fleet co-simulation.
+type Options struct {
+	Placement PlacementKind
+	// Policy is the per-fabric scheduling discipline (zero value is
+	// StaticPartition, matching fabric.Policy; ElasticReallocate is the
+	// intended fleet regime — each fabric's ReconfigDelaySec comes from
+	// its spec).
+	Policy fabric.PolicyKind
+	// Lite selects aggregate-only statistics (required for 10^5+ jobs).
+	Lite bool
+	// Rec attaches a flight recorder: one process per fabric plus
+	// fleet-level counters. Proc prefixes the per-fabric process names.
+	Rec  *obs.Recorder
+	Proc string
+}
+
+// FabricSummary is one fabric's share of a fleet run.
+type FabricSummary struct {
+	Name   string
+	Budget int
+	// Placed counts jobs routed here; Migrated those that paid a
+	// migration to land here.
+	Placed   int
+	Migrated int
+	// Result is the fabric's own co-simulation outcome (zero-valued when
+	// no job was placed here). Queue and slowdown figures are measured
+	// from the job's fabric arrival, i.e. net of migration delay.
+	Result fabric.Result
+}
+
+// PlacedJob maps one job to its placement outcome (full-stats mode only).
+type PlacedJob struct {
+	Name     string
+	Fabric   int
+	Migrated bool
+	// MigrationSec is the delay paid before entering the fabric queue.
+	MigrationSec float64
+	Stats        fabric.JobStats
+}
+
+// Result is the fleet-wide outcome.
+type Result struct {
+	Placement PlacementKind
+	Fabrics   int
+	Jobs      int
+	// Completed/Rejected tally job outcomes fleet-wide; Unplaceable counts
+	// jobs no fabric could ever admit (minimum above every budget) —
+	// rejected at the fleet front door, included in Rejected.
+	Completed   int
+	Rejected    int
+	Unplaceable int
+	// Migrations counts off-affinity placements; MigrationSec totals the
+	// delay they paid.
+	Migrations   int
+	MigrationSec float64
+	MakespanSec  float64
+	MeanQueueSec float64
+	MaxQueueSec  float64
+	MeanSlowdown float64
+	// Fairness is Jain's index over completed jobs' slowdowns, fleet-wide.
+	Fairness float64
+	// Utilization is lit wavelength-seconds over total budget x fleet
+	// makespan.
+	Utilization float64
+	Reconfigs   int
+	Preemptions int
+	// EngineEvents is the shared event-loop's executed event count — the
+	// "10^6-event trace" scale measure BenchmarkFabricTrace reports.
+	EngineEvents int64
+	// Solver sums the per-fabric scheduling-work counters.
+	Solver    fabric.SolverStats
+	PerFabric []FabricSummary
+	// PerJob maps jobs to placements (nil under Lite).
+	PerJob []PlacedJob
+}
+
+// Simulate places every job of the trace onto the fleet and co-simulates
+// all fabrics on one shared event timeline. Deterministic: same specs,
+// jobs, and options produce the identical Result.
+func Simulate(specs []FabricSpec, jobs []Job, rt RuntimeFunc, opt Options) (Result, error) {
+	if len(specs) == 0 {
+		return Result{}, fmt.Errorf("fleet: empty fleet (no fabric specs)")
+	}
+	if len(jobs) == 0 {
+		return Result{}, fmt.Errorf("fleet: no jobs")
+	}
+	if rt == nil {
+		return Result{}, fmt.Errorf("fleet: no runtime function")
+	}
+	if err := opt.Placement.validate(); err != nil {
+		return Result{}, err
+	}
+	specs = append([]FabricSpec(nil), specs...)
+	for i := range specs {
+		if specs[i].Name == "" {
+			specs[i].Name = fmt.Sprintf("fabric%d", i)
+		}
+		if err := specs[i].Validate(); err != nil {
+			return Result{}, err
+		}
+	}
+	for i, j := range jobs {
+		if err := j.validate(i, len(specs)); err != nil {
+			return Result{}, err
+		}
+	}
+
+	f := &fleet{specs: specs, jobs: jobs, rt: rt, opt: opt}
+	return f.run()
+}
+
+// fleet is one co-simulation in flight.
+type fleet struct {
+	specs []FabricSpec
+	jobs  []Job
+	rt    RuntimeFunc
+	opt   Options
+
+	eng    sim.Engine
+	scheds []*fabric.Scheduler
+	// rtFns memoizes the per-(fabric, shape) runtime closures so a
+	// million-job trace does not allocate a closure per job.
+	rtFns []map[int]func(w int) (float64, error)
+
+	placed      []int
+	migrated    []int
+	order       []int // job indices sorted by (ArrivalSec, index)
+	next        int
+	unplaceable int
+	migrations  int
+	migrationS  float64
+	placements  []PlacedJob // full-stats mode only
+	err         error
+}
+
+func (f *fleet) run() (Result, error) {
+	opt := f.opt
+	f.scheds = make([]*fabric.Scheduler, len(f.specs))
+	f.rtFns = make([]map[int]func(w int) (float64, error), len(f.specs))
+	f.placed = make([]int, len(f.specs))
+	f.migrated = make([]int, len(f.specs))
+	for i, spec := range f.specs {
+		pol := fabric.Policy{Kind: opt.Policy, ReconfigDelaySec: spec.ReconfigDelaySec}
+		proc := spec.Name
+		if opt.Proc != "" {
+			proc = opt.Proc + " · " + spec.Name
+		}
+		sch, err := fabric.NewScheduler(&f.eng, spec.Wavelengths, pol, fabric.SchedOpts{
+			Rec: opt.Rec, Proc: proc, Lite: opt.Lite,
+			TrackLoad: opt.Placement == PriorityAware,
+		})
+		if err != nil {
+			return Result{}, err
+		}
+		f.scheds[i] = sch
+		f.rtFns[i] = map[int]func(w int) (float64, error){}
+	}
+
+	f.order = make([]int, len(f.jobs))
+	for i := range f.order {
+		f.order[i] = i
+	}
+	sort.SliceStable(f.order, func(a, b int) bool {
+		return f.jobs[f.order[a]].ArrivalSec < f.jobs[f.order[b]].ArrivalSec
+	})
+	// One feeder event per distinct arrival instant keeps the engine heap
+	// at O(live jobs), not O(trace length).
+	f.eng.At(f.jobs[f.order[0]].ArrivalSec, f.feed)
+	f.eng.Run()
+	if f.err != nil {
+		return Result{}, f.err
+	}
+	return f.finish()
+}
+
+// feed places every job arriving at the current instant and re-arms itself
+// for the next arrival.
+func (f *fleet) feed() {
+	now := f.eng.Now()
+	for f.next < len(f.order) && f.jobs[f.order[f.next]].ArrivalSec == now {
+		if f.err == nil {
+			f.place(f.order[f.next])
+		}
+		f.next++
+	}
+	if f.next < len(f.order) && f.err == nil {
+		f.eng.At(f.jobs[f.order[f.next]].ArrivalSec, f.feed)
+	}
+}
+
+// runtimeFor returns the memoized fabric.Job runtime closure for (fab,
+// shape).
+func (f *fleet) runtimeFor(fab, shape int) func(w int) (float64, error) {
+	if fn := f.rtFns[fab][shape]; fn != nil {
+		return fn
+	}
+	rt := f.rt
+	fn := func(w int) (float64, error) { return rt(fab, shape, w) }
+	f.rtFns[fab][shape] = fn
+	return fn
+}
+
+// place routes job i to a fabric and submits it.
+func (f *fleet) place(i int) {
+	j := f.jobs[i]
+	minW := j.MinWavelengths
+	if minW == 0 {
+		minW = 1
+	}
+	fab := f.choose(j, minW)
+	if fab < 0 {
+		f.unplaceable++
+		return
+	}
+	now := f.eng.Now()
+	delay := 0.0
+	migratedHere := j.Affinity >= 0 && fab != j.Affinity
+	if migratedHere {
+		delay = f.specs[fab].MigrationCostSec
+		f.migrations++
+		f.migrationS += delay
+	}
+	f.placed[fab]++
+	if migratedHere {
+		f.migrated[fab]++
+	}
+	name := j.Name
+	if name == "" && !f.opt.Lite {
+		name = fmt.Sprintf("j%d", i)
+	}
+	err := f.scheds[fab].Submit(fabric.Job{
+		Name:           name,
+		ArrivalSec:     now + delay,
+		Priority:       j.Priority,
+		MinWavelengths: j.MinWavelengths,
+		MaxWavelengths: j.MaxWavelengths,
+		Iterations:     j.Iterations,
+		Shape:          j.Shape + 1, // fabric shape 0 = private curve
+		Runtime:        f.runtimeFor(fab, j.Shape),
+	})
+	if err != nil {
+		f.err = err
+		return
+	}
+	if !f.opt.Lite {
+		f.placements = append(f.placements, PlacedJob{
+			Name: name, Fabric: fab, Migrated: migratedHere, MigrationSec: delay,
+		})
+	}
+}
+
+// choose scores the admissible fabrics under the placement policy and
+// returns the winner (-1 when no fabric can ever admit the job). All
+// tie-breaks are deterministic: better score, then the affinity fabric,
+// then the lowest index.
+func (f *fleet) choose(j Job, minW int) int {
+	best, bestScore := -1, math.Inf(1)
+	desire := j.MaxWavelengths
+	for i, spec := range f.specs {
+		if minW > spec.Wavelengths {
+			continue
+		}
+		var score float64
+		switch f.opt.Placement {
+		case LeastLoaded:
+			score = float64(f.scheds[i].CommittedLoad()) / float64(spec.Wavelengths)
+		case BestFit:
+			want := desire
+			if want == 0 || want > spec.Wavelengths {
+				want = spec.Wavelengths
+			}
+			free := f.scheds[i].FreeWavelengths()
+			switch {
+			case free >= want:
+				// Tightest fit for the full appetite.
+				score = float64(free - want)
+			case free >= minW:
+				// Can start now at reduced width: worse than any full fit.
+				score = 1e6 + float64(free-minW)
+			default:
+				// Must queue: fall back to least load.
+				score = 1e12 + float64(f.scheds[i].CommittedLoad())/float64(spec.Wavelengths)
+			}
+		case PriorityAware:
+			alone, err := f.aloneSec(i, j, spec)
+			if err != nil {
+				f.err = err
+				return -1
+			}
+			contention := float64(f.scheds[i].LoadAtOrAbove(j.Priority)) / float64(spec.Wavelengths)
+			score = contention * alone
+			if j.Affinity >= 0 && i != j.Affinity {
+				score += spec.MigrationCostSec
+			}
+		}
+		if score < bestScore ||
+			(score == bestScore && j.Affinity >= 0 && i == j.Affinity && best != j.Affinity) {
+			best, bestScore = i, score
+		}
+	}
+	return best
+}
+
+// aloneSec prices the job's solo runtime at its widest grant on fabric i
+// (through the shared shape curves, so this is a cache hit after the first
+// placement of a shape on a fabric).
+func (f *fleet) aloneSec(i int, j Job, spec FabricSpec) (float64, error) {
+	w := j.MaxWavelengths
+	if w == 0 || w > spec.Wavelengths {
+		w = spec.Wavelengths
+	}
+	one, err := f.rt(i, j.Shape, w)
+	if err != nil {
+		return 0, fmt.Errorf("fleet: pricing shape %d on fabric %q at width %d: %w",
+			j.Shape, spec.Name, w, err)
+	}
+	iters := j.Iterations
+	if iters == 0 {
+		iters = 1
+	}
+	return one * float64(iters), nil
+}
+
+// finish finalizes every fabric and folds the fleet aggregates.
+func (f *fleet) finish() (Result, error) {
+	res := Result{
+		Placement:    f.opt.Placement,
+		Fabrics:      len(f.specs),
+		Jobs:         len(f.jobs),
+		Unplaceable:  f.unplaceable,
+		Rejected:     f.unplaceable,
+		Migrations:   f.migrations,
+		MigrationSec: f.migrationS,
+		EngineEvents: f.eng.Steps(),
+		PerFabric:    make([]FabricSummary, len(f.specs)),
+	}
+	totalBudget := 0
+	busy := 0.0
+	var slowSum, slowSumSq, queueSum float64
+	for i, spec := range f.specs {
+		sum := FabricSummary{
+			Name: spec.Name, Budget: spec.Wavelengths,
+			Placed: f.placed[i], Migrated: f.migrated[i],
+		}
+		totalBudget += spec.Wavelengths
+		if f.placed[i] > 0 {
+			fr, err := f.scheds[i].Finalize()
+			if err != nil {
+				return Result{}, fmt.Errorf("fleet: fabric %q: %w", spec.Name, err)
+			}
+			sum.Result = fr
+			res.Completed += fr.CompletedJobs
+			res.Rejected += fr.RejectedJobs
+			res.Reconfigs += fr.Reconfigs
+			res.Preemptions += fr.Preemptions
+			res.Solver = res.Solver.Sum(fr.Solver)
+			if fr.MakespanSec > res.MakespanSec {
+				res.MakespanSec = fr.MakespanSec
+			}
+			if fr.MaxQueueSec > res.MaxQueueSec {
+				res.MaxQueueSec = fr.MaxQueueSec
+			}
+			queueSum += fr.MeanQueueSec * float64(fr.CompletedJobs)
+			slowSum += fr.SlowdownSum
+			slowSumSq += fr.SlowdownSumSq
+			busy += fr.Utilization * float64(spec.Wavelengths) * fr.MakespanSec
+		}
+		res.PerFabric[i] = sum
+	}
+	if res.Completed == 0 {
+		return Result{}, fmt.Errorf("fleet: every job was rejected")
+	}
+	n := float64(res.Completed)
+	res.MeanQueueSec = queueSum / n
+	res.MeanSlowdown = slowSum / n
+	if slowSumSq > 0 {
+		res.Fairness = slowSum * slowSum / (n * slowSumSq)
+	}
+	if res.MakespanSec > 0 && totalBudget > 0 {
+		res.Utilization = busy / (float64(totalBudget) * res.MakespanSec)
+	}
+	if !f.opt.Lite {
+		res.PerJob = f.placements
+		for pi := range res.PerJob {
+			p := &res.PerJob[pi]
+			for _, js := range res.PerFabric[p.Fabric].Result.Jobs {
+				if js.Name == p.Name {
+					p.Stats = js
+					break
+				}
+			}
+		}
+	}
+	if f.opt.Rec.Enabled() {
+		f.opt.Rec.Add("fleet.sims", 1)
+		f.opt.Rec.Add("fleet.jobs", int64(len(f.jobs)))
+		f.opt.Rec.Add("fleet.migrations", int64(f.migrations))
+		f.opt.Rec.Add("fleet.engine.events", f.eng.Steps())
+		f.opt.Rec.Gauge("fleet.engine.max_pending", float64(f.eng.MaxPending()))
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package report
+
+import (
+	"fmt"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+// FleetPlacementTable summarizes one trace under several placement
+// policies: one row per fleet run with completion, migration, latency, and
+// solver-work columns. The "tiers skipped" column is the incremental
+// solver's win — the fraction of priority tiers each re-solve proved
+// untouched and carried over without re-pricing a single member.
+func FleetPlacementTable(title string, results []wrht.FleetResult) *stats.Table {
+	tb := stats.NewTable(title,
+		"placement", "completed", "migrations", "makespan",
+		"mean slowdown", "fairness", "utilization",
+		"reconfigs", "tiers skipped", "curve hits")
+	for _, r := range results {
+		skipped := "-"
+		if total := r.SolverTiersTouched + r.SolverTiersSkipped; total > 0 {
+			skipped = fmt.Sprintf("%.1f%%", 100*float64(r.SolverTiersSkipped)/float64(total))
+		}
+		hits := "-"
+		if total := r.CurveHits + r.CurveBuilds; total > 0 {
+			hits = fmt.Sprintf("%.1f%%", 100*float64(r.CurveHits)/float64(total))
+		}
+		tb.AddRow(
+			r.Placement,
+			fmt.Sprintf("%d/%d", r.Completed, r.Jobs),
+			fmt.Sprintf("%d", r.Migrations),
+			stats.FormatSeconds(r.MakespanSec),
+			fmt.Sprintf("%.2fx", r.MeanSlowdown),
+			fmt.Sprintf("%.3f", r.Fairness),
+			fmt.Sprintf("%.1f%%", 100*r.Utilization),
+			fmt.Sprintf("%d", r.Reconfigs),
+			skipped,
+			hits,
+		)
+	}
+	return tb
+}
+
+// FleetFabricTable details how one fleet run spread across its fabrics.
+func FleetFabricTable(res wrht.FleetResult) *stats.Table {
+	tb := stats.NewTable(
+		fmt.Sprintf("per-fabric outcome under %s placement", res.Placement),
+		"fabric", "λ budget", "placed", "migrated in", "completed",
+		"makespan", "mean slowdown", "utilization", "reconfigs")
+	for _, f := range res.PerFabric {
+		tb.AddRow(
+			f.Name,
+			fmt.Sprintf("%d", f.Budget),
+			fmt.Sprintf("%d", f.Placed),
+			fmt.Sprintf("%d", f.Migrated),
+			fmt.Sprintf("%d", f.Completed),
+			stats.FormatSeconds(f.MakespanSec),
+			fmt.Sprintf("%.2fx", f.MeanSlowdown),
+			fmt.Sprintf("%.1f%%", 100*f.Utilization),
+			fmt.Sprintf("%d", f.Reconfigs),
+		)
+	}
+	return tb
+}
+
+// FleetChurnFabrics is the canonical heterogeneous fleet for the F4
+// comparison (and the short BenchmarkFabricTrace smoke): two large fast
+// fabrics, one mid-size, one small slow edge fabric with cheap migration.
+func FleetChurnFabrics() []wrht.FleetFabricSpec {
+	return []wrht.FleetFabricSpec{
+		{Name: "pod-a", Nodes: 32, Wavelengths: 16, ReconfigDelaySec: 2e-6, MigrationCostSec: 20e-3},
+		{Name: "pod-b", Nodes: 32, Wavelengths: 16, ReconfigDelaySec: 2e-6, MigrationCostSec: 20e-3},
+		{Name: "pod-c", Nodes: 16, Wavelengths: 8, ReconfigDelaySec: 5e-6, MigrationCostSec: 10e-3},
+		{Name: "edge", Nodes: 16, Wavelengths: 4, ReconfigDelaySec: 10e-6, MigrationCostSec: 5e-3},
+	}
+}
+
+// FleetChurnShapes is the canonical shape catalog for F4: three models
+// whose gradient sizes span two orders of magnitude.
+func FleetChurnShapes() []wrht.FleetShape {
+	return []wrht.FleetShape{
+		{Model: "AlexNet"},
+		{Model: "ResNet50"},
+		{Model: "VGG16"},
+	}
+}
+
+// FleetChurnTrace is the canonical F4 arrival trace: a seeded heavy-tail
+// burst process (Pareto gaps plus correlated same-instant bursts) — the
+// churn-heavy regime the incremental solver and the placement layer exist
+// for. The spec is fixed so every consumer prices the identical scenario.
+func FleetChurnTrace() wrht.FleetTraceSpec {
+	return wrht.FleetTraceSpec{
+		Kind: "heavy-tail", Jobs: 4000, Seed: 1, MeanGapSec: 40e-3,
+		NumShapes: 3, NumFabrics: 4, MaxWidth: 8,
+	}
+}
+
+// FleetChurnComparison runs the canonical F4 trace under every placement
+// policy on one shared session (so runtime curves price once) and returns
+// the comparison table plus the per-fabric breakdown of the
+// priority-aware run. Deterministic and byte-stable.
+func FleetChurnComparison() (comparison, perFabric *stats.Table, err error) {
+	ss := wrht.NewSweepSession()
+	cfg := wrht.DefaultConfig(32)
+	jobs, err := wrht.GenerateFleetTrace(FleetChurnTrace())
+	if err != nil {
+		return nil, nil, err
+	}
+	var results []wrht.FleetResult
+	var prioAware wrht.FleetResult
+	for _, placement := range []string{wrht.FleetLeastLoaded, wrht.FleetBestFit, wrht.FleetPriorityAware} {
+		res, err := ss.SimulateFleet(cfg, FleetChurnFabrics(), FleetChurnShapes(), jobs,
+			wrht.FleetOptions{Placement: placement, Lite: true})
+		if err != nil {
+			return nil, nil, fmt.Errorf("fleet %s: %w", placement, err)
+		}
+		results = append(results, res)
+		if placement == wrht.FleetPriorityAware {
+			prioAware = res
+		}
+	}
+	return FleetPlacementTable("", results), FleetFabricTable(prioAware), nil
+}

@@ -194,6 +194,54 @@ func TestMetricsSnapshotRenders(t *testing.T) {
 	}
 }
 
+// TestMetricsSnapshotFleetSolverCounters pins the observability contract of
+// the incremental elastic solver and the fleet layer: an observed fleet
+// simulation must surface the solver work counters (fabric.solver.*) and the
+// fleet counters in MetricsSnapshot, so dashboards and the CI smoke grep can
+// rely on the names.
+func TestMetricsSnapshotFleetSolverCounters(t *testing.T) {
+	ss := NewSweepSession()
+	ss.Observe()
+	jobs := fleetTestTrace(t, 40)
+	res, err := ss.SimulateFleet(DefaultConfig(32), fleetTestFabrics(), fleetTestShapes(), jobs, FleetOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SolverSolves == 0 {
+		t.Fatal("elastic fleet run reported zero solver invocations")
+	}
+
+	snap := ss.Snapshot()
+	counters := map[string]float64{}
+	for _, c := range snap.Counters {
+		counters[c.Name] = c.Value
+	}
+	// Guaranteed non-zero after an elastic fleet run of this size.
+	for _, name := range []string{
+		"fabric.solver.solves", "fabric.solver.tiers_touched",
+		"fabric.solver.jobs_repriced", "fabric.solver.curve_builds",
+		"fabric.solver.curve_hits",
+		"fleet.sims", "fleet.jobs", "fleet.engine.events",
+	} {
+		if counters[name] == 0 {
+			t.Errorf("counter %s missing or zero after an observed fleet run", name)
+		}
+	}
+	// Registered even when zero — presence is the contract.
+	for _, name := range []string{"fabric.solver.tiers_skipped", "fleet.migrations"} {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("counter %s not registered in snapshot", name)
+		}
+	}
+	// The recorder's counters must agree with the result's own accounting.
+	if got, want := counters["fabric.solver.solves"], float64(res.SolverSolves); got != want {
+		t.Errorf("fabric.solver.solves = %v, result reports %v", got, want)
+	}
+	if got, want := counters["fleet.jobs"], float64(len(jobs)); got != want {
+		t.Errorf("fleet.jobs = %v, submitted %v", got, want)
+	}
+}
+
 // TestInspectScheduleClasses: the public certificate inspector agrees with
 // the schedule's structure — the paper algorithms at N=1024 certify their
 // symmetric steps, and the partition invariants hold everywhere.

@@ -151,6 +151,13 @@ func (ss *SweepSession) SimulateFabric(cfg Config, jobs []JobSpec, policy Fabric
 	return simulateFabric(cfg, jobs, policy, ss.sess.fabric)
 }
 
+// SimulateFleet is SimulateFleet sharing this session's caches: per-shape
+// runtime curves persist across calls and across fabrics with equal ring
+// sizes, so sweeping placements or traces over the same fleet prices warm.
+func (ss *SweepSession) SimulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, jobs []FleetJob, opt FleetOptions) (FleetResult, error) {
+	return simulateFleet(cfg, fabrics, shapes, jobs, opt, ss.sess.fabric)
+}
+
 // CompareFabricPolicies is CompareFabricPolicies sharing this session's
 // caches: per-tenant runtime curves, plans, lowered schedules, and substrate
 // simulations persist across calls, so repeated co-simulations of the same
