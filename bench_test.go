@@ -514,6 +514,69 @@ func BenchmarkFabricTrace(b *testing.B) {
 	})
 }
 
+// BenchmarkFabricFaults measures the fault-injection path (EXPERIMENTS.md
+// F5): the fleet trace of BenchmarkFabricTrace's short scale replayed
+// under a seeded failure model spanning all three fault classes, with
+// migration recovery. Steady-state ns/op measures fault expansion,
+// checkpoint rollback/replay, eviction and parked-retry machinery on top
+// of the trace-placement path; allocs/op is gated by
+// cmd/bench/ceilings.json like every other headline benchmark.
+func BenchmarkFabricFaults(b *testing.B) {
+	nFab, nJobs := 8, 20000
+	if testing.Short() {
+		nFab, nJobs = 4, 4000
+	}
+	cfg := wrht.DefaultConfig(32)
+	fabrics := fleetBenchFabrics(nFab)
+	shapes := report.FleetChurnShapes()
+	jobs, err := wrht.GenerateFleetTrace(wrht.FleetTraceSpec{
+		Kind: "poisson", Jobs: nJobs, Seed: 1, MeanGapSec: 0.02,
+		NumShapes: len(shapes), NumFabrics: nFab, MaxWidth: 8,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	span := 0.0
+	for i := range jobs {
+		jobs[i].CheckpointEverySec = 50e-3
+		if jobs[i].ArrivalSec > span {
+			span = jobs[i].ArrivalSec
+		}
+	}
+	plan := wrht.FaultPlan{
+		Seed:              1,
+		HorizonSec:        0.75 * span,
+		WavelengthMTBFSec: span / 60,
+		WavelengthMTTRSec: span / 600,
+		JobFaultMTBFSec:   span / 30,
+		FabricMTBFSec:     span / 6,
+		FabricMTTRSec:     span / 300,
+	}
+	sess := wrht.NewSweepSession()
+	b.Run(fmt.Sprintf("migrate/%dfabrics/%dkjobs", nFab, nJobs/1000), func(b *testing.B) {
+		b.ReportAllocs()
+		var last wrht.FleetResult
+		for i := 0; i < b.N; i++ {
+			res, err := sess.SimulateFleet(cfg, fabrics, shapes, jobs,
+				wrht.FleetOptions{
+					Placement: wrht.FleetLeastLoaded, Lite: true,
+					Faults: plan, Recovery: wrht.RecoveryMigrateOnFailure,
+				})
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		if last.Retries == 0 || last.Outages == 0 {
+			b.Fatalf("fault plan injected nothing: %+v", last)
+		}
+		b.ReportMetric(float64(last.EngineEvents), "events/op")
+		b.ReportMetric(float64(last.Retries), "retries/op")
+		b.ReportMetric(float64(last.Evictions), "evictions/op")
+		b.ReportMetric(100*last.Availability, "avail%")
+	})
+}
+
 // BenchmarkExtensionFigure (beyond the paper): the Figure-2 grid on
 // transformer workloads — BERT-Large (1.34 GB gradients) and GPT-2 XL
 // (6.23 GB) — showing the paper's ordering survives at modern model sizes.

@@ -15,6 +15,8 @@
 //	fabricsim -scenario trace           # trace-driven fleet placement
 //	fabricsim -scenario trace -fabrics 8 -trace-jobs 20000 -trace-kind heavy-tail
 //	fabricsim -scenario trace -placement priority-aware -detail
+//	fabricsim -scenario faults          # fault injection, all recovery policies
+//	fabricsim -scenario faults -mtbf 20 -mttr 2 -recovery migrate
 //
 // -scenario trace co-simulates a datacenter of heterogeneous fabrics fed by
 // a seeded synthetic arrival trace (wrht.SimulateFleet): -fabrics sizes the
@@ -22,6 +24,15 @@
 // heavy-tail bursts), -trace-jobs its length, and -placement the routing
 // policy (least-loaded, best-fit, priority-aware, or all). Traces above
 // -lite-over jobs run in aggregate-only lite mode.
+//
+// -scenario faults replays the same fleet trace under a seeded failure
+// model — wavelength darkening at -mtbf/-mttr (milliseconds), transient
+// job crashes at 2x the wavelength MTBF (jobs checkpoint every -checkpoint
+// ms of service and roll back to the last checkpoint), and whole-fabric
+// outages at 10x MTBF with 4x MTTR repairs — once per -recovery policy
+// (fail-fast | retry | migrate | all). Faulted runs populate the
+// fabric.faults.* recorder counters in -metrics and mark dark-wavelength
+// spans in the -trace timeline.
 //
 // -trace writes the co-simulation's flight-recorder timeline — jobs as
 // tracks with admit/preempt/reconfig markers and run/settle spans,
@@ -52,11 +63,15 @@ func main() {
 		policy      = flag.String("policy", "all", "static | first-fit | priority | elastic | all")
 		partitions  = flag.Int("partitions", 0, "shares for the static policy (0 = default 4, clamped to the budget)")
 		reconfigUs  = flag.Float64("reconfig", 2, "elastic reconfiguration (switch settling) delay [µs]")
-		scenario    = flag.String("scenario", "mixed", "mixed | churn (departure-heavy single fabric) | trace (trace-driven fleet placement)")
-		fabrics     = flag.Int("fabrics", 4, "fleet size for -scenario trace")
-		placement   = flag.String("placement", "all", "least-loaded | best-fit | priority-aware | all (-scenario trace)")
-		traceKind   = flag.String("trace-kind", "heavy-tail", "poisson | diurnal | heavy-tail (-scenario trace)")
-		traceJobs   = flag.Int("trace-jobs", 4000, "arrival-trace length for -scenario trace")
+		scenario    = flag.String("scenario", "mixed", "mixed | churn (departure-heavy single fabric) | trace (trace-driven fleet placement) | faults (fault injection + recovery)")
+		fabrics     = flag.Int("fabrics", 4, "fleet size for -scenario trace/faults")
+		placement   = flag.String("placement", "all", "least-loaded | best-fit | priority-aware | all (-scenario trace/faults)")
+		traceKind   = flag.String("trace-kind", "heavy-tail", "poisson | diurnal | heavy-tail (-scenario trace/faults)")
+		traceJobs   = flag.Int("trace-jobs", 4000, "arrival-trace length for -scenario trace/faults")
+		mtbfMs      = flag.Float64("mtbf", 50, "mean time between wavelength faults [ms] (-scenario faults; job faults 2x, fabric outages 10x)")
+		mttrMs      = flag.Float64("mttr", 5, "mean wavelength repair time [ms] (-scenario faults; fabric repairs 4x)")
+		recovery    = flag.String("recovery", "all", "fail-fast | retry | migrate | all (-scenario faults)")
+		ckptMs      = flag.Float64("checkpoint", 20, "per-job checkpoint interval [ms of service] for -scenario faults (0 = no checkpointing)")
 		liteOver    = flag.Int("lite-over", 10000, "use aggregate-only lite stats above this many trace jobs")
 		seed        = flag.Int64("seed", 1, "deterministic job-mix seed")
 		gapMs       = flag.Float64("gap", 2, "mean inter-arrival gap [ms]")
@@ -90,12 +105,17 @@ func main() {
 		ob = ss.Observe()
 	}
 
-	if *scenario == "trace" {
-		must(runFleet(ss, cfg, fleetFlags{
+	if *scenario == "trace" || *scenario == "faults" {
+		ff := fleetFlags{
 			fabrics: *fabrics, placement: *placement, kind: *traceKind,
 			jobs: *traceJobs, seed: *seed, gapMs: *gapMs, liteOver: *liteOver,
 			reconfigSec: *reconfigUs * 1e-6, format: *format, detail: *detail,
-		}))
+		}
+		if *scenario == "faults" {
+			must(runFaults(ss, cfg, ff, *mtbfMs*1e-3, *mttrMs*1e-3, *ckptMs*1e-3, *recovery))
+		} else {
+			must(runFleet(ss, cfg, ff))
+		}
 	} else {
 		for _, n := range counts {
 			var mix []wrht.JobSpec
@@ -105,7 +125,7 @@ func main() {
 			case "churn":
 				mix = generateChurnJobs(n, *seed, *gapMs, *wavelengths)
 			default:
-				must(fmt.Errorf("unknown scenario %q (want mixed, churn, or trace)", *scenario))
+				must(fmt.Errorf("unknown scenario %q (want mixed, churn, trace, or faults)", *scenario))
 			}
 			results, err := ss.CompareFabricPolicies(cfg, mix, policies)
 			must(err)
@@ -206,6 +226,81 @@ func runFleet(ss *wrht.SweepSession, cfg wrht.Config, ff fleetFlags) error {
 	title := fmt.Sprintf("fleet (%s trace, %s stats): %d jobs over %d fabrics (seed %d)",
 		ff.kind, mode, ff.jobs, ff.fabrics, ff.seed)
 	render(report.FleetPlacementTable(title, results), ff.format)
+	if ff.detail {
+		for _, res := range results {
+			render(report.FleetFabricTable(res), ff.format)
+		}
+	}
+	return nil
+}
+
+// runFaults executes -scenario faults: the -scenario trace fleet replayed
+// under a seeded failure model (wavelength darkening at -mtbf/-mttr, job
+// crashes at 2x the wavelength MTBF, whole-fabric outages at 10x MTBF with
+// 4x MTTR repairs), once per recovery policy. Faults span the first three
+// quarters of the arrival trace so recovered jobs drain inside it.
+func runFaults(ss *wrht.SweepSession, cfg wrht.Config, ff fleetFlags, mtbfSec, mttrSec, ckptSec float64, recovery string) error {
+	var recoveries []string
+	switch recovery {
+	case "all":
+		recoveries = []string{wrht.RecoveryFailFast, wrht.RecoveryRetrySameFabric, wrht.RecoveryMigrateOnFailure}
+	case wrht.RecoveryFailFast, wrht.RecoveryRetrySameFabric, wrht.RecoveryMigrateOnFailure:
+		recoveries = []string{recovery}
+	default:
+		return fmt.Errorf("unknown recovery %q (want fail-fast, retry, migrate, or all)", recovery)
+	}
+	placement := ff.placement
+	if placement == "all" {
+		placement = wrht.FleetLeastLoaded
+	}
+	fleet := genFleet(ff.fabrics, ff.reconfigSec)
+	shapes := report.FleetChurnShapes()
+	jobs, err := wrht.GenerateFleetTrace(wrht.FleetTraceSpec{
+		Kind: ff.kind, Jobs: ff.jobs, Seed: ff.seed, MeanGapSec: ff.gapMs * 1e-3,
+		NumShapes: len(shapes), NumFabrics: ff.fabrics, MaxWidth: 8,
+	})
+	if err != nil {
+		return err
+	}
+	span := 0.0
+	for i := range jobs {
+		jobs[i].CheckpointEverySec = ckptSec
+		if jobs[i].ArrivalSec > span {
+			span = jobs[i].ArrivalSec
+		}
+	}
+	horizon := 0.75 * span
+	if horizon <= 0 {
+		horizon = 1
+	}
+	plan := wrht.FaultPlan{
+		Seed:              ff.seed,
+		HorizonSec:        horizon,
+		WavelengthMTBFSec: mtbfSec,
+		WavelengthMTTRSec: mttrSec,
+		JobFaultMTBFSec:   2 * mtbfSec,
+		FabricMTBFSec:     10 * mtbfSec,
+		FabricMTTRSec:     4 * mttrSec,
+	}
+	lite := ff.jobs > ff.liteOver
+	var rows []report.FleetRecoveryRow
+	var results []wrht.FleetResult
+	for _, rec := range recoveries {
+		res, err := ss.SimulateFleet(cfg, fleet, shapes, jobs,
+			wrht.FleetOptions{Placement: placement, Lite: lite, Faults: plan, Recovery: rec})
+		if err != nil {
+			return fmt.Errorf("recovery %s: %w", rec, err)
+		}
+		rows = append(rows, report.FleetRecoveryRow{
+			Recovery: rec, Rate: "1.0x", SpanSec: span, Result: res,
+		})
+		results = append(results, res)
+	}
+	title := fmt.Sprintf(
+		"fleet under faults (%s trace, %s placement): %d jobs over %d fabrics, λ MTBF %s / MTTR %s (seed %d)",
+		ff.kind, placement, ff.jobs, ff.fabrics,
+		stats.FormatSeconds(mtbfSec), stats.FormatSeconds(mttrSec), ff.seed)
+	render(report.FleetRecoveryTable(title, rows), ff.format)
 	if ff.detail {
 		for _, res := range results {
 			render(report.FleetFabricTable(res), ff.format)

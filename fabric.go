@@ -34,6 +34,11 @@ type JobSpec struct {
 	// budget) bound the stripe grant the job accepts.
 	MinWavelengths int
 	MaxWavelengths int
+	// CheckpointEverySec is the job's checkpoint interval in productive
+	// service seconds (0: no checkpointing). Only meaningful under fault
+	// injection: a faulted job replays the work since its last checkpoint
+	// instead of restarting from scratch.
+	CheckpointEverySec float64
 }
 
 // Validate reports a malformed job spec with a clear error instead of
@@ -69,6 +74,9 @@ func (spec JobSpec) Validate() error {
 	}
 	if spec.Iterations < 0 {
 		return fmt.Errorf("wrht: job %q: negative Iterations %d", name, spec.Iterations)
+	}
+	if spec.CheckpointEverySec < 0 || math.IsNaN(spec.CheckpointEverySec) || math.IsInf(spec.CheckpointEverySec, 0) {
+		return fmt.Errorf("wrht: job %q: bad CheckpointEverySec %v", name, spec.CheckpointEverySec)
 	}
 	return nil
 }
@@ -170,6 +178,15 @@ type FabricJobResult struct {
 	// price of sharing.
 	AloneSec float64
 	Slowdown float64
+	// Retries counts fault-driven re-admissions, Evictions forced removals
+	// from the fabric, and LostWorkSec service discarded by faults (work
+	// since the last checkpoint, or everything for a checkpoint-free job).
+	// Failed marks a job that exhausted its retry budget. All zero without
+	// a FaultPlan.
+	Retries     int
+	Evictions   int
+	LostWorkSec float64
+	Failed      bool
 }
 
 // FabricEvent is one entry of the fabric trace.
@@ -177,8 +194,10 @@ type FabricEvent struct {
 	TimeSec float64
 	Job     string
 	// Kind is arrive | reject | start | preempt | resume | reconfig |
-	// finish. A reconfig entry records the job's new stripe width after an
-	// elastic re-allocation.
+	// finish, plus — under a FaultPlan — wavelength-down | wavelength-up |
+	// job-fault | evict | retry. A reconfig entry records the job's new
+	// stripe width after an elastic re-allocation; a wavelength-down/-up
+	// entry the number of wavelengths affected.
 	Kind        string
 	Wavelengths int
 }
@@ -201,6 +220,18 @@ type FabricResult struct {
 	Utilization     float64
 	PeakWavelengths int
 	RejectedJobs    int
+	// Fault aggregates (all zero without a FaultPlan): JobFaults counts
+	// injected transient faults, Evictions forced removals, Retries
+	// re-admissions, FailedJobs exhausted retry budgets, and LostWorkSec
+	// the service discarded by faults.
+	JobFaults   int
+	Evictions   int
+	Retries     int
+	FailedJobs  int
+	LostWorkSec float64
+	// Availability is the fraction of wavelength-second capacity
+	// (budget × makespan) not lost to dark wavelengths; 1 without faults.
+	Availability float64
 }
 
 // jobBytes resolves the buffer size of a job spec.
@@ -225,8 +256,16 @@ func jobBytes(cfg Config, spec JobSpec) (int64, error) {
 // simulation path (CommunicationTime) with the optical budget restricted to
 // the tenant's granted stripe, so a lone job on the fabric reproduces the
 // dedicated-ring numbers. The co-simulation is deterministic.
-func SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy) (FabricResult, error) {
-	return simulateFabric(cfg, jobs, policy, newSession().fabric)
+//
+// An optional FaultPlan injects seeded wavelength and job failures on the
+// same timeline (see FaultPlan); passing none, or an empty plan, leaves
+// every result bit-identical to the fault-free simulation.
+func SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, plan ...FaultPlan) (FabricResult, error) {
+	fp, err := onePlan(plan)
+	if err != nil {
+		return FabricResult{}, err
+	}
+	return simulateFabric(cfg, jobs, policy, newSession().fabric, fp)
 }
 
 // algFloor is the smallest stripe grant the algorithm can run with: a fixed
@@ -246,7 +285,7 @@ func algFloor(cfg Config, alg Algorithm) int {
 	return 1
 }
 
-func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabricCache) (FabricResult, error) {
+func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabricCache, plan FaultPlan) (FabricResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return FabricResult{}, err
 	}
@@ -286,21 +325,36 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 			}
 		}
 		inner[i] = fabric.Job{
-			Name:           spec.Name,
-			ArrivalSec:     spec.ArrivalSec,
-			Priority:       spec.Priority,
-			MinWavelengths: minW,
-			MaxWavelengths: spec.MaxWavelengths,
-			Iterations:     spec.Iterations,
-			Runtime:        cache.runtime(cfg, alg, bytes),
+			Name:               spec.Name,
+			ArrivalSec:         spec.ArrivalSec,
+			Priority:           spec.Priority,
+			MinWavelengths:     minW,
+			MaxWavelengths:     spec.MaxWavelengths,
+			Iterations:         spec.Iterations,
+			CheckpointEverySec: spec.CheckpointEverySec,
+			Runtime:            cache.runtime(cfg, alg, bytes),
 		}
 	}
 	rec := cache.sess.recorder()
 	proc := ""
 	if rec.Enabled() {
 		proc = fabricProcName(cfg, jobs, policy)
+		if !plan.Empty() {
+			// A faulted run records different tracks than the fault-free run
+			// of the same mix; keep their recorder processes disjoint.
+			proc += fmt.Sprintf(" · faults %08x", plan.hash())
+		}
 	}
-	res, err := fabric.SimulateObserved(cfg.Optical.Wavelengths, inner, pol, rec, proc)
+	var res fabric.Result
+	if plan.Empty() {
+		res, err = fabric.SimulateObserved(cfg.Optical.Wavelengths, inner, pol, rec, proc)
+	} else {
+		var fp faultsPlan
+		if fp, err = plan.internal(); err != nil {
+			return FabricResult{}, err
+		}
+		res, err = fabric.SimulateFaults(cfg.Optical.Wavelengths, inner, pol, fp, rec, proc)
+	}
 	if err != nil {
 		return FabricResult{}, err
 	}
@@ -315,6 +369,12 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 		Utilization:     res.Utilization,
 		PeakWavelengths: res.PeakWavelengths,
 		RejectedJobs:    res.RejectedJobs,
+		JobFaults:       res.JobFaults,
+		Evictions:       res.Evictions,
+		Retries:         res.Retries,
+		FailedJobs:      res.FailedJobs,
+		LostWorkSec:     res.LostWorkSec,
+		Availability:    res.Availability,
 	}
 	for _, j := range res.Jobs {
 		out.Jobs = append(out.Jobs, FabricJobResult(j))
@@ -433,7 +493,7 @@ func CompareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy) 
 func compareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy, cache *fabricCache) ([]FabricResult, error) {
 	out := make([]FabricResult, 0, len(policies))
 	for _, p := range policies {
-		r, err := simulateFabric(cfg, jobs, p, cache)
+		r, err := simulateFabric(cfg, jobs, p, cache, FaultPlan{})
 		if err != nil {
 			return nil, fmt.Errorf("wrht: policy %s: %w", p, err)
 		}

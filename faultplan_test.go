@@ -1,0 +1,164 @@
+package wrht
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestFaultPlanZeroBitIdentical is the public zero-fault guarantee: passing
+// an explicitly zero FaultPlan to SimulateFabric leaves every priced number
+// — per-job stats, aggregates, event traces — bit-identical to the
+// plan-free call, for every policy, and the exported Perfetto trace bytes
+// are identical too.
+func TestFaultPlanZeroBitIdentical(t *testing.T) {
+	cfg := fabricTestConfig()
+	jobs := fabricTestJobs()
+	for _, pol := range FabricPolicies() {
+		want, err1 := SimulateFabric(cfg, jobs, pol)
+		got, err2 := SimulateFabric(cfg, jobs, pol, FaultPlan{})
+		if (err1 == nil) != (err2 == nil) {
+			t.Fatalf("%s: error divergence: %v vs %v", pol.Kind, err1, err2)
+		}
+		if err1 == nil && !reflect.DeepEqual(want, got) {
+			t.Fatalf("%s: zero FaultPlan perturbs the result\nwant %+v\n got %+v", pol.Kind, want, got)
+		}
+	}
+
+	trace := func(withPlan bool) []byte {
+		ss := NewSweepSession()
+		ob := ss.Observe()
+		var err error
+		if withPlan {
+			_, err = ss.SimulateFabric(cfg, jobs, FabricPolicy{Kind: FabricElastic}, FaultPlan{})
+		} else {
+			_, err = ss.SimulateFabric(cfg, jobs, FabricPolicy{Kind: FabricElastic})
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := ob.WriteTrace(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	if !bytes.Equal(trace(false), trace(true)) {
+		t.Fatal("zero FaultPlan changes the exported trace bytes")
+	}
+}
+
+// TestSimulateFabricFaultyPublic drives scripted faults through the public
+// API: events surface in the trace, fault counters and Availability are
+// populated, and the faulty run is deterministic.
+func TestSimulateFabricFaultyPublic(t *testing.T) {
+	cfg := fabricTestConfig()
+	jobs := fabricTestJobs()
+	plan := FaultPlan{Scripted: []FaultEvent{
+		{TimeSec: 1e-4, Kind: FaultWavelengthDown, Count: 4},
+		{TimeSec: 2e-3, Kind: FaultWavelengthUp, Count: 4},
+		{TimeSec: 5e-4, Kind: FaultJob},
+	}}
+	run := func() FabricResult {
+		res, err := SimulateFabric(cfg, jobs, FabricPolicy{Kind: FabricElastic, ReconfigDelaySec: 1e-6}, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if res.JobFaults != 1 {
+		t.Fatalf("job faults %d, want 1", res.JobFaults)
+	}
+	if res.LostWorkSec <= 0 {
+		t.Fatalf("job fault lost no work: %+v", res)
+	}
+	if !(res.Availability > 0 && res.Availability < 1) {
+		t.Fatalf("availability %v, want in (0,1) with darkened wavelengths", res.Availability)
+	}
+	var kinds []string
+	for _, ev := range res.Events {
+		kinds = append(kinds, ev.Kind)
+	}
+	all := strings.Join(kinds, ",")
+	for _, want := range []string{FaultWavelengthDown, FaultWavelengthUp, "job-fault"} {
+		if !strings.Contains(all, want) {
+			t.Fatalf("trace missing %q events (kinds: %s)", want, all)
+		}
+	}
+	if again := run(); !reflect.DeepEqual(res, again) {
+		t.Fatal("faulty fabric run is not deterministic")
+	}
+}
+
+// TestFaultPlanValidation pins the public error surface.
+func TestFaultPlanValidation(t *testing.T) {
+	cfg := fabricTestConfig()
+	jobs := fabricTestJobs()
+	pol := FabricPolicy{Kind: FabricElastic}
+
+	if _, err := SimulateFabric(cfg, jobs, pol, FaultPlan{}, FaultPlan{}); err == nil ||
+		!strings.Contains(err.Error(), "at most one FaultPlan") {
+		t.Fatalf("two plans accepted: %v", err)
+	}
+	bad := FaultPlan{Scripted: []FaultEvent{{TimeSec: 1, Kind: "meteor-strike"}}}
+	if _, err := SimulateFabric(cfg, jobs, pol, bad); err == nil ||
+		!strings.Contains(err.Error(), "unknown fault event kind") {
+		t.Fatalf("unknown kind accepted: %v", err)
+	}
+	outage := FaultPlan{Scripted: []FaultEvent{{TimeSec: 1e-3, Kind: FaultFabricDown}}}
+	if _, err := SimulateFabric(cfg, jobs, pol, outage); err == nil ||
+		!strings.Contains(err.Error(), "fleet") {
+		t.Fatalf("single-fabric outage accepted: %v", err)
+	}
+	dark := FaultPlan{Scripted: []FaultEvent{{TimeSec: 1e-3, Kind: FaultWavelengthDown}}}
+	if _, err := SimulateFabric(cfg, jobs, FabricPolicy{Kind: FabricStatic}, dark); err == nil {
+		t.Fatal("wavelength fault accepted under static partitioning")
+	}
+	if _, err := SimulateFleet(cfg, fleetTestFabrics(), fleetTestShapes(), fleetTestTrace(t, 10),
+		FleetOptions{Recovery: "abandon-ship"}); err == nil ||
+		!strings.Contains(err.Error(), "unknown recovery policy") {
+		t.Fatalf("unknown recovery accepted: %v", err)
+	}
+}
+
+// TestSimulateFleetFaultyPublic: scripted fabric outages through the public
+// fleet API populate recovery aggregates deterministically, and migration
+// beats fail-fast on completed work for the same plan.
+func TestSimulateFleetFaultyPublic(t *testing.T) {
+	cfg := fabricTestConfig()
+	jobs := fleetTestTrace(t, 40)
+	plan := FaultPlan{Scripted: []FaultEvent{
+		{TimeSec: 5e-3, Kind: FaultFabricDown, Fabric: 0},
+		{TimeSec: 2e-2, Kind: FaultFabricUp, Fabric: 0},
+	}}
+	run := func(recovery string) FleetResult {
+		res, err := SimulateFleet(cfg, fleetTestFabrics(), fleetTestShapes(), jobs,
+			FleetOptions{Faults: plan, Recovery: recovery})
+		if err != nil {
+			t.Fatalf("%s: %v", recovery, err)
+		}
+		return res
+	}
+	mig := run(RecoveryMigrateOnFailure)
+	if mig.Outages != 1 {
+		t.Fatalf("outages %d, want 1", mig.Outages)
+	}
+	if mig.Evictions == 0 || mig.Retries == 0 {
+		t.Fatalf("outage evicted nothing: %+v", mig)
+	}
+	if !(mig.Availability > 0 && mig.Availability < 1) {
+		t.Fatalf("availability %v, want in (0,1)", mig.Availability)
+	}
+	ff := run(RecoveryFailFast)
+	if ff.Killed == 0 {
+		t.Fatalf("fail-fast killed nothing: %+v", ff)
+	}
+	if mig.Completed < ff.Completed {
+		t.Fatalf("migration completed %d < fail-fast %d", mig.Completed, ff.Completed)
+	}
+	if again := run(RecoveryMigrateOnFailure); !reflect.DeepEqual(mig, again) {
+		t.Fatal("faulty fleet run is not deterministic")
+	}
+}

@@ -63,6 +63,11 @@ type FleetJob struct {
 	// placement is free, and off-affinity placements pay the target's
 	// MigrationCostSec).
 	Affinity int
+	// CheckpointEverySec is the job's checkpoint interval in productive
+	// service seconds (0: no checkpointing). Only meaningful under a
+	// FaultPlan; checkpoints are fabric-local, so a job recovered onto a
+	// different fabric restarts from scratch.
+	CheckpointEverySec float64
 }
 
 // Fleet placement policies.
@@ -90,6 +95,14 @@ type FleetOptions struct {
 	// Lite drops per-job results and the per-fabric event traces, keeping
 	// aggregates only — required for 10^5+ job traces.
 	Lite bool
+	// Faults injects seeded failures on the fleet's shared timeline; the
+	// zero plan leaves every result bit-identical to a fault-free run.
+	Faults FaultPlan
+	// Recovery is RecoveryRetrySameFabric (default), RecoveryFailFast, or
+	// RecoveryMigrateOnFailure; it governs jobs caught in fabric outages.
+	Recovery string
+	// MaxRetries/RetryBackoffSec/RetryBackoffMaxSec on the Faults plan
+	// bound the recovery backoff at both the fabric and fleet layers.
 }
 
 // FleetFabricResult is one fabric's share of a fleet co-simulation.
@@ -107,6 +120,12 @@ type FleetFabricResult struct {
 	Utilization  float64
 	Reconfigs    int
 	Preemptions  int
+	// Fault shares (all zero without a FaultPlan).
+	JobFaults   int
+	Evictions   int
+	Retries     int
+	FailedJobs  int
+	LostWorkSec float64
 }
 
 // FleetResult aggregates a trace-driven fleet co-simulation.
@@ -145,7 +164,25 @@ type FleetResult struct {
 	SolverJobsRepriced int64
 	CurveHits          int64
 	CurveBuilds        int64
-	PerFabric          []FleetFabricResult
+	// Fault-recovery aggregates (all zero without a FaultPlan): Outages
+	// counts whole-fabric failures; Killed jobs dropped by
+	// RecoveryFailFast; FailedJobs exhausted retry budgets; JobFaults/
+	// Evictions/Retries/LostWorkSec sum the per-fabric fault counters plus
+	// work discarded by cross-fabric restarts.
+	Outages     int
+	Killed      int
+	JobFaults   int
+	Evictions   int
+	Retries     int
+	FailedJobs  int
+	LostWorkSec float64
+	// Availability is the capacity-weighted fraction of fleet
+	// wavelength-second capacity not lost to dark wavelengths or outages
+	// (1 without faults). P99Slowdown is the 99th-percentile completed-job
+	// slowdown (nearest-rank; 0 under Lite).
+	Availability float64
+	P99Slowdown  float64
+	PerFabric    []FleetFabricResult
 }
 
 // FleetTraceSpec parameterizes a seeded synthetic arrival trace for
@@ -337,24 +374,45 @@ func simulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, j
 			}
 		}
 		inner[i] = fleet.Job{
-			Name:           j.Name,
-			ArrivalSec:     j.ArrivalSec,
-			Priority:       j.Priority,
-			MinWavelengths: minW,
-			MaxWavelengths: j.MaxWavelengths,
-			Iterations:     j.Iterations,
-			Shape:          j.Shape,
-			Affinity:       j.Affinity,
+			Name:               j.Name,
+			ArrivalSec:         j.ArrivalSec,
+			Priority:           j.Priority,
+			MinWavelengths:     minW,
+			MaxWavelengths:     j.MaxWavelengths,
+			Iterations:         j.Iterations,
+			Shape:              j.Shape,
+			Affinity:           j.Affinity,
+			CheckpointEverySec: j.CheckpointEverySec,
 		}
+	}
+
+	var recovery fleet.RecoveryPolicy
+	switch opt.Recovery {
+	case "", RecoveryRetrySameFabric:
+		recovery = fleet.RetrySameFabric
+	case RecoveryFailFast:
+		recovery = fleet.FailFast
+	case RecoveryMigrateOnFailure:
+		recovery = fleet.MigrateOnFailure
+	default:
+		return FleetResult{}, fmt.Errorf("wrht: unknown recovery policy %q", opt.Recovery)
+	}
+	fp, err := opt.Faults.internal()
+	if err != nil {
+		return FleetResult{}, err
 	}
 
 	rec := cache.sess.recorder()
 	proc := ""
 	if rec.Enabled() {
 		proc = fleetProcName(cfg, fabrics, jobs, opt)
+		if !opt.Faults.Empty() {
+			proc += fmt.Sprintf(" · faults %08x · %s", opt.Faults.hash(), opt.Recovery)
+		}
 	}
 	res, err := fleet.Simulate(specs, inner, rt, fleet.Options{
 		Placement: placement, Policy: pol.Kind, Lite: opt.Lite, Rec: rec, Proc: proc,
+		Faults: fp, Recovery: recovery, Retry: fp.Retry,
 	})
 	if err != nil {
 		return FleetResult{}, err
@@ -385,6 +443,15 @@ func simulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, j
 		SolverJobsRepriced: res.Solver.JobsRepriced,
 		CurveHits:          res.Solver.CurveHits,
 		CurveBuilds:        res.Solver.CurveBuilds,
+		Outages:            res.Outages,
+		Killed:             res.Killed,
+		JobFaults:          res.JobFaults,
+		Evictions:          res.Evictions,
+		Retries:            res.Retries,
+		FailedJobs:         res.FailedJobs,
+		LostWorkSec:        res.LostWorkSec,
+		Availability:       res.Availability,
+		P99Slowdown:        res.P99Slowdown,
 	}
 	for _, f := range res.PerFabric {
 		out.PerFabric = append(out.PerFabric, FleetFabricResult{
@@ -399,6 +466,11 @@ func simulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, j
 			Utilization:  f.Result.Utilization,
 			Reconfigs:    f.Result.Reconfigs,
 			Preemptions:  f.Result.Preemptions,
+			JobFaults:    f.Result.JobFaults,
+			Evictions:    f.Result.Evictions,
+			Retries:      f.Result.Retries,
+			FailedJobs:   f.Result.FailedJobs,
+			LostWorkSec:  f.Result.LostWorkSec,
 		})
 	}
 	return out, nil

@@ -46,13 +46,25 @@ func (s *scheduler) widenPays(r *jobRec, width int) bool {
 }
 
 // dispatchElastic routes an elastic solve to the incremental tier index,
-// or to the reference full solver when Policy.fullSolve asks for it.
+// or to the reference full solver when Policy.fullSolve asks for it. With
+// faults armed, queued jobs whose floor no longer fits the dark-shrunk
+// budget are parked first (identically for both solvers, keeping them
+// equivalent), and freed capacity settles dark after the solve.
 func (s *scheduler) dispatchElastic() {
+	if s.faultsOn {
+		s.parkUnfittable()
+		if s.err != nil {
+			return
+		}
+	}
 	if s.el != nil {
 		s.el.solve(s)
-		return
+	} else {
+		s.dispatchElasticFull()
 	}
-	s.dispatchElasticFull()
+	if s.faultsOn && s.err == nil {
+		s.settleDark()
+	}
 }
 
 // elTier is one priority tier of the incremental solver's live-tenant
@@ -220,7 +232,7 @@ func (el *elasticIndex) solve(s *scheduler) {
 	// would starve it).
 	el.nAdmit = 0
 	for _, r := range s.queue {
-		if reserved+r.MinWavelengths > s.budget {
+		if reserved+r.MinWavelengths > s.effBudget() {
 			break
 		}
 		reserved += r.MinWavelengths
@@ -245,7 +257,7 @@ func (el *elasticIndex) solve(s *scheduler) {
 	// job, so the loop terminates.
 	for {
 		el.filled = el.filled[:0]
-		remaining := s.budget - reserved
+		remaining := s.effBudget() - reserved
 		anyVeto := false
 		for _, t := range el.tiers {
 			if len(t.members) == 0 {
@@ -261,6 +273,11 @@ func (el *elasticIndex) solve(s *scheduler) {
 			g := capSum - floorSum
 			if g > remaining {
 				g = remaining
+			}
+			if g < 0 {
+				// Pinned floors can briefly exceed a dark-shrunk budget;
+				// the tier then fills at its floors only.
+				g = 0
 			}
 			total := floorSum + g
 			remaining -= g
@@ -497,7 +514,7 @@ func (s *scheduler) dispatchElasticFull() {
 			admit = append(admit, r)
 			continue
 		}
-		if blocked || reserved+r.MinWavelengths > s.budget {
+		if blocked || reserved+r.MinWavelengths > s.effBudget() {
 			blocked = true
 			continue
 		}
@@ -525,7 +542,7 @@ func (s *scheduler) dispatchElasticFull() {
 		for i, r := range admit {
 			target[i] = floor(r)
 		}
-		surplus := s.budget - reserved
+		surplus := s.effBudget() - reserved
 		for lo := 0; lo < len(admit) && surplus > 0; {
 			hi := lo
 			for hi < len(admit) && admit[hi].Priority == admit[lo].Priority {

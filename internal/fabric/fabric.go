@@ -71,6 +71,16 @@ type Job struct {
 	// supply equivalent Runtime functions; Iterations may differ (the cache
 	// stores one-iteration seconds).
 	Shape int
+	// CheckpointEverySec is how often (in productive service seconds) the
+	// job checkpoints its progress. A transient fault (faults.JobFault)
+	// rolls the job back to its last checkpoint and replays the tail; 0
+	// (the default) means no checkpointing — a fault restarts the job from
+	// scratch. Irrelevant without fault injection.
+	CheckpointEverySec float64
+	// Tag is an opaque caller tag carried through stats and outage
+	// resubmissions (internal/fleet stores its trace index here). The
+	// scheduler never reads it.
+	Tag int
 	// Runtime prices ONE all-reduce at stripe budget w (MinWavelengths <=
 	// w <= MaxWavelengths). It must be positive and finite; wider grants
 	// should not run slower. Preempted jobs resume pro-rata: remaining
@@ -163,7 +173,7 @@ func (p Policy) Validate(budget int) error {
 			return fmt.Errorf("fabric: reconfiguration delay %v", p.ReconfigDelaySec)
 		}
 	default:
-		return fmt.Errorf("fabric: unknown policy kind %d", int(p.Kind))
+		return fmt.Errorf("fabric: unknown policy kind %v", p.Kind)
 	}
 	return nil
 }
@@ -211,6 +221,21 @@ const (
 	// before) and stalls for the policy's reconfiguration delay before its
 	// re-priced tail resumes.
 	EvReconfig
+	// EvWavelengthDown / EvWavelengthUp record injected fabric-level
+	// wavelength faults (Job is empty, Wavelengths is the affected count):
+	// the live budget shrinks until the matching restore.
+	EvWavelengthDown
+	EvWavelengthUp
+	// EvJobFault records a transient crash of the running job: work since
+	// its last checkpoint is lost and the re-priced tail replays at the
+	// same stripe width.
+	EvJobFault
+	// EvEvict records a job forced off the fabric (dark wavelengths below
+	// its floor, or a whole-fabric outage); it retries after a capped
+	// exponential backoff or is replayed by the fleet's recovery policy.
+	EvEvict
+	// EvRetry records an evicted job re-entering the wait queue.
+	EvRetry
 )
 
 func (k EventKind) String() string {
@@ -229,6 +254,16 @@ func (k EventKind) String() string {
 		return "finish"
 	case EvReconfig:
 		return "reconfig"
+	case EvWavelengthDown:
+		return "wavelength-down"
+	case EvWavelengthUp:
+		return "wavelength-up"
+	case EvJobFault:
+		return "job-fault"
+	case EvEvict:
+		return "evict"
+	case EvRetry:
+		return "retry"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -271,6 +306,18 @@ type JobStats struct {
 	// cost this tenant.
 	AloneSec float64
 	Slowdown float64
+	// Retries / Evictions count fault-recovery round trips: how often the
+	// job was forced off the fabric (dark wavelengths, outages) and how
+	// often it re-entered the queue after a backoff.
+	Retries   int
+	Evictions int
+	// LostWorkSec is productive service discarded by transient faults and
+	// outages: work past the job's last checkpoint that had to be replayed
+	// (all of it when CheckpointEverySec is 0).
+	LostWorkSec float64
+	// Failed marks a job whose per-job retry budget ran out; like a
+	// rejected job it has no completion or slowdown.
+	Failed bool
 }
 
 // SolverStats counts the scheduling work a run performed. Under
@@ -345,6 +392,19 @@ type Result struct {
 	SlowdownSumSq float64
 	// Solver counts the scheduling work the run performed.
 	Solver SolverStats
+	// Fault-recovery aggregates (all zero on fault-free runs). JobFaults
+	// counts injected transient crashes, Evictions/Retries total the
+	// per-job counters, FailedJobs counts exhausted retry budgets, and
+	// LostWorkSec totals replayed service.
+	JobFaults   int
+	Evictions   int
+	Retries     int
+	FailedJobs  int
+	LostWorkSec float64
+	// Availability is the fraction of the fabric's wavelength-second
+	// capacity (budget × makespan) that was not dark from injected faults
+	// or outages; 1 on fault-free runs.
+	Availability float64
 }
 
 // jobRec is the scheduler's mutable view of one job.
@@ -365,6 +425,14 @@ type jobRec struct {
 	st         JobStats
 	memo       map[int]float64
 
+	// Fault-recovery state: spent retry budget, and the checkpoint the job
+	// would roll back to on a crash — the remaining-work fraction at its
+	// last checkpoint plus the productive service accumulated since
+	// (ckptRemaining starts at 1: "checkpoint zero" is the job's start).
+	retries       int
+	ckptRemaining float64
+	ckptService   float64
+
 	// Incremental elastic solver state (elastic.go): the tier this member
 	// belongs to, its per-solve fill target and cap, and the per-solve
 	// widen-veto cap (valid when the stamp matches the current solve
@@ -384,6 +452,12 @@ const (
 	stRunning  = 2
 	stDone     = 3
 	stRejected = 4
+	// stParked: evicted by a fault, waiting out its retry backoff.
+	stParked = 5
+	// stEvicted: left this fabric in an outage; the fleet owns it now.
+	stEvicted = 6
+	// stFailed: retry budget exhausted, permanently failed.
+	stFailed = 7
 )
 
 // Simulate co-schedules the jobs on a fabric of `budget` wavelengths under

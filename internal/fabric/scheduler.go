@@ -5,6 +5,7 @@ import (
 	"math"
 	"sort"
 
+	"wrht/internal/faults"
 	"wrht/internal/obs"
 	"wrht/internal/sim"
 	"wrht/internal/stats"
@@ -29,6 +30,20 @@ type SchedOpts struct {
 	// TrackLoad maintains per-priority committed-load counters so fleet
 	// placement can query LoadAtOrAbove in O(distinct priorities).
 	TrackLoad bool
+	// Faults arms the failure-recovery machinery (checkpoint tracking,
+	// park/retry with backoff, dark-wavelength accounting). Disarmed (the
+	// default), none of its branches execute and results are bit-identical
+	// to a scheduler without it.
+	Faults bool
+	// Retry bounds eviction recovery: capped exponential backoff between
+	// retries and a per-job retry budget (zero values take
+	// faults.Retry defaults). Only read when Faults is set.
+	Retry faults.Retry
+	// OnEvict, when set, receives jobs that arrive while the fabric is down
+	// from an outage, instead of parking them locally — the fleet layer
+	// re-routes them per its recovery policy. (Jobs resident at Outage()
+	// time are returned by Outage itself.)
+	OnEvict func(Resubmit)
 }
 
 // Scheduler is one fabric's scheduler bound to an externally owned event
@@ -76,6 +91,14 @@ func NewScheduler(eng *sim.Engine, budget int, pol Policy, opt SchedOpts) (*Sche
 	}
 	if !opt.Lite {
 		s.seen = map[string]bool{}
+	}
+	if opt.Faults {
+		if err := opt.Retry.Validate(); err != nil {
+			return nil, err
+		}
+		s.faultsOn = true
+		s.retry = opt.Retry.WithDefaults()
+		s.onEvict = opt.OnEvict
 	}
 	return &Scheduler{s: s}, nil
 }
@@ -155,7 +178,30 @@ type scheduler struct {
 
 	// evCounts tallies emitted events per kind (kept in Lite mode where
 	// the event slice itself is dropped).
-	evCounts [EvReconfig + 1]int64
+	evCounts [EvRetry + 1]int64
+
+	// Failure-recovery state (SchedOpts.Faults; all zero/idle otherwise).
+	// darkTarget is the wavelength count requested dark by injected faults;
+	// darkCount <= darkTarget is how many are physically dark so far
+	// (settling waits for busy wavelengths to free), with darkIdx the
+	// darkened indices in LIFO restore order. parked holds jobs waiting out
+	// a retry backoff; down marks a whole-fabric outage.
+	faultsOn    bool
+	retry       faults.Retry
+	onEvict     func(Resubmit)
+	down        bool
+	darkTarget  int
+	darkCount   int
+	darkIdx     []int
+	parked      []*jobRec
+	darkSec     float64 // Σ dark wavelength-seconds (availability)
+	outages     int
+	jobFaults   int
+	evictions   int
+	retriesN    int
+	failedJobs  int
+	evictedAway int // jobs handed to the fleet by an outage
+	lostWorkSec float64
 
 	// lite: aggregate-only mode (see SchedOpts.Lite).
 	lite      bool
@@ -213,6 +259,9 @@ type scheduler struct {
 	litTk     obs.TrackID
 	obsTracks bool // per-job tracks/lanes enabled (recorder on, not Lite)
 	ctkReady  bool // queue/lit counter tracks created
+	faultTk   obs.TrackID
+	darkTk    obs.TrackID
+	ftkReady  bool // fault instant/dark counter tracks created
 
 	err error
 }
@@ -279,14 +328,14 @@ func (s *scheduler) newRec(j Job, idx int) *jobRec {
 		*r = jobRec{
 			Job: j, idx: idx, remaining: 1, share: -1,
 			st:    JobStats{Name: j.Name, ArrivalSec: j.ArrivalSec},
-			epoch: epoch, waves: waves, runPos: -1,
+			epoch: epoch, waves: waves, runPos: -1, ckptRemaining: 1,
 		}
 		return r
 	}
 	return &jobRec{
 		Job: j, idx: idx, remaining: 1, share: -1,
 		st:     JobStats{Name: j.Name, ArrivalSec: j.ArrivalSec},
-		runPos: -1,
+		runPos: -1, ckptRemaining: 1,
 	}
 }
 
@@ -366,6 +415,32 @@ func (s *scheduler) recordTotals() {
 		s.rec.Add("fabric.solver.curve_builds", s.solver.CurveBuilds)
 	}
 	s.rec.AddSeconds("fabric.lambda_busy_seconds", s.busySec)
+	// Fault counters are only recorded when nonzero so fault-free metrics
+	// snapshots stay byte-identical to runs without the machinery.
+	if c := s.evCounts[EvWavelengthDown]; c > 0 {
+		s.rec.Add("fabric.faults.wavelength_down", c)
+	}
+	if s.outages > 0 {
+		s.rec.Add("fabric.faults.outages", int64(s.outages))
+	}
+	if s.jobFaults > 0 {
+		s.rec.Add("fabric.faults.job_faults", int64(s.jobFaults))
+	}
+	if s.evictions > 0 {
+		s.rec.Add("fabric.faults.evictions", int64(s.evictions))
+	}
+	if s.retriesN > 0 {
+		s.rec.Add("fabric.faults.retries", int64(s.retriesN))
+	}
+	if s.failedJobs > 0 {
+		s.rec.Add("fabric.faults.failed_jobs", int64(s.failedJobs))
+	}
+	if s.lostWorkSec > 0 {
+		s.rec.AddSeconds("fabric.faults.lost_work_seconds", s.lostWorkSec)
+	}
+	if s.darkSec > 0 {
+		s.rec.AddSeconds("fabric.faults.dark_lambda_seconds", s.darkSec)
+	}
 }
 
 // eventCounterName maps an event kind to its fixed recorder counter name
@@ -386,6 +461,16 @@ func eventCounterName(k EventKind) string {
 		return "fabric.events.finish"
 	case EvReconfig:
 		return "fabric.events.reconfig"
+	case EvWavelengthDown:
+		return "fabric.events.wavelength_down"
+	case EvWavelengthUp:
+		return "fabric.events.wavelength_up"
+	case EvJobFault:
+		return "fabric.events.job_fault"
+	case EvEvict:
+		return "fabric.events.evict"
+	case EvRetry:
+		return "fabric.events.retry"
 	default:
 		return "fabric.events.other"
 	}
@@ -458,17 +543,32 @@ func (s *scheduler) lanesOffAndCloseSeg(r *jobRec) {
 	}
 }
 
-// account integrates lit wavelength-seconds up to the current time.
+// account integrates lit wavelength-seconds (and, when faults are armed,
+// dark wavelength-seconds) up to the current time.
 func (s *scheduler) account() {
 	now := s.eng.Now()
 	s.busySec += float64(s.busyNow) * (now - s.lastT)
+	if s.faultsOn {
+		s.darkSec += float64(s.darkNow()) * (now - s.lastT)
+	}
 	s.lastT = now
 }
 
-// maxGrant is the widest allocation any job can ever receive.
+// maxGrant is the widest allocation any job can receive right now — the
+// structural maximum minus any wavelengths dark from injected faults.
 func (s *scheduler) maxGrant() int {
 	if s.pol.Kind == StaticPartition {
 		return s.shareWidth[0] // leading shares are widest
+	}
+	return s.budget - s.darkTarget
+}
+
+// structuralMax is the widest grant the fabric could ever satisfy with no
+// wavelengths dark — the admission bound that separates a permanently
+// impossible minimum (reject) from a temporarily unfittable one (park).
+func (s *scheduler) structuralMax() int {
+	if s.pol.Kind == StaticPartition {
+		return s.shareWidth[0]
 	}
 	return s.budget
 }
@@ -477,8 +577,19 @@ func (s *scheduler) arrive(r *jobRec) {
 	if s.err != nil {
 		return
 	}
+	if s.down {
+		s.arriveDown(r)
+		return
+	}
 	s.emit(r, EvArrive, 0)
 	if r.MinWavelengths > s.maxGrant() {
+		if s.faultsOn && r.MinWavelengths <= s.structuralMax() {
+			// Only dark wavelengths block this job: park it for a backoff
+			// retry instead of rejecting.
+			s.liveJobs++
+			s.park(r)
+			return
+		}
 		// Admission control: this job can never be satisfied here.
 		r.state = stRejected
 		r.st.Rejected = true
@@ -661,6 +772,20 @@ func (s *scheduler) recycle(r *jobRec) {
 func (s *scheduler) pause(r *jobRec) {
 	s.account()
 	now := s.eng.Now()
+	if s.faultsOn {
+		// Progress is kept (this is a graceful cut, not a crash), but the
+		// checkpoint cursor must advance past the segment's productive run
+		// so a later crash rolls back to the right point.
+		run := now - r.segStart - r.segPenalty
+		if run < 0 {
+			run = 0
+		}
+		active := r.segLen - r.segPenalty
+		if run > active {
+			run = active
+		}
+		r.advanceCkpt(run, active)
+	}
 	r.remaining = r.remainingAt(now)
 	r.st.ServiceSec += now - r.segStart
 	r.epoch++ // invalidate the pending completion event
@@ -724,9 +849,10 @@ func (s *scheduler) reconfigure(r *jobRec, width int) {
 	s.eng.After(r.segLen, func() { s.complete(r, epoch) })
 }
 
-// dispatch runs the policy's scheduling pass over the wait queue.
+// dispatch runs the policy's scheduling pass over the wait queue. During a
+// whole-fabric outage nothing starts; Restore re-dispatches.
 func (s *scheduler) dispatch() {
-	if s.err != nil {
+	if s.err != nil || s.down {
 		return
 	}
 	switch s.pol.Kind {
@@ -800,6 +926,9 @@ func (s *scheduler) dispatchStatic() {
 // dispatchFirstFit scans the queue in arrival order and starts every job
 // whose minimum fits the remaining pool, granting up to its maximum.
 func (s *scheduler) dispatchFirstFit() {
+	if s.faultsOn {
+		s.parkUnfittable()
+	}
 	var keep []*jobRec
 	for _, r := range s.queue {
 		if s.err == nil && r.MinWavelengths <= s.nfree {
@@ -818,6 +947,9 @@ func (s *scheduler) dispatchFirstFit() {
 // dispatchPriority serves the queue in jobLess order, preempting strictly
 // lower-priority running jobs when the pool is short.
 func (s *scheduler) dispatchPriority() {
+	if s.faultsOn {
+		s.parkUnfittable()
+	}
 	for s.err == nil && len(s.queue) > 0 {
 		sort.SliceStable(s.queue, func(a, b int) bool {
 			return jobLess(s.queue[a], s.queue[b])
@@ -875,12 +1007,18 @@ func (s *scheduler) finalize() (Result, error) {
 		Events:          s.events,
 		PeakWavelengths: s.peak,
 		Solver:          s.solver,
+		JobFaults:       s.jobFaults,
+		Evictions:       s.evictions,
+		Retries:         s.retriesN,
+		FailedJobs:      s.failedJobs,
+		LostWorkSec:     s.lostWorkSec,
+		Availability:    1,
 	}
 	if s.lite {
 		if s.liveJobs > 0 {
 			return Result{}, fmt.Errorf("fabric: %d jobs never completed (deadlock?)", s.liveJobs)
 		}
-		if s.liteDone == 0 {
+		if s.liteDone == 0 && s.failedJobs == 0 && s.evictedAway == 0 {
 			return Result{}, fmt.Errorf("fabric: every job was rejected")
 		}
 		res.RejectedJobs = s.liteRejected
@@ -888,9 +1026,11 @@ func (s *scheduler) finalize() (Result, error) {
 		res.Preemptions = s.litePreempts
 		res.Reconfigs = s.liteReconfigs
 		res.MakespanSec = s.liteMakespan
-		res.MeanQueueSec = s.liteSumQueue / float64(s.liteDone)
+		if s.liteDone > 0 {
+			res.MeanQueueSec = s.liteSumQueue / float64(s.liteDone)
+			res.MeanSlowdown = s.liteSumSlow / float64(s.liteDone)
+		}
 		res.MaxQueueSec = s.liteMaxQueue
-		res.MeanSlowdown = s.liteSumSlow / float64(s.liteDone)
 		res.SlowdownSum = s.liteSumSlow
 		res.SlowdownSumSq = s.liteSumSlowSq
 		if s.liteSumSlowSq > 0 {
@@ -900,12 +1040,20 @@ func (s *scheduler) finalize() (Result, error) {
 		if res.MakespanSec > 0 {
 			res.Utilization = s.busySec / (float64(s.budget) * res.MakespanSec)
 		}
+		s.setAvailability(&res)
 		return res, nil
 	}
 	var queues, slowdowns []float64
 	for _, r := range s.recs {
 		if r.state == stRejected {
 			res.RejectedJobs++
+			res.Jobs = append(res.Jobs, r.st)
+			continue
+		}
+		if r.state == stEvicted {
+			continue // left in an outage; the fleet replays it elsewhere
+		}
+		if r.state == stFailed {
 			res.Jobs = append(res.Jobs, r.st)
 			continue
 		}
@@ -928,7 +1076,14 @@ func (s *scheduler) finalize() (Result, error) {
 		res.Jobs = append(res.Jobs, r.st)
 	}
 	if len(slowdowns) == 0 {
-		return Result{}, fmt.Errorf("fabric: every job was rejected")
+		if s.failedJobs == 0 && s.evictedAway == 0 {
+			return Result{}, fmt.Errorf("fabric: every job was rejected")
+		}
+		if res.MakespanSec > 0 {
+			res.Utilization = s.busySec / (float64(s.budget) * res.MakespanSec)
+		}
+		s.setAvailability(&res)
+		return res, nil
 	}
 	res.CompletedJobs = len(slowdowns)
 	for _, x := range slowdowns {
@@ -942,7 +1097,24 @@ func (s *scheduler) finalize() (Result, error) {
 	if res.MakespanSec > 0 {
 		res.Utilization = s.busySec / (float64(s.budget) * res.MakespanSec)
 	}
+	s.setAvailability(&res)
 	return res, nil
+}
+
+// setAvailability fills res.Availability: the fraction of the fabric's
+// wavelength-second capacity over the makespan that was not dark from
+// injected faults or outages. Exactly 1 on fault-free runs (darkSec is only
+// integrated with faults armed); clamped because dark intervals may extend
+// past the last completion.
+func (s *scheduler) setAvailability(res *Result) {
+	if s.darkSec <= 0 || res.MakespanSec <= 0 {
+		return
+	}
+	a := 1 - s.darkSec/(float64(s.budget)*res.MakespanSec)
+	if a < 0 {
+		a = 0
+	}
+	res.Availability = a
 }
 
 // remainingAt projects the fraction of r's total work still outstanding if

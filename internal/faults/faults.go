@@ -1,0 +1,313 @@
+// Package faults is the seeded, deterministic failure-injection subsystem
+// for the fabric and fleet co-simulators. A Plan combines MTBF/MTTR-driven
+// generators (wavelength darkening, transient job faults, whole-fabric
+// outages) with explicitly scripted events; Events expands it — before any
+// simulation runs — into a time-sorted event list that the caller schedules
+// on the shared sim.Engine. Expansion is fully deterministic in the plan:
+// the same plan yields the byte-identical event slice regardless of
+// GOMAXPROCS or call site, so faulty simulations stay reproducible.
+//
+// The package deliberately knows nothing about schedulers or fleets: it
+// produces events and retry/backoff arithmetic, and the fabric/fleet layers
+// own the recovery machinery those events exercise.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Kind enumerates injectable failure events.
+type Kind int
+
+const (
+	// WavelengthDown darkens Count wavelengths of one fabric, shrinking its
+	// live budget until a matching WavelengthUp.
+	WavelengthDown Kind = iota
+	// WavelengthUp restores Count previously darkened wavelengths.
+	WavelengthUp
+	// JobFault crashes one running job: it loses all work since its last
+	// checkpoint and replays the tail (see Job.CheckpointEverySec).
+	JobFault
+	// FabricDown takes a whole fabric offline: every resident job is
+	// evicted and routed through the fleet's RecoveryPolicy.
+	FabricDown
+	// FabricUp brings an offline fabric back and releases jobs parked on it.
+	FabricUp
+)
+
+func (k Kind) String() string {
+	switch k {
+	case WavelengthDown:
+		return "wavelength-down"
+	case WavelengthUp:
+		return "wavelength-up"
+	case JobFault:
+		return "job-fault"
+	case FabricDown:
+		return "fabric-down"
+	case FabricUp:
+		return "fabric-up"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Event is one concrete injection, either scripted by the caller or drawn
+// from the plan's seeded generators.
+type Event struct {
+	TimeSec float64
+	Kind    Kind
+	// Fabric indexes the target fabric (always 0 for single-fabric runs).
+	Fabric int
+	// Count is how many wavelengths a WavelengthDown/Up affects (default 1).
+	Count int
+	// Pick selects a JobFault victim among the jobs running at injection
+	// time (victim = running[Pick % len(running)]); it is drawn from the
+	// plan's RNG so generated faults spread deterministically.
+	Pick uint64
+	// Job optionally names a scripted JobFault's victim; it must be running
+	// at injection time or the event is a no-op. Empty uses Pick.
+	Job string
+}
+
+// Retry caps how evicted or unfittable jobs come back: capped exponential
+// backoff with a per-job retry budget. The zero value means defaults.
+type Retry struct {
+	// BackoffSec is the first retry delay (default 1ms).
+	BackoffSec float64
+	// BackoffMaxSec caps the exponential growth (default 64ms).
+	BackoffMaxSec float64
+	// MaxRetries is the per-job retry budget; a job evicted with no budget
+	// left fails permanently (default 10).
+	MaxRetries int
+}
+
+// WithDefaults fills zero-valued fields with the documented defaults.
+func (r Retry) WithDefaults() Retry {
+	if r.BackoffSec == 0 {
+		r.BackoffSec = 1e-3
+	}
+	if r.BackoffMaxSec == 0 {
+		r.BackoffMaxSec = 64e-3
+	}
+	if r.MaxRetries == 0 {
+		r.MaxRetries = 10
+	}
+	return r
+}
+
+// Validate rejects unusable retry configurations (as WithDefaults leaves
+// them).
+func (r Retry) Validate() error {
+	r = r.WithDefaults()
+	if !(r.BackoffSec > 0) || math.IsInf(r.BackoffSec, 0) {
+		return fmt.Errorf("faults: retry backoff %v (need > 0)", r.BackoffSec)
+	}
+	if !(r.BackoffMaxSec >= r.BackoffSec) || math.IsInf(r.BackoffMaxSec, 0) {
+		return fmt.Errorf("faults: retry backoff cap %v (need >= backoff %v)", r.BackoffMaxSec, r.BackoffSec)
+	}
+	if r.MaxRetries < 1 {
+		return fmt.Errorf("faults: retry budget %d (need >= 1)", r.MaxRetries)
+	}
+	return nil
+}
+
+// Delay returns the backoff before retry number attempt (0-based):
+// BackoffSec·2^attempt, capped at BackoffMaxSec.
+func (r Retry) Delay(attempt int) float64 {
+	r = r.WithDefaults()
+	d := r.BackoffSec
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if d >= r.BackoffMaxSec {
+			return r.BackoffMaxSec
+		}
+	}
+	if d > r.BackoffMaxSec {
+		return r.BackoffMaxSec
+	}
+	return d
+}
+
+// Plan is a seeded failure model: per-fabric MTBF/MTTR generators plus an
+// explicit script. The zero value is the empty plan (no faults).
+type Plan struct {
+	Seed int64
+	// HorizonSec bounds generated fault injection times; required (> 0)
+	// when any MTBF generator is set. Restores paired with a generated
+	// outage may land past the horizon.
+	HorizonSec float64
+
+	// WavelengthMTBFSec > 0 enables per-fabric wavelength darkening with
+	// exponential times-between-failures of this mean; each fault darkens
+	// WavelengthsPerFault wavelengths (default 1) for an exponential
+	// duration of mean WavelengthMTTRSec (required > 0 when enabled).
+	WavelengthMTBFSec   float64
+	WavelengthMTTRSec   float64
+	WavelengthsPerFault int
+
+	// JobFaultMTBFSec > 0 enables per-fabric transient job crashes with
+	// exponential inter-fault times of this mean.
+	JobFaultMTBFSec float64
+
+	// FabricMTBFSec > 0 enables whole-fabric outages with exponential
+	// times-between-failures of this mean and exponential outage durations
+	// of mean FabricMTTRSec (required > 0 when enabled).
+	FabricMTBFSec float64
+	FabricMTTRSec float64
+
+	// Scripted events are injected as given, merged with the generated
+	// stream.
+	Scripted []Event
+
+	// Retry governs eviction backoff and per-job retry budgets.
+	Retry Retry
+}
+
+// Empty reports whether the plan injects nothing (and so must leave every
+// simulated number bit-identical to a plan-free run).
+func (p Plan) Empty() bool {
+	return p.WavelengthMTBFSec == 0 && p.JobFaultMTBFSec == 0 &&
+		p.FabricMTBFSec == 0 && len(p.Scripted) == 0
+}
+
+// mtbfField checks one (enabled-by, value) generator field pair.
+func mtbfField(name string, mtbf, mttr float64, needMTTR bool) error {
+	if mtbf < 0 || math.IsNaN(mtbf) || math.IsInf(mtbf, 0) {
+		return fmt.Errorf("faults: %s MTBF %v (need >= 0)", name, mtbf)
+	}
+	if mtbf > 0 && needMTTR && (!(mttr > 0) || math.IsInf(mttr, 0)) {
+		return fmt.Errorf("faults: %s MTTR %v (need > 0 when the %s generator is enabled)", name, mttr, name)
+	}
+	return nil
+}
+
+// Validate rejects unusable plans. nFabrics bounds scripted fabric indexes.
+func (p Plan) Validate(nFabrics int) error {
+	if err := mtbfField("wavelength", p.WavelengthMTBFSec, p.WavelengthMTTRSec, true); err != nil {
+		return err
+	}
+	if err := mtbfField("job-fault", p.JobFaultMTBFSec, 0, false); err != nil {
+		return err
+	}
+	if err := mtbfField("fabric", p.FabricMTBFSec, p.FabricMTTRSec, true); err != nil {
+		return err
+	}
+	if p.WavelengthsPerFault < 0 {
+		return fmt.Errorf("faults: wavelengths per fault %d (need >= 0)", p.WavelengthsPerFault)
+	}
+	generated := p.WavelengthMTBFSec > 0 || p.JobFaultMTBFSec > 0 || p.FabricMTBFSec > 0
+	if generated && (!(p.HorizonSec > 0) || math.IsInf(p.HorizonSec, 0)) {
+		return fmt.Errorf("faults: horizon %v (need > 0 when a generator is enabled)", p.HorizonSec)
+	}
+	for i, ev := range p.Scripted {
+		if ev.TimeSec < 0 || math.IsNaN(ev.TimeSec) || math.IsInf(ev.TimeSec, 0) {
+			return fmt.Errorf("faults: scripted event %d at t=%v (need >= 0)", i, ev.TimeSec)
+		}
+		switch ev.Kind {
+		case WavelengthDown, WavelengthUp, JobFault, FabricDown, FabricUp:
+		default:
+			return fmt.Errorf("faults: scripted event %d has unknown kind %v", i, ev.Kind)
+		}
+		if ev.Fabric < 0 || ev.Fabric >= nFabrics {
+			return fmt.Errorf("faults: scripted event %d targets fabric %d (fleet has %d)", i, ev.Fabric, nFabrics)
+		}
+		if ev.Count < 0 {
+			return fmt.Errorf("faults: scripted event %d count %d (need >= 0)", i, ev.Count)
+		}
+	}
+	return p.Retry.Validate()
+}
+
+// streamSeed derives one generator stream's RNG seed from the plan seed, the
+// fabric index, and a small per-stream tag, keeping streams independent and
+// stable under fleet-size changes.
+func (p Plan) streamSeed(fabric, stream int64) int64 {
+	return p.Seed + fabric*1_000_003 + stream*7919
+}
+
+// Events expands the plan into a time-sorted injection list for a fleet of
+// nFabrics fabrics. Wavelength darkening and fabric outages emit paired
+// Down/Up events; generated JobFaults carry a seeded victim Pick.
+func (p Plan) Events(nFabrics int) ([]Event, error) {
+	if err := p.Validate(nFabrics); err != nil {
+		return nil, err
+	}
+	if p.Empty() {
+		return nil, nil
+	}
+	perFault := p.WavelengthsPerFault
+	if perFault == 0 {
+		perFault = 1
+	}
+	var out []Event
+	for fi := 0; fi < nFabrics; fi++ {
+		if p.WavelengthMTBFSec > 0 {
+			rng := rand.New(rand.NewSource(p.streamSeed(int64(fi), 1)))
+			for t := rng.ExpFloat64() * p.WavelengthMTBFSec; t < p.HorizonSec; t += rng.ExpFloat64() * p.WavelengthMTBFSec {
+				dur := rng.ExpFloat64() * p.WavelengthMTTRSec
+				out = append(out,
+					Event{TimeSec: t, Kind: WavelengthDown, Fabric: fi, Count: perFault},
+					Event{TimeSec: t + dur, Kind: WavelengthUp, Fabric: fi, Count: perFault})
+			}
+		}
+		if p.JobFaultMTBFSec > 0 {
+			rng := rand.New(rand.NewSource(p.streamSeed(int64(fi), 2)))
+			for t := rng.ExpFloat64() * p.JobFaultMTBFSec; t < p.HorizonSec; t += rng.ExpFloat64() * p.JobFaultMTBFSec {
+				out = append(out, Event{TimeSec: t, Kind: JobFault, Fabric: fi, Pick: rng.Uint64()})
+			}
+		}
+		if p.FabricMTBFSec > 0 {
+			rng := rand.New(rand.NewSource(p.streamSeed(int64(fi), 3)))
+			for t := rng.ExpFloat64() * p.FabricMTBFSec; t < p.HorizonSec; t += rng.ExpFloat64() * p.FabricMTBFSec {
+				dur := rng.ExpFloat64() * p.FabricMTTRSec
+				out = append(out,
+					Event{TimeSec: t, Kind: FabricDown, Fabric: fi},
+					Event{TimeSec: t + dur, Kind: FabricUp, Fabric: fi})
+				// The next failure draw starts after the repair completes.
+				t += dur
+			}
+		}
+	}
+	for _, ev := range p.Scripted {
+		if ev.Count == 0 {
+			ev.Count = perFault
+		}
+		out = append(out, ev)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].TimeSec != out[j].TimeSec {
+			return out[i].TimeSec < out[j].TimeSec
+		}
+		if out[i].Fabric != out[j].Fabric {
+			return out[i].Fabric < out[j].Fabric
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out, nil
+}
+
+// HasWavelengthEvents reports whether any event darkens or restores
+// wavelengths (unsupported under the static-partition policy).
+func HasWavelengthEvents(evs []Event) bool {
+	for _, ev := range evs {
+		if ev.Kind == WavelengthDown || ev.Kind == WavelengthUp {
+			return true
+		}
+	}
+	return false
+}
+
+// HasFabricEvents reports whether any event is a whole-fabric outage
+// (meaningless without a fleet to recover through).
+func HasFabricEvents(evs []Event) bool {
+	for _, ev := range evs {
+		if ev.Kind == FabricDown || ev.Kind == FabricUp {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,130 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		WavelengthDown: "wavelength-down",
+		WavelengthUp:   "wavelength-up",
+		JobFault:       "job-fault",
+		FabricDown:     "fabric-down",
+		FabricUp:       "fabric-up",
+		Kind(99):       "Kind(99)",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), s)
+		}
+	}
+}
+
+func TestRetryDelay(t *testing.T) {
+	r := Retry{BackoffSec: 1e-3, BackoffMaxSec: 8e-3, MaxRetries: 5}
+	want := []float64{1e-3, 2e-3, 4e-3, 8e-3, 8e-3, 8e-3}
+	for i, w := range want {
+		if got := r.Delay(i); math.Abs(got-w) > 1e-15 {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+	// Defaults: positive, capped, budget >= 1.
+	d := Retry{}
+	if d.Delay(0) <= 0 || d.Delay(100) != d.WithDefaults().BackoffMaxSec {
+		t.Fatalf("default delays broken: %v %v", d.Delay(0), d.Delay(100))
+	}
+	if err := (Retry{}).Validate(); err != nil {
+		t.Fatalf("zero retry should validate via defaults: %v", err)
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	if !(Plan{}).Empty() {
+		t.Fatal("zero plan should be empty")
+	}
+	if (Plan{JobFaultMTBFSec: 1, HorizonSec: 1}).Empty() {
+		t.Fatal("generator plan should not be empty")
+	}
+	if (Plan{Scripted: []Event{{Kind: FabricDown}}}).Empty() {
+		t.Fatal("scripted plan should not be empty")
+	}
+	evs, err := (Plan{}).Events(3)
+	if err != nil || evs != nil {
+		t.Fatalf("empty plan expansion = %v, %v", evs, err)
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	bad := []Plan{
+		{WavelengthMTBFSec: 1, HorizonSec: 1},                               // missing MTTR
+		{FabricMTBFSec: 1, HorizonSec: 1},                                   // missing MTTR
+		{JobFaultMTBFSec: 1},                                                // missing horizon
+		{WavelengthMTBFSec: -1},                                             // negative MTBF
+		{Scripted: []Event{{TimeSec: -1, Kind: JobFault}}},                  // negative time
+		{Scripted: []Event{{Kind: Kind(42)}}},                               // unknown kind
+		{Scripted: []Event{{Kind: FabricDown, Fabric: 3}}},                  // fabric out of range
+		{Scripted: []Event{{Kind: WavelengthDown, Count: -2}}},              // negative count
+		{Scripted: []Event{{Kind: JobFault}}, Retry: Retry{MaxRetries: -1}}, // bad retry
+	}
+	for i, p := range bad {
+		if err := p.Validate(2); err == nil {
+			t.Errorf("plan %d should not validate: %+v", i, p)
+		}
+	}
+}
+
+func TestPlanEventsDeterministicAndSorted(t *testing.T) {
+	p := Plan{
+		Seed:              7,
+		HorizonSec:        5,
+		WavelengthMTBFSec: 0.5, WavelengthMTTRSec: 0.1, WavelengthsPerFault: 2,
+		JobFaultMTBFSec: 0.7,
+		FabricMTBFSec:   2, FabricMTTRSec: 0.5,
+		Scripted: []Event{{TimeSec: 1.5, Kind: FabricDown, Fabric: 1}},
+	}
+	a, err := p.Events(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := p.Events(2)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("expansion is not deterministic")
+	}
+	if len(a) == 0 {
+		t.Fatal("expected generated events")
+	}
+	if !sort.SliceIsSorted(a, func(i, j int) bool { return a[i].TimeSec < a[j].TimeSec }) {
+		t.Fatal("events not time-sorted")
+	}
+	downs, ups := 0, 0
+	for _, ev := range a {
+		switch ev.Kind {
+		case WavelengthDown:
+			downs++
+			if ev.Count != 2 {
+				t.Fatalf("generated darkening count %d, want 2", ev.Count)
+			}
+		case WavelengthUp:
+			ups++
+		}
+		if ev.Fabric < 0 || ev.Fabric > 1 {
+			t.Fatalf("event fabric %d out of range", ev.Fabric)
+		}
+	}
+	if downs == 0 || downs != ups {
+		t.Fatalf("unpaired darkening events: %d down, %d up", downs, ups)
+	}
+	if !HasWavelengthEvents(a) || !HasFabricEvents(a) {
+		t.Fatal("event classifiers broken")
+	}
+	// A different seed moves the injections.
+	p2 := p
+	p2.Seed = 8
+	c, _ := p2.Events(2)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("seed does not perturb the generated stream")
+	}
+}

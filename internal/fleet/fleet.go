@@ -15,8 +15,10 @@ import (
 	"sort"
 
 	"wrht/internal/fabric"
+	"wrht/internal/faults"
 	"wrht/internal/obs"
 	"wrht/internal/sim"
+	"wrht/internal/stats"
 )
 
 // FabricSpec describes one fabric of the fleet.
@@ -96,7 +98,7 @@ func (k PlacementKind) validate() error {
 	case LeastLoaded, BestFit, PriorityAware:
 		return nil
 	default:
-		return fmt.Errorf("fleet: unknown placement kind %d", int(k))
+		return fmt.Errorf("fleet: unknown placement kind %v", k)
 	}
 }
 
@@ -121,6 +123,10 @@ type Job struct {
 	// Affinity is the job's home fabric index (where its data already
 	// lives); -1 means no affinity (first placement is free everywhere).
 	Affinity int
+	// CheckpointEverySec is the job's checkpoint interval in productive
+	// service seconds (0: no checkpointing). Only meaningful with fault
+	// injection; see fabric.Job.CheckpointEverySec.
+	CheckpointEverySec float64
 }
 
 func (j Job) validate(i, nFabrics int) error {
@@ -163,6 +169,14 @@ type Options struct {
 	// fleet-level counters. Proc prefixes the per-fabric process names.
 	Rec  *obs.Recorder
 	Proc string
+	// Faults is the failure plan injected on the shared timeline. An empty
+	// plan leaves every result bit-identical to a run without it.
+	Faults faults.Plan
+	// Recovery picks what happens to jobs caught in a fabric outage
+	// (default RetrySameFabric); Retry bounds backoff and per-job retry
+	// budgets (zero values take faults.Retry defaults).
+	Recovery RecoveryPolicy
+	Retry    faults.Retry
 }
 
 // FabricSummary is one fabric's share of a fleet run.
@@ -223,6 +237,25 @@ type Result struct {
 	PerFabric []FabricSummary
 	// PerJob maps jobs to placements (nil under Lite).
 	PerJob []PlacedJob
+	// Fault-recovery aggregates (all zero on fault-free runs). Outages
+	// counts whole-fabric failures; Killed jobs dropped by FailFast;
+	// FailedJobs exhausted retry budgets (fleet- and fabric-level);
+	// JobFaults/Evictions/Retries/LostWorkSec sum the per-fabric counters
+	// plus work discarded by cross-fabric restarts.
+	Outages     int
+	Killed      int
+	JobFaults   int
+	Evictions   int
+	Retries     int
+	FailedJobs  int
+	LostWorkSec float64
+	// Availability is the capacity-weighted fraction of fleet
+	// wavelength-second capacity (total budget × fleet makespan) not lost
+	// to dark wavelengths or outages; 1 on fault-free runs.
+	Availability float64
+	// P99Slowdown is the 99th-percentile completed-job slowdown
+	// (nearest-rank; 0 under Lite, where per-job stats are dropped).
+	P99Slowdown float64
 }
 
 // Simulate places every job of the trace onto the fleet and co-simulates
@@ -255,8 +288,24 @@ func Simulate(specs []FabricSpec, jobs []Job, rt RuntimeFunc, opt Options) (Resu
 			return Result{}, err
 		}
 	}
+	var evs []faults.Event
+	if !opt.Faults.Empty() {
+		if err := opt.Faults.Validate(len(specs)); err != nil {
+			return Result{}, err
+		}
+		if err := opt.Recovery.validate(); err != nil {
+			return Result{}, err
+		}
+		var err error
+		if evs, err = opt.Faults.Events(len(specs)); err != nil {
+			return Result{}, err
+		}
+		if opt.Policy == fabric.StaticPartition && faults.HasWavelengthEvents(evs) {
+			return Result{}, fmt.Errorf("fleet: wavelength faults are not supported under StaticPartition")
+		}
+	}
 
-	f := &fleet{specs: specs, jobs: jobs, rt: rt, opt: opt}
+	f := &fleet{specs: specs, jobs: jobs, rt: rt, opt: opt, evs: evs}
 	return f.run()
 }
 
@@ -281,7 +330,30 @@ type fleet struct {
 	migrations  int
 	migrationS  float64
 	placements  []PlacedJob // full-stats mode only
+	placeIdx    []int       // job index -> placements index (full mode; -1 unplaced)
 	err         error
+
+	// Fault-recovery state. pendSame holds outage-evicted jobs waiting for
+	// their own fabric's repair (RetrySameFabric); pendAny jobs waiting for
+	// ANY admissible fabric to come up (MigrateOnFailure with the whole
+	// admissible set down, and front-door arrivals in the same situation).
+	armed    bool
+	evs      []faults.Event
+	retry    faults.Retry
+	down     []bool
+	pendSame [][]fabric.Resubmit
+	pendAny  []pendRes
+	outagesN int
+	killed   int
+	failedN  int
+	lostAdj  float64 // work discarded by cross-fabric restarts
+}
+
+// pendRes is one job parked at the fleet layer waiting for a repair: the
+// resubmission state plus the fabric it was evicted from (-1: never placed).
+type pendRes struct {
+	from int
+	rs   fabric.Resubmit
 }
 
 func (f *fleet) run() (Result, error) {
@@ -290,16 +362,33 @@ func (f *fleet) run() (Result, error) {
 	f.rtFns = make([]map[int]func(w int) (float64, error), len(f.specs))
 	f.placed = make([]int, len(f.specs))
 	f.migrated = make([]int, len(f.specs))
+	f.armed = !opt.Faults.Empty()
+	f.retry = opt.Retry.WithDefaults()
+	f.down = make([]bool, len(f.specs))
+	f.pendSame = make([][]fabric.Resubmit, len(f.specs))
+	if !opt.Lite {
+		f.placeIdx = make([]int, len(f.jobs))
+		for i := range f.placeIdx {
+			f.placeIdx[i] = -1
+		}
+	}
 	for i, spec := range f.specs {
 		pol := fabric.Policy{Kind: opt.Policy, ReconfigDelaySec: spec.ReconfigDelaySec}
 		proc := spec.Name
 		if opt.Proc != "" {
 			proc = opt.Proc + " · " + spec.Name
 		}
-		sch, err := fabric.NewScheduler(&f.eng, spec.Wavelengths, pol, fabric.SchedOpts{
+		so := fabric.SchedOpts{
 			Rec: opt.Rec, Proc: proc, Lite: opt.Lite,
 			TrackLoad: opt.Placement == PriorityAware,
-		})
+		}
+		if f.armed {
+			fi := i
+			so.Faults = true
+			so.Retry = opt.Retry
+			so.OnEvict = func(rs fabric.Resubmit) { f.recover(fi, rs) }
+		}
+		sch, err := fabric.NewScheduler(&f.eng, spec.Wavelengths, pol, so)
 		if err != nil {
 			return Result{}, err
 		}
@@ -317,6 +406,12 @@ func (f *fleet) run() (Result, error) {
 	// One feeder event per distinct arrival instant keeps the engine heap
 	// at O(live jobs), not O(trace length).
 	f.eng.At(f.jobs[f.order[0]].ArrivalSec, f.feed)
+	// Fault events ride the same timeline; at equal instants the feeder's
+	// earlier sequence number places arrivals before faults, deterministically.
+	for _, ev := range f.evs {
+		ev := ev
+		f.eng.At(ev.TimeSec, func() { f.inject(ev) })
+	}
 	f.eng.Run()
 	if f.err != nil {
 		return Result{}, f.err
@@ -360,6 +455,10 @@ func (f *fleet) place(i int) {
 	}
 	fab := f.choose(j, minW)
 	if fab < 0 {
+		if f.err == nil && f.armed && f.anyDownFits(minW) {
+			f.deferArrival(i, j)
+			return
+		}
 		f.unplaceable++
 		return
 	}
@@ -380,20 +479,23 @@ func (f *fleet) place(i int) {
 		name = fmt.Sprintf("j%d", i)
 	}
 	err := f.scheds[fab].Submit(fabric.Job{
-		Name:           name,
-		ArrivalSec:     now + delay,
-		Priority:       j.Priority,
-		MinWavelengths: j.MinWavelengths,
-		MaxWavelengths: j.MaxWavelengths,
-		Iterations:     j.Iterations,
-		Shape:          j.Shape + 1, // fabric shape 0 = private curve
-		Runtime:        f.runtimeFor(fab, j.Shape),
+		Name:               name,
+		ArrivalSec:         now + delay,
+		Priority:           j.Priority,
+		MinWavelengths:     j.MinWavelengths,
+		MaxWavelengths:     j.MaxWavelengths,
+		Iterations:         j.Iterations,
+		Shape:              j.Shape + 1, // fabric shape 0 = private curve
+		CheckpointEverySec: j.CheckpointEverySec,
+		Tag:                i,
+		Runtime:            f.runtimeFor(fab, j.Shape),
 	})
 	if err != nil {
 		f.err = err
 		return
 	}
 	if !f.opt.Lite {
+		f.placeIdx[i] = len(f.placements)
 		f.placements = append(f.placements, PlacedJob{
 			Name: name, Fabric: fab, Migrated: migratedHere, MigrationSec: delay,
 		})
@@ -408,7 +510,7 @@ func (f *fleet) choose(j Job, minW int) int {
 	best, bestScore := -1, math.Inf(1)
 	desire := j.MaxWavelengths
 	for i, spec := range f.specs {
-		if minW > spec.Wavelengths {
+		if minW > spec.Wavelengths || f.down[i] {
 			continue
 		}
 		var score float64
@@ -485,8 +587,20 @@ func (f *fleet) finish() (Result, error) {
 		EngineEvents: f.eng.Steps(),
 		PerFabric:    make([]FabricSummary, len(f.specs)),
 	}
+	// Jobs still parked at the fleet layer (a scripted outage with no
+	// matching repair) are failed before folding the aggregates.
+	for fi := range f.pendSame {
+		for _, rs := range f.pendSame[fi] {
+			f.abandon(rs)
+		}
+		f.pendSame[fi] = nil
+	}
+	for _, p := range f.pendAny {
+		f.abandon(p.rs)
+	}
+	f.pendAny = nil
 	totalBudget := 0
-	busy := 0.0
+	busy, darkLost := 0.0, 0.0
 	var slowSum, slowSumSq, queueSum float64
 	for i, spec := range f.specs {
 		sum := FabricSummary{
@@ -504,6 +618,11 @@ func (f *fleet) finish() (Result, error) {
 			res.Rejected += fr.RejectedJobs
 			res.Reconfigs += fr.Reconfigs
 			res.Preemptions += fr.Preemptions
+			res.JobFaults += fr.JobFaults
+			res.Evictions += fr.Evictions
+			res.Retries += fr.Retries
+			res.FailedJobs += fr.FailedJobs
+			res.LostWorkSec += fr.LostWorkSec
 			res.Solver = res.Solver.Sum(fr.Solver)
 			if fr.MakespanSec > res.MakespanSec {
 				res.MakespanSec = fr.MakespanSec
@@ -515,23 +634,38 @@ func (f *fleet) finish() (Result, error) {
 			slowSum += fr.SlowdownSum
 			slowSumSq += fr.SlowdownSumSq
 			busy += fr.Utilization * float64(spec.Wavelengths) * fr.MakespanSec
+			darkLost += (1 - fr.Availability) * float64(spec.Wavelengths) * fr.MakespanSec
 		}
 		res.PerFabric[i] = sum
 	}
-	if res.Completed == 0 {
+	res.Outages = f.outagesN
+	res.Killed = f.killed
+	res.FailedJobs += f.failedN
+	res.LostWorkSec += f.lostAdj
+	if res.Completed == 0 && res.Killed == 0 && res.FailedJobs == 0 {
 		return Result{}, fmt.Errorf("fleet: every job was rejected")
 	}
-	n := float64(res.Completed)
-	res.MeanQueueSec = queueSum / n
-	res.MeanSlowdown = slowSum / n
-	if slowSumSq > 0 {
-		res.Fairness = slowSum * slowSum / (n * slowSumSq)
+	if n := float64(res.Completed); n > 0 {
+		res.MeanQueueSec = queueSum / n
+		res.MeanSlowdown = slowSum / n
+		if slowSumSq > 0 {
+			res.Fairness = slowSum * slowSum / (n * slowSumSq)
+		}
 	}
 	if res.MakespanSec > 0 && totalBudget > 0 {
 		res.Utilization = busy / (float64(totalBudget) * res.MakespanSec)
 	}
+	res.Availability = 1
+	if darkLost > 0 && res.MakespanSec > 0 && totalBudget > 0 {
+		a := 1 - darkLost/(float64(totalBudget)*res.MakespanSec)
+		if a < 0 {
+			a = 0
+		}
+		res.Availability = a
+	}
 	if !f.opt.Lite {
 		res.PerJob = f.placements
+		var slows []float64
 		for pi := range res.PerJob {
 			p := &res.PerJob[pi]
 			for _, js := range res.PerFabric[p.Fabric].Result.Jobs {
@@ -540,7 +674,11 @@ func (f *fleet) finish() (Result, error) {
 					break
 				}
 			}
+			if s := p.Stats; !s.Rejected && !s.Failed && s.Slowdown > 0 {
+				slows = append(slows, s.Slowdown)
+			}
 		}
+		res.P99Slowdown = stats.Percentile(slows, 99)
 	}
 	if f.opt.Rec.Enabled() {
 		f.opt.Rec.Add("fleet.sims", 1)
@@ -548,6 +686,15 @@ func (f *fleet) finish() (Result, error) {
 		f.opt.Rec.Add("fleet.migrations", int64(f.migrations))
 		f.opt.Rec.Add("fleet.engine.events", f.eng.Steps())
 		f.opt.Rec.Gauge("fleet.engine.max_pending", float64(f.eng.MaxPending()))
+		if res.Outages > 0 {
+			f.opt.Rec.Add("fleet.outages", int64(res.Outages))
+		}
+		if res.Killed > 0 {
+			f.opt.Rec.Add("fleet.killed", int64(res.Killed))
+		}
+		if res.FailedJobs > 0 {
+			f.opt.Rec.Add("fleet.failed_jobs", int64(res.FailedJobs))
+		}
 	}
 	return res, nil
 }

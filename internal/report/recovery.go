@@ -1,0 +1,140 @@
+package report
+
+import (
+	"fmt"
+
+	"wrht"
+	"wrht/internal/stats"
+)
+
+// FleetRecoveryRow labels one faulty fleet run for the F5 table.
+type FleetRecoveryRow struct {
+	// Recovery is the wrht.Recovery* policy the run used; Rate labels the
+	// failure-rate multiplier (e.g. "1.0x", or "-" for single-rate runs).
+	Recovery string
+	Rate     string
+	// SpanSec is the trace's arrival span — the policy-independent
+	// denominator for Goodput.
+	SpanSec float64
+	Result  wrht.FleetResult
+}
+
+// Goodput is the row's delivered-job throughput in jobs per second of the
+// workload's arrival span. The denominator is fixed per trace rather than
+// per run: normalizing by each run's own makespan would reward FailFast
+// for ending early by killing stragglers, when the work it dropped is
+// exactly what the recovery policies trade against each other.
+func (r FleetRecoveryRow) Goodput() float64 {
+	if r.SpanSec <= 0 {
+		return 0
+	}
+	return float64(r.Result.Completed) / r.SpanSec
+}
+
+// traceSpan is the arrival span of a trace (its last arrival instant).
+func traceSpan(jobs []wrht.FleetJob) float64 {
+	span := 0.0
+	for _, j := range jobs {
+		if j.ArrivalSec > span {
+			span = j.ArrivalSec
+		}
+	}
+	return span
+}
+
+// FleetRecoveryTable renders faulty fleet runs side by side: survival
+// accounting (killed / failed / retries / lost work), goodput, tail
+// latency, and delivered availability.
+func FleetRecoveryTable(title string, rows []FleetRecoveryRow) *stats.Table {
+	tb := stats.NewTable(title,
+		"recovery", "rate", "completed", "killed", "failed", "retries",
+		"lost work", "goodput", "p99 slowdown", "availability")
+	for _, r := range rows {
+		res := r.Result
+		p99 := "-"
+		if res.P99Slowdown > 0 {
+			p99 = fmt.Sprintf("%.2fx", res.P99Slowdown)
+		}
+		tb.AddRow(
+			r.Recovery,
+			r.Rate,
+			fmt.Sprintf("%d/%d", res.Completed, res.Jobs),
+			fmt.Sprintf("%d", res.Killed),
+			fmt.Sprintf("%d", res.FailedJobs),
+			fmt.Sprintf("%d", res.Retries),
+			stats.FormatSeconds(res.LostWorkSec),
+			fmt.Sprintf("%.1f job/s", r.Goodput()),
+			p99,
+			fmt.Sprintf("%.2f%%", 100*res.Availability),
+		)
+	}
+	return tb
+}
+
+// FleetRecoveryPlan is the canonical F5 failure model at a given rate
+// multiplier: all three fault classes (wavelength darkening, transient job
+// crashes, whole-fabric outages) seeded over the first 60 s of the F4
+// churn trace's ~120 s arrival span, so every recovered job has arrival
+// slack to drain in. rate scales mean failure frequency; repair times stay
+// fixed, so higher rates strictly darken more capacity.
+func FleetRecoveryPlan(rate float64) wrht.FaultPlan {
+	return wrht.FaultPlan{
+		Seed:              5,
+		HorizonSec:        60,
+		WavelengthMTBFSec: 40 / rate,
+		WavelengthMTTRSec: 1.5,
+		JobFaultMTBFSec:   25 / rate,
+		FabricMTBFSec:     90 / rate,
+		FabricMTTRSec:     8,
+	}
+}
+
+// FleetRecoveryRows runs the canonical F5 grid — the F4 churn trace under
+// every recovery policy at 0.5x, 1x, and 2x failure rates, with jobs
+// checkpointing every 50 ms of service — on one shared session.
+// Deterministic and byte-stable.
+func FleetRecoveryRows() ([]FleetRecoveryRow, error) {
+	ss := wrht.NewSweepSession()
+	cfg := wrht.DefaultConfig(32)
+	spec := FleetChurnTrace()
+	jobs, err := wrht.GenerateFleetTrace(spec)
+	if err != nil {
+		return nil, err
+	}
+	for i := range jobs {
+		jobs[i].CheckpointEverySec = 50e-3
+	}
+	span := traceSpan(jobs)
+	var rows []FleetRecoveryRow
+	for _, rate := range []float64{0.5, 1, 2} {
+		for _, recovery := range []string{
+			wrht.RecoveryFailFast, wrht.RecoveryRetrySameFabric, wrht.RecoveryMigrateOnFailure,
+		} {
+			res, err := ss.SimulateFleet(cfg, FleetChurnFabrics(), FleetChurnShapes(), jobs,
+				wrht.FleetOptions{
+					Placement: wrht.FleetBestFit,
+					Faults:    FleetRecoveryPlan(rate),
+					Recovery:  recovery,
+				})
+			if err != nil {
+				return nil, fmt.Errorf("fleet recovery %s @%gx: %w", recovery, rate, err)
+			}
+			rows = append(rows, FleetRecoveryRow{
+				Recovery: recovery,
+				Rate:     fmt.Sprintf("%.1fx", rate),
+				SpanSec:  span,
+				Result:   res,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// FleetRecoveryComparison renders the canonical F5 grid.
+func FleetRecoveryComparison() (*stats.Table, error) {
+	rows, err := FleetRecoveryRows()
+	if err != nil {
+		return nil, err
+	}
+	return FleetRecoveryTable("", rows), nil
+}

@@ -1,0 +1,62 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetRecoveryGridPinned pins the F5 contract: the canonical grid is
+// byte-stable across regenerations, and at every failure rate
+// MigrateOnFailure delivers strictly more goodput than FailFast (it saves
+// the jobs FailFast kills) while FailFast is the only policy that kills.
+func TestFleetRecoveryGridPinned(t *testing.T) {
+	rows, err := FleetRecoveryRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 9 {
+		t.Fatalf("%d rows, want 3 rates x 3 policies", len(rows))
+	}
+	goodput := map[string]map[string]float64{}
+	for _, r := range rows {
+		if goodput[r.Rate] == nil {
+			goodput[r.Rate] = map[string]float64{}
+		}
+		goodput[r.Rate][r.Recovery] = r.Goodput()
+		switch r.Recovery {
+		case "fail-fast":
+			if r.Result.Killed == 0 {
+				t.Fatalf("%s @%s killed nothing", r.Recovery, r.Rate)
+			}
+		default:
+			if r.Result.Killed != 0 {
+				t.Fatalf("%s @%s killed %d jobs", r.Recovery, r.Rate, r.Result.Killed)
+			}
+			if r.Result.Retries == 0 {
+				t.Fatalf("%s @%s never retried", r.Recovery, r.Rate)
+			}
+		}
+		if !(r.Result.Availability > 0 && r.Result.Availability < 1) {
+			t.Fatalf("%s @%s availability %v", r.Recovery, r.Rate, r.Result.Availability)
+		}
+	}
+	for rate, byPolicy := range goodput {
+		if byPolicy["migrate"] <= byPolicy["fail-fast"] {
+			t.Fatalf("@%s: migrate goodput %.2f <= fail-fast %.2f",
+				rate, byPolicy["migrate"], byPolicy["fail-fast"])
+		}
+	}
+
+	again, err := FleetRecoveryRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := FleetRecoveryTable("", rows).Markdown()
+	b := FleetRecoveryTable("", again).Markdown()
+	if a != b {
+		t.Fatal("F5 grid is not byte-stable across regenerations")
+	}
+	if !strings.Contains(a, "job/s") {
+		t.Fatalf("goodput column missing:\n%s", a)
+	}
+}

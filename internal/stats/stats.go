@@ -173,6 +173,26 @@ func Median(xs []float64) float64 {
 	return (c[mid-1] + c[mid]) / 2
 }
 
+// Percentile returns the p-th percentile (0 < p <= 100) by the nearest-rank
+// method: the smallest value with at least p% of the sample at or below it.
+// Empty input returns 0. Nearest-rank is exact and deterministic — no
+// interpolation — so percentile tables are byte-stable across runs.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	c := append([]float64(nil), xs...)
+	sort.Float64s(c)
+	rank := int(math.Ceil(p / 100 * float64(len(c))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(c) {
+		rank = len(c)
+	}
+	return c[rank-1]
+}
+
 // JainIndex returns Jain's fairness index (Σx)²/(n·Σx²) for non-negative
 // allocations or slowdowns: 1 when all values are equal, approaching 1/n as
 // one value dominates. Empty or all-zero input returns 0.

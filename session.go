@@ -146,9 +146,15 @@ func (ss *SweepSession) CommunicationTime(cfg Config, alg Algorithm, bytes int64
 }
 
 // SimulateFabric is SimulateFabric sharing this session's caches (including
-// per-tenant runtime curves across calls and policies).
-func (ss *SweepSession) SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy) (FabricResult, error) {
-	return simulateFabric(cfg, jobs, policy, ss.sess.fabric)
+// per-tenant runtime curves across calls and policies). Runtime curves are
+// fault-independent, so faulty and fault-free runs of the same mix share
+// them.
+func (ss *SweepSession) SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, plan ...FaultPlan) (FabricResult, error) {
+	fp, err := onePlan(plan)
+	if err != nil {
+		return FabricResult{}, err
+	}
+	return simulateFabric(cfg, jobs, policy, ss.sess.fabric, fp)
 }
 
 // SimulateFleet is SimulateFleet sharing this session's caches: per-shape

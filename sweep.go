@@ -395,7 +395,7 @@ func (spec SweepSpec) priceFabric(pt exp.Point, fcache *fabricCache) SweepCell {
 		FabricMix:    mix.Name,
 		FabricPolicy: policy,
 	}
-	fr, err := simulateFabric(cfg, mix.Jobs, policy, fcache)
+	fr, err := simulateFabric(cfg, mix.Jobs, policy, fcache, FaultPlan{})
 	if err != nil {
 		cell.Err = err
 		return cell

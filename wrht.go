@@ -23,6 +23,24 @@
 //	fr, err := wrht.SimulateFabric(cfg, jobs, wrht.FabricPolicy{Kind: wrht.FabricPriority})
 //	fmt.Println(fr.MakespanSec, fr.Fairness, fr.Utilization)
 //
+// Fault injection — replay any fabric or fleet simulation under a seeded,
+// deterministic failure model (wavelength darkening, transient job crashes
+// with checkpoint rollback, whole-fabric outages routed through a fleet
+// recovery policy; see faultplan.go and DESIGN.md §10). The zero plan is
+// guaranteed to leave every result bit-identical to a fault-free run:
+//
+//	plan := wrht.FaultPlan{
+//		Seed: 1, HorizonSec: 0.1,
+//		WavelengthMTBFSec: 20e-3, WavelengthMTTRSec: 2e-3,
+//	}
+//	fr, err = wrht.SimulateFabric(cfg, jobs, wrht.FabricPolicy{Kind: wrht.FabricElastic}, plan)
+//	fmt.Println(fr.Retries, fr.LostWorkSec, fr.Availability)
+//
+// In a fleet, FleetOptions.Faults arms the same plan on the shared
+// timeline and FleetOptions.Recovery picks what happens to jobs caught in
+// fabric outages (wrht.RecoveryRetrySameFabric, wrht.RecoveryFailFast, or
+// wrht.RecoveryMigrateOnFailure).
+//
 // Multi-axis experiments — declare a grid and let the concurrent engine
 // price it with a shared plan cache (see sweep.go and DESIGN.md §6):
 //
