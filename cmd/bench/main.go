@@ -1,5 +1,5 @@
 // Command bench runs the repository's headline performance benchmarks with
-// -benchmem and emits a machine-readable report (BENCH_PR8.json by default):
+// -benchmem and emits a machine-readable report (BENCH_PR9.json by default):
 // ns/op, B/op, allocs/op, and every custom metric for the sweep engine, the
 // simulator throughput path, the message-level optical simulator, the
 // multi-tenant fabric co-simulation (grant-once policies and the elastic
@@ -30,7 +30,7 @@
 // Regenerate the committed full-scale report (and run the full-scale time
 // gate against the previous report) with:
 //
-//	go run ./cmd/bench -out BENCH_PR8.json
+//	go run ./cmd/bench -out BENCH_PR9.json
 package main
 
 import (
@@ -47,7 +47,7 @@ import (
 )
 
 // headline selects the benchmarks the report covers.
-const headline = "BenchmarkSweepEngine|BenchmarkSimulatorThroughput|BenchmarkOpticalsimThroughput|BenchmarkFabricCoSim|BenchmarkFabricElastic|BenchmarkFabricTrace|BenchmarkFabricFaults"
+const headline = "BenchmarkServeOverload|BenchmarkSweepEngine|BenchmarkSimulatorThroughput|BenchmarkOpticalsimThroughput|BenchmarkFabricCoSim|BenchmarkFabricElastic|BenchmarkFabricTrace|BenchmarkFabricFaults"
 
 // Result is one benchmark line of the report.
 type Result struct {
@@ -71,7 +71,7 @@ func main() {
 	short := flag.Bool("short", false, "run benchmarks in -short mode (CI smoke scales)")
 	benchtime := flag.String("benchtime", "2x", "benchtime passed to go test")
 	bench := flag.String("bench", headline, "benchmark regex")
-	out := flag.String("out", "BENCH_PR8.json", "output JSON path")
+	out := flag.String("out", "BENCH_PR9.json", "output JSON path")
 	ceilingsPath := flag.String("ceilings", "cmd/bench/ceilings.json", "allocs/op ceilings (empty disables the gate)")
 	timegatesPath := flag.String("timegates", "cmd/bench/timegates.json", "absolute ns/op wall-time gates (empty disables the gate)")
 	prev := flag.String("prev", "auto", "previous BENCH_*.json to gate ns/op against (auto = newest committed report other than -out; empty disables)")

@@ -1,0 +1,197 @@
+// Command loadgen drives the pricing service (cmd/serve) with closed- or
+// open-loop load and reports latency quantiles, throughput, and the status
+// breakdown — the measurement harness behind the serving-layer overload
+// contracts.
+//
+// Closed loop (-conc N): N workers issue requests back to back, so offered
+// load tracks capacity — good for measuring warm latency. Open loop
+// (-rate R): requests start on a fixed schedule regardless of completions,
+// which is what actually saturates a bounded queue — good for proving the
+// 429 shed path. A concurrency ladder (-ladder 1,2,4,8) reports QPS and p99
+// per rung to locate saturation.
+//
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -conc 8 -duration 5s
+//	go run ./cmd/loadgen -addr http://127.0.0.1:8080 -rate 500 -distinct 64 -short
+//
+// -out writes the run as a cmd/bench-schema report (name/ns_per_op/metrics)
+// so serving numbers flow through the same tooling as the engine
+// benchmarks.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"wrht/internal/serve"
+)
+
+// benchResult mirrors cmd/bench's Result schema so loadgen reports are
+// consumable by the same tooling.
+type benchResult struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+type benchReport struct {
+	Bench     string        `json:"bench"`
+	Short     bool          `json:"short"`
+	Benchtime string        `json:"benchtime"`
+	Results   []benchResult `json:"results"`
+}
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	endpoint := flag.String("endpoint", "/v1/commtime", "endpoint to drive")
+	body := flag.String("body", "", "request JSON (default: generated commtime payloads)")
+	distinct := flag.Int("distinct", 8, "number of distinct generated payloads (cache/coalesce spread)")
+	unique := flag.Bool("unique", false, "generate a unique payload per request (every request cold: saturates bounded queues)")
+	conc := flag.Int("conc", 4, "closed-loop worker count")
+	rate := flag.Float64("rate", 0, "open-loop request rate per second (0 = closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "run duration")
+	ladder := flag.String("ladder", "", "comma-separated closed-loop concurrency ladder (overrides -conc)")
+	short := flag.Bool("short", false, "short mode: 1s runs, small payload spread")
+	out := flag.String("out", "", "write a cmd/bench-schema JSON report to this path")
+	flag.Parse()
+
+	if *short {
+		*duration = time.Second
+		if *distinct > 4 {
+			*distinct = 4
+		}
+	}
+	var bodies [][]byte
+	var newBody func(int) []byte
+	if *unique {
+		if *body != "" {
+			fatalf("-unique and -body are mutually exclusive")
+		}
+		newBody = func(i int) []byte { return genPayload(*endpoint, i) }
+	} else {
+		bodies = payloads(*endpoint, *body, *distinct)
+	}
+
+	var rungs []int
+	if *ladder != "" {
+		for _, s := range strings.Split(*ladder, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n < 1 {
+				fatalf("bad -ladder entry %q", s)
+			}
+			rungs = append(rungs, n)
+		}
+	} else {
+		rungs = []int{*conc}
+	}
+
+	report := benchReport{Bench: "loadgen", Short: *short, Benchtime: duration.String()}
+	for _, c := range rungs {
+		spec := serve.LoadSpec{
+			BaseURL:     *addr,
+			Endpoint:    *endpoint,
+			Bodies:      bodies,
+			NewBody:     newBody,
+			Concurrency: c,
+			RatePerSec:  *rate,
+			Duration:    *duration,
+		}
+		rep, err := serve.RunLoad(context.Background(), spec)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		printReport(rep, c)
+		report.Results = append(report.Results, toBenchResult(rep, c))
+	}
+
+	if *out != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			fatalf("marshal: %v", err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fatalf("write %s: %v", *out, err)
+		}
+		fmt.Fprintf(os.Stderr, "loadgen: wrote %d results to %s\n", len(report.Results), *out)
+	}
+}
+
+// payloads builds the request body rotation. Distinct payloads matter for
+// overload runs: identical bodies coalesce onto one flight, so they measure
+// dedup, not admission.
+func payloads(endpoint, body string, distinct int) [][]byte {
+	if body != "" {
+		return [][]byte{[]byte(body)}
+	}
+	if distinct < 1 {
+		distinct = 1
+	}
+	out := make([][]byte, distinct)
+	for i := range out {
+		out[i] = genPayload(endpoint, i)
+	}
+	return out
+}
+
+// genPayload builds the i-th generated payload for the endpoint. Distinct i
+// yield distinct simulation keys, so unique-mode requests are always cold.
+func genPayload(endpoint string, i int) []byte {
+	switch endpoint {
+	case "/v1/commtime":
+		return []byte(fmt.Sprintf(`{"Nodes": 64, "Algorithm": "wrht", "Bytes": %d}`,
+			1<<20+i*4096))
+	case "/v1/sweep":
+		// A real grid per request: this is the expensive class, the one a
+		// bounded queue visibly sheds under closed-loop concurrency.
+		return []byte(fmt.Sprintf(
+			`{"Spec": {"Nodes": [128], "MessageBytes": [%d], "Algorithms": ["wrht", "e-ring", "o-ring", "rd"]}}`,
+			4<<20+i*4096))
+	}
+	fatalf("-body is required for endpoint %s", endpoint)
+	return nil
+}
+
+func printReport(rep serve.LoadReport, conc int) {
+	mode := rep.Mode
+	if mode == "closed" {
+		mode = fmt.Sprintf("closed c=%d", conc)
+	}
+	fmt.Printf("loadgen %s [%s]: %d requests in %.2fs (%.1f qps), %d ok, %d shed(429), %d errors\n",
+		rep.Endpoint, mode, rep.Requests, rep.DurationSec, rep.QPS, rep.OK(), rep.Shed(), rep.Errors)
+	fmt.Printf("  latency ms: mean %.3f p50 %.3f p90 %.3f p99 %.3f max %.3f\n",
+		rep.MeanMillis, rep.P50Millis, rep.P90Millis, rep.P99Millis, rep.MaxMillis)
+	for status, n := range rep.ByStatus {
+		if status != 200 && status != 429 {
+			fmt.Printf("  status %d: %d\n", status, n)
+		}
+	}
+}
+
+func toBenchResult(rep serve.LoadReport, conc int) benchResult {
+	name := fmt.Sprintf("Loadgen%s/%s/c%d", strings.ReplaceAll(rep.Endpoint, "/", "_"), rep.Mode, conc)
+	return benchResult{
+		Name:       name,
+		Iterations: rep.Requests,
+		NsPerOp:    rep.MeanMillis * 1e6,
+		Metrics: map[string]float64{
+			"qps":    rep.QPS,
+			"p50-ms": rep.P50Millis,
+			"p90-ms": rep.P90Millis,
+			"p99-ms": rep.P99Millis,
+			"ok":     float64(rep.OK()),
+			"shed":   float64(rep.Shed()),
+			"errors": float64(rep.Errors),
+		},
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "loadgen: "+format+"\n", args...)
+	os.Exit(1)
+}

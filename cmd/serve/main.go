@@ -1,0 +1,93 @@
+// Command serve runs the overload-safe pricing service: an HTTP/JSON API
+// over warm SweepSession caches (internal/serve) with bounded admission
+// queues, per-request deadlines, request coalescing, tiered degradation, and
+// graceful drain on SIGTERM/SIGINT.
+//
+// Endpoints: POST /v1/commtime, /v1/fabric, /v1/fleet, /v1/sweep; GET
+// /healthz, /readyz, /metricsz.
+//
+//	go run ./cmd/serve -addr :8080
+//	curl -s localhost:8080/v1/commtime -d '{"Nodes":128,"Algorithm":"wrht","Bytes":1048576}'
+//
+// Overload behavior: a full class queue sheds with 429 + Retry-After in
+// microseconds; sustained queue pressure degrades the API tier by tier
+// (sweeps first, then fleets) while single-point pricing stays alive;
+// per-request deadlines (class default, client-tightenable via
+// DeadlineMillis) cancel in-flight simulations at event boundaries. On
+// SIGTERM the server stops admitting, finishes every in-flight request,
+// and logs the drain outcome before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wrht/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "session cache shards (0 = default)")
+	pointWorkers := flag.Int("point-workers", 0, "commtime worker pool (0 = default)")
+	pointQueue := flag.Int("point-queue", 0, "commtime queue depth (0 = default)")
+	fabricWorkers := flag.Int("fabric-workers", 0, "fabric worker pool (0 = default)")
+	fabricQueue := flag.Int("fabric-queue", 0, "fabric queue depth (0 = default)")
+	fleetWorkers := flag.Int("fleet-workers", 0, "fleet worker pool (0 = default)")
+	fleetQueue := flag.Int("fleet-queue", 0, "fleet queue depth (0 = default)")
+	sweepWorkers := flag.Int("sweep-workers", 0, "sweep worker pool (0 = default)")
+	sweepQueue := flag.Int("sweep-queue", 0, "sweep queue depth (0 = default)")
+	pointDeadline := flag.Duration("point-deadline", 0, "commtime default deadline (0 = default)")
+	fabricDeadline := flag.Duration("fabric-deadline", 0, "fabric default deadline (0 = default)")
+	fleetDeadline := flag.Duration("fleet-deadline", 0, "fleet default deadline (0 = default)")
+	sweepDeadline := flag.Duration("sweep-deadline", 0, "sweep default deadline (0 = default)")
+	maxDeadline := flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = default)")
+	drainTimeout := flag.Duration("drain-timeout", 60*time.Second, "max wait for in-flight requests on shutdown")
+	flag.Parse()
+
+	cfg := serve.Config{
+		Shards:      *shards,
+		Point:       serve.ClassLimits{Workers: *pointWorkers, Queue: *pointQueue, Deadline: *pointDeadline},
+		Fabric:      serve.ClassLimits{Workers: *fabricWorkers, Queue: *fabricQueue, Deadline: *fabricDeadline},
+		Fleet:       serve.ClassLimits{Workers: *fleetWorkers, Queue: *fleetQueue, Deadline: *fleetDeadline},
+		Sweep:       serve.ClassLimits{Workers: *sweepWorkers, Queue: *sweepQueue, Deadline: *sweepDeadline},
+		MaxDeadline: *maxDeadline,
+	}
+	srv := serve.New(cfg)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("serve: listening on %s", *addr)
+		errCh <- httpSrv.ListenAndServe()
+	}()
+
+	sigCtx, stop := signal.NotifyContext(context.Background(), syscall.SIGTERM, syscall.SIGINT)
+	defer stop()
+	select {
+	case err := <-errCh:
+		log.Fatalf("serve: %v", err)
+	case <-sigCtx.Done():
+	}
+
+	log.Printf("serve: signal received, draining (timeout %s)", *drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	n, err := srv.Drain(drainCtx)
+	if err != nil {
+		log.Printf("serve: drain timed out with %d in-flight: %v", n, err)
+		_ = httpSrv.Close()
+		os.Exit(1)
+	}
+	log.Printf("serve: drain complete: %d in-flight finished, 0 dropped", n)
+	if err := httpSrv.Shutdown(context.Background()); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "serve: shutdown: %v\n", err)
+	}
+}

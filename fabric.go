@@ -265,7 +265,7 @@ func SimulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, plan ...Fau
 	if err != nil {
 		return FabricResult{}, err
 	}
-	return simulateFabric(cfg, jobs, policy, newSession().fabric, fp)
+	return simulateFabric(cfg, jobs, policy, newSession().fabric, fp, nil)
 }
 
 // algFloor is the smallest stripe grant the algorithm can run with: a fixed
@@ -285,7 +285,7 @@ func algFloor(cfg Config, alg Algorithm) int {
 	return 1
 }
 
-func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabricCache, plan FaultPlan) (FabricResult, error) {
+func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabricCache, plan FaultPlan, cancel func() error) (FabricResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return FabricResult{}, err
 	}
@@ -345,16 +345,14 @@ func simulateFabric(cfg Config, jobs []JobSpec, policy FabricPolicy, cache *fabr
 			proc += fmt.Sprintf(" · faults %08x", plan.hash())
 		}
 	}
-	var res fabric.Result
-	if plan.Empty() {
-		res, err = fabric.SimulateObserved(cfg.Optical.Wavelengths, inner, pol, rec, proc)
-	} else {
-		var fp faultsPlan
+	var fp faultsPlan
+	if !plan.Empty() {
 		if fp, err = plan.internal(); err != nil {
 			return FabricResult{}, err
 		}
-		res, err = fabric.SimulateFaults(cfg.Optical.Wavelengths, inner, pol, fp, rec, proc)
 	}
+	res, err := fabric.SimulateWith(cfg.Optical.Wavelengths, inner, pol, fp,
+		fabric.SchedOpts{Rec: rec, Proc: proc, Cancel: cancel})
 	if err != nil {
 		return FabricResult{}, err
 	}
@@ -493,7 +491,7 @@ func CompareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy) 
 func compareFabricPolicies(cfg Config, jobs []JobSpec, policies []FabricPolicy, cache *fabricCache) ([]FabricResult, error) {
 	out := make([]FabricResult, 0, len(policies))
 	for _, p := range policies {
-		r, err := simulateFabric(cfg, jobs, p, cache, FaultPlan{})
+		r, err := simulateFabric(cfg, jobs, p, cache, FaultPlan{}, nil)
 		if err != nil {
 			return nil, fmt.Errorf("wrht: policy %s: %w", p, err)
 		}

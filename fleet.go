@@ -271,10 +271,10 @@ func GenerateFleetTrace(spec FleetTraceSpec) ([]FleetJob, error) {
 // and across fabrics with equal ring sizes. Deterministic: the same
 // inputs produce the identical FleetResult.
 func SimulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, jobs []FleetJob, opt FleetOptions) (FleetResult, error) {
-	return simulateFleet(cfg, fabrics, shapes, jobs, opt, newSession().fabric)
+	return simulateFleet(cfg, fabrics, shapes, jobs, opt, newSession().fabric, nil)
 }
 
-func simulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, jobs []FleetJob, opt FleetOptions, cache *fabricCache) (FleetResult, error) {
+func simulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, jobs []FleetJob, opt FleetOptions, cache *fabricCache, cancel func() error) (FleetResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return FleetResult{}, err
 	}
@@ -412,7 +412,7 @@ func simulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, j
 	}
 	res, err := fleet.Simulate(specs, inner, rt, fleet.Options{
 		Placement: placement, Policy: pol.Kind, Lite: opt.Lite, Rec: rec, Proc: proc,
-		Faults: fp, Recovery: recovery, Retry: fp.Retry,
+		Faults: fp, Recovery: recovery, Retry: fp.Retry, Cancel: cancel,
 	})
 	if err != nil {
 		return FleetResult{}, err

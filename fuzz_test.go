@@ -1,0 +1,255 @@
+package wrht_test
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wrht"
+)
+
+// The fuzz harnesses below drive the three public input surfaces an
+// untrusted caller (e.g. the serving layer) can reach — CommunicationTime
+// configuration, FaultPlan, FleetTraceSpec — and check the robustness
+// contract: every input either simulates successfully with a sane,
+// deterministic result or is rejected with a validation error. No input may
+// panic, and no input may hang (work must be bounded before simulation
+// starts). Inputs are folded into a bounded envelope so the *valid* side of
+// each iteration stays fast; the unbounded extremes that used to hang are
+// pinned as explicit regression cases in TestAdversarialInputsRejected.
+
+// clampInt folds v into [lo, hi] while preserving out-of-range sign cases:
+// values far outside come back as their remainder, so negatives and zeros
+// still reach validation.
+func clampInt(v, lo, hi int) int {
+	if v >= lo && v <= hi {
+		return v
+	}
+	span := hi - lo + 1
+	m := v % span
+	if m < 0 {
+		m += span
+	}
+	return lo + m
+}
+
+func FuzzCommunicationTime(f *testing.F) {
+	algs := wrht.Algorithms()
+	f.Add(64, 64, int64(1<<20), uint8(6), 4, 0, 0)     // wrht defaults
+	f.Add(128, 32, int64(4<<20), uint8(0), 4, 0, 0)    // e-ring
+	f.Add(2, 1, int64(1), uint8(4), 1, 0, 0)           // minimal optical
+	f.Add(16, 64, int64(1<<16), uint8(8), 4, 0, 128)   // pipelined
+	f.Add(16, 64, int64(1<<16), uint8(6), 5, 0, 0)     // odd group size
+	f.Add(0, 0, int64(0), uint8(3), 0, -1, -1)         // all-invalid
+	f.Add(64, 64, int64(1<<20), uint8(8), 4, 0, 1<<30) // chunks past cap
+	f.Add(1024, 64, int64(-5), uint8(6), 4, 1<<30, 0)  // group past budget
+	f.Fuzz(func(t *testing.T, nodes, wavelengths int, bytes int64, algIdx uint8, bytesPerElem, groupSize, chunks int) {
+		// Bound the work of valid configurations, not their validity:
+		// out-of-range values fold back into range (keeping sign cases),
+		// so validation still sees negatives and zeros.
+		nodes = clampInt(nodes, -2, 1024)
+		wavelengths = clampInt(wavelengths, -2, 256)
+		if bytes > 64<<20 {
+			bytes %= 64 << 20
+		}
+		chunks = clampInt(chunks, -2, 1024)
+
+		cfg := wrht.DefaultConfig(2)
+		cfg.Nodes = nodes
+		cfg.Optical.Wavelengths = wavelengths
+		cfg.BytesPerElem = bytesPerElem
+		cfg.WrhtGroupSize = groupSize
+		cfg.PipelineChunks = chunks
+		alg := algs[int(algIdx)%len(algs)]
+
+		res, err := wrht.CommunicationTime(cfg, alg, bytes)
+		if err != nil {
+			return // rejected: that is a valid outcome, panics are not
+		}
+		if !(res.Seconds > 0) || math.IsInf(res.Seconds, 0) {
+			t.Fatalf("accepted config produced non-positive time %v (cfg %+v alg %s bytes %d)",
+				res.Seconds, cfg, alg, bytes)
+		}
+		if res.Steps < 1 {
+			t.Fatalf("accepted config produced %d steps", res.Steps)
+		}
+		again, err := wrht.CommunicationTime(cfg, alg, bytes)
+		if err != nil || again != res {
+			t.Fatalf("non-deterministic: first %+v, second %+v (err %v)", res, again, err)
+		}
+	})
+}
+
+func FuzzFaultPlan(f *testing.F) {
+	kinds := []string{
+		wrht.FaultWavelengthDown, wrht.FaultWavelengthUp, wrht.FaultJob,
+		wrht.FaultFabricDown, wrht.FaultFabricUp, "bogus",
+	}
+	f.Add(int64(1), 10.0, 2.0, 0.5, 0.0, 1, uint8(0), 0.5, 0, 1, 0, 0.0, 0.0)
+	f.Add(int64(7), 5.0, 0.0, 0.0, 0.5, 0, uint8(2), 1.0, 0, 0, 3, 1e-3, 64e-3)
+	f.Add(int64(-1), 0.0, 0.0, 0.0, 0.0, -1, uint8(5), -1.0, -1, -1, -1, -1.0, -1.0)
+	f.Add(int64(0), 1e-3, 0.0, 0.0, 1e-12, 0, uint8(2), 0.0, 0, 0, 0, 0.0, 0.0) // ~1e9 events: must reject
+	f.Add(int64(0), math.NaN(), math.Inf(1), -0.0, 0.0, 0, uint8(0), math.Inf(-1), 0, 1<<30, 1<<30, math.NaN(), 0.0)
+	f.Fuzz(func(t *testing.T, seed int64, horizon, wlMTBF, wlMTTR, jobMTBF float64,
+		wlPerFault int, kindIdx uint8, evTime float64, evFabric, evCount, maxRetries int,
+		backoff, backoffMax float64) {
+		// Keep the valid side of an iteration cheap: a plan that passes
+		// validation may generate at most ~2k events here. The 200k
+		// validation ceiling itself is pinned in
+		// TestAdversarialInputsRejected.
+		if horizon > 10 && !math.IsInf(horizon, 0) {
+			horizon = math.Mod(horizon, 10)
+		}
+		for _, mtbf := range []*float64{&wlMTBF, &jobMTBF} {
+			if *mtbf > 0 && horizon / *mtbf > 2000 {
+				*mtbf = horizon / 2000
+			}
+		}
+		plan := wrht.FaultPlan{
+			Seed:                seed,
+			HorizonSec:          horizon,
+			WavelengthMTBFSec:   wlMTBF,
+			WavelengthMTTRSec:   wlMTTR,
+			WavelengthsPerFault: wlPerFault,
+			JobFaultMTBFSec:     jobMTBF,
+			MaxRetries:          clampInt(maxRetries, -1, 100),
+			RetryBackoffSec:     backoff,
+			RetryBackoffMaxSec:  backoffMax,
+			Scripted: []wrht.FaultEvent{{
+				TimeSec: evTime,
+				Kind:    kinds[int(kindIdx)%len(kinds)],
+				Fabric:  evFabric,
+				Count:   clampInt(evCount, -1, 64),
+			}},
+		}
+		cfg := wrht.DefaultConfig(8)
+		jobs := []wrht.JobSpec{
+			{Name: "a", Bytes: 1 << 14, Iterations: 2},
+			{Name: "b", Bytes: 1 << 15, Iterations: 1, ArrivalSec: 0.1},
+		}
+		policy := wrht.FabricPolicy{Kind: wrht.FabricFirstFit}
+		res, err := wrht.SimulateFabric(cfg, jobs, policy, plan)
+		if err != nil {
+			return
+		}
+		if math.IsNaN(res.MakespanSec) || res.MakespanSec < 0 || math.IsInf(res.MakespanSec, 0) {
+			t.Fatalf("accepted plan produced makespan %v (plan %+v)", res.MakespanSec, plan)
+		}
+		// Makespan is the last completion time, so it may be 0 only when no
+		// job completed (e.g. a scripted fault darkens the whole budget and
+		// every job burns its retry allowance).
+		completed := 0
+		for _, j := range res.Jobs {
+			if !j.Rejected && !j.Failed {
+				completed++
+			}
+		}
+		if completed > 0 && !(res.MakespanSec > 0) {
+			t.Fatalf("%d jobs completed but makespan is %v (plan %+v)", completed, res.MakespanSec, plan)
+		}
+		again, err := wrht.SimulateFabric(cfg, jobs, policy, plan)
+		if err != nil || !reflect.DeepEqual(res, again) {
+			t.Fatalf("non-deterministic under faults: %+v vs %+v (err %v)", res, again, err)
+		}
+	})
+}
+
+func FuzzFleetTraceSpec(f *testing.F) {
+	f.Add("poisson", 16, int64(1), 1.0, 2, 2, 8, 3, 0.0, 0.0, 0.0, 0.0, 0)
+	f.Add("diurnal", 32, int64(9), 0.5, 3, 2, 4, 2, 3600.0, 0.5, 0.0, 0.0, 0)
+	f.Add("heavy-tail", 64, int64(-3), 2.0, 1, 1, 1, 1, 0.0, 0.0, 1.5, 0.5, 4)
+	f.Add("", 0, int64(0), 0.0, 0, 0, 0, 0, 0.0, 0.0, 0.0, 0.0, 0)
+	f.Add("bogus", -1, int64(0), -1.0, -1, -1, -1, -1, -1.0, 2.0, 1.0, -1.0, -1)
+	f.Add("poisson", 1<<30, int64(0), 1.0, 1, 1, 1, 1, 0.0, 0.0, 0.0, 0.0, 0) // jobs past cap
+	f.Fuzz(func(t *testing.T, kind string, jobsN int, seed int64, meanGap float64,
+		numShapes, numFabrics, maxWidth, priorities int,
+		period, amplitude, tailAlpha, burstProb float64, burstSize int) {
+		spec := wrht.FleetTraceSpec{
+			Kind:       kind,
+			Jobs:       clampInt(jobsN, -1, 2048),
+			Seed:       seed,
+			MeanGapSec: meanGap,
+			NumShapes:  numShapes,
+			NumFabrics: numFabrics,
+			MaxWidth:   clampInt(maxWidth, -1, 1<<20),
+			Priorities: priorities,
+			PeriodSec:  period,
+			Amplitude:  amplitude,
+			TailAlpha:  tailAlpha,
+			BurstProb:  burstProb,
+			BurstSize:  burstSize,
+		}
+		jobs, err := wrht.GenerateFleetTrace(spec)
+		if err != nil {
+			return
+		}
+		if len(jobs) != spec.Jobs {
+			t.Fatalf("trace length %d, spec asked for %d", len(jobs), spec.Jobs)
+		}
+		prev := 0.0
+		for i, j := range jobs {
+			if j.ArrivalSec < prev || math.IsNaN(j.ArrivalSec) {
+				t.Fatalf("job %d arrival %v after %v: arrivals must be nondecreasing", i, j.ArrivalSec, prev)
+			}
+			prev = j.ArrivalSec
+			if j.MinWavelengths < 1 || j.MaxWavelengths < j.MinWavelengths {
+				t.Fatalf("job %d width bounds [%d, %d]", i, j.MinWavelengths, j.MaxWavelengths)
+			}
+			if j.Iterations < 1 {
+				t.Fatalf("job %d iterations %d", i, j.Iterations)
+			}
+		}
+		again, err := wrht.GenerateFleetTrace(spec)
+		if err != nil || !reflect.DeepEqual(jobs, again) {
+			t.Fatalf("trace generation is not deterministic (err %v)", err)
+		}
+	})
+}
+
+// TestAdversarialInputsRejected pins the inputs that used to hang or
+// exhaust memory before validation bounded them: each must now come back
+// as a fast validation error, not a stall.
+func TestAdversarialInputsRejected(t *testing.T) {
+	t.Run("pipeline-chunks-unbounded", func(t *testing.T) {
+		cfg := wrht.DefaultConfig(8)
+		cfg.PipelineChunks = 1 << 30 // used to hang: O(chunks) schedule loop
+		_, err := wrht.CommunicationTime(cfg, wrht.AlgWrhtPipelined, 4096)
+		if err == nil || !strings.Contains(err.Error(), "pipeline chunks") {
+			t.Fatalf("want pipeline chunks cap error, got %v", err)
+		}
+	})
+	jobs := []wrht.JobSpec{{Name: "j", Bytes: 1 << 16, Iterations: 2}}
+	policy := wrht.FabricPolicy{Kind: wrht.FabricFirstFit}
+	t.Run("fault-generator-event-flood", func(t *testing.T) {
+		// ~1e9 expected job faults: used to expand eagerly and hang.
+		plan := wrht.FaultPlan{JobFaultMTBFSec: 1e-12, HorizonSec: 1e-3}
+		_, err := wrht.SimulateFabric(wrht.DefaultConfig(8), jobs, policy, plan)
+		if err == nil || !strings.Contains(err.Error(), "events over") {
+			t.Fatalf("want expected-event cap error, got %v", err)
+		}
+		// Same flood on the wavelength generator.
+		plan = wrht.FaultPlan{WavelengthMTBFSec: 1e-9, WavelengthMTTRSec: 1e-9, HorizonSec: 1}
+		_, err = wrht.SimulateFabric(wrht.DefaultConfig(8), jobs, policy, plan)
+		if err == nil || !strings.Contains(err.Error(), "events over") {
+			t.Fatalf("want expected-event cap error, got %v", err)
+		}
+	})
+	t.Run("retry-budget-unbounded", func(t *testing.T) {
+		plan := wrht.FaultPlan{JobFaultMTBFSec: 0.01, HorizonSec: 10, MaxRetries: 1 << 30}
+		_, err := wrht.SimulateFabric(wrht.DefaultConfig(8), jobs, policy, plan)
+		if err == nil || !strings.Contains(err.Error(), "retry budget") {
+			t.Fatalf("want retry budget cap error, got %v", err)
+		}
+	})
+	t.Run("trace-jobs-unbounded", func(t *testing.T) {
+		// Traces materialize as a slice: an absurd count must error, not
+		// allocate gigabytes.
+		_, err := wrht.GenerateFleetTrace(wrht.FleetTraceSpec{
+			Kind: "poisson", Jobs: 1 << 40, MeanGapSec: 1,
+		})
+		if err == nil || !strings.Contains(err.Error(), "job count") {
+			t.Fatalf("want trace job cap error, got %v", err)
+		}
+	})
+}

@@ -21,9 +21,18 @@ import (
 // regimes. Wavelength demand grows with the number of concurrently active
 // stages; the substrate splits any over-budget step into rounds, so the
 // timing stays honest either way.
+// MaxPipelineChunks bounds the pipeline chunk count. Schedule construction
+// and simulation are O(chunks), so an unbounded count turns a bad input
+// into a multi-minute hang instead of an error; no realistic pipeline needs
+// more stages in flight than this.
+const MaxPipelineChunks = 1 << 16
+
 func (p *Plan) PipelinedSchedule(elems, chunks int) (*collective.Schedule, error) {
 	if chunks < 1 {
 		return nil, fmt.Errorf("core: pipeline chunks %d", chunks)
+	}
+	if chunks > MaxPipelineChunks {
+		return nil, fmt.Errorf("core: pipeline chunks %d (max %d)", chunks, MaxPipelineChunks)
 	}
 	if elems < 0 {
 		return nil, fmt.Errorf("core: negative elems %d", elems)

@@ -119,6 +119,25 @@ func (g Grid) Points() []Point {
 	return out
 }
 
+// RunContext is Run under a cancellation context: once ctx is done, workers
+// stop evaluating and every remaining index fills its error slot with
+// ctx.Err() (already-completed points keep their results, so the output
+// shape is stable). A nil ctx degrades to plain Run. Cancellation is
+// checked at point boundaries — a point already being evaluated runs to
+// completion unless its own pricing path observes the same context.
+func RunContext[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, error)) ([]T, []error) {
+	if ctx == nil {
+		return Run(n, parallelism, fn)
+	}
+	return Run(n, parallelism, func(i int) (T, error) {
+		if err := ctx.Err(); err != nil {
+			var zero T
+			return zero, err
+		}
+		return fn(i)
+	})
+}
+
 // Run evaluates fn for every index in [0, n) on `parallelism` workers
 // (<= 0 selects GOMAXPROCS) and returns results and errors in index order
 // regardless of completion order. Each index is evaluated exactly once; a

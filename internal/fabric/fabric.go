@@ -41,6 +41,7 @@ import (
 	"fmt"
 	"math"
 
+	"wrht/internal/faults"
 	"wrht/internal/obs"
 	"wrht/internal/sim"
 )
@@ -477,6 +478,41 @@ func Simulate(budget int, jobs []Job, pol Policy) (Result, error) {
 // results are bit-identical to Simulate; a nil recorder costs one branch
 // per event.
 func SimulateObserved(budget int, jobs []Job, pol Policy, rec *obs.Recorder, proc string) (Result, error) {
+	return SimulateWith(budget, jobs, pol, faults.Plan{}, SchedOpts{Rec: rec, Proc: proc})
+}
+
+// cancelCheckEvery is how many executed events separate two cancellation
+// polls of SchedOpts.Cancel — coarse enough to be free on the hot path,
+// fine enough that a deadline kills a runaway co-simulation in well under a
+// millisecond of wall time.
+const cancelCheckEvery = 1024
+
+// SimulateWith is the generalized one-fabric entry point behind Simulate,
+// SimulateObserved, and SimulateFaults: an optional failure plan injected
+// on the run's private engine plus the full SchedOpts surface (recorder,
+// cancellation hook). An empty plan leaves every result bit-identical to
+// the fault-free path; a cancellation abandons the run at an event boundary
+// and returns the hook's error.
+func SimulateWith(budget int, jobs []Job, pol Policy, plan faults.Plan, opt SchedOpts) (Result, error) {
+	var evs []faults.Event
+	if !plan.Empty() {
+		if err := plan.Validate(1); err != nil {
+			return Result{}, err
+		}
+		var err error
+		evs, err = plan.Events(1)
+		if err != nil {
+			return Result{}, err
+		}
+		if faults.HasFabricEvents(evs) {
+			return Result{}, fmt.Errorf("fabric: fabric outage events need a fleet (internal/fleet)")
+		}
+		if pol.Kind == StaticPartition && faults.HasWavelengthEvents(evs) {
+			return Result{}, fmt.Errorf("fabric: wavelength faults are not supported under StaticPartition")
+		}
+		opt.Faults = true
+		opt.Retry = plan.Retry
+	}
 	if budget < 1 {
 		return Result{}, fmt.Errorf("fabric: wavelength budget %d", budget)
 	}
@@ -484,7 +520,7 @@ func SimulateObserved(budget int, jobs []Job, pol Policy, rec *obs.Recorder, pro
 		return Result{}, fmt.Errorf("fabric: no jobs")
 	}
 	var eng sim.Engine
-	s, err := NewScheduler(&eng, budget, pol, SchedOpts{Rec: rec, Proc: proc})
+	s, err := NewScheduler(&eng, budget, pol, opt)
 	if err != nil {
 		return Result{}, err
 	}
@@ -494,6 +530,19 @@ func SimulateObserved(budget int, jobs []Job, pol Policy, rec *obs.Recorder, pro
 			return Result{}, err
 		}
 	}
-	eng.Run()
+	for _, ev := range evs {
+		ev := ev
+		switch ev.Kind {
+		case faults.WavelengthDown:
+			eng.At(ev.TimeSec, func() { s.s.wavelengthsDown(ev.Count) })
+		case faults.WavelengthUp:
+			eng.At(ev.TimeSec, func() { s.s.wavelengthsUp(ev.Count) })
+		case faults.JobFault:
+			eng.At(ev.TimeSec, func() { s.s.injectJobFault(ev.Pick, ev.Job) })
+		}
+	}
+	if _, err := eng.RunChecked(cancelCheckEvery, opt.Cancel); err != nil {
+		return Result{}, err
+	}
 	return s.Finalize()
 }

@@ -14,7 +14,6 @@ import (
 
 	"wrht/internal/faults"
 	"wrht/internal/obs"
-	"wrht/internal/sim"
 )
 
 // Resubmit carries one outage-evicted job out of the scheduler so the
@@ -638,49 +637,5 @@ func (s *scheduler) emitFault(kind EventKind, width int) {
 // StaticPartition (shares are position-fixed; there is no pool to shrink).
 func SimulateFaults(budget int, jobs []Job, pol Policy, plan faults.Plan,
 	rec *obs.Recorder, proc string) (Result, error) {
-	if plan.Empty() {
-		return SimulateObserved(budget, jobs, pol, rec, proc)
-	}
-	if err := plan.Validate(1); err != nil {
-		return Result{}, err
-	}
-	evs, err := plan.Events(1)
-	if err != nil {
-		return Result{}, err
-	}
-	if faults.HasFabricEvents(evs) {
-		return Result{}, fmt.Errorf("fabric: fabric outage events need a fleet (internal/fleet)")
-	}
-	if pol.Kind == StaticPartition && faults.HasWavelengthEvents(evs) {
-		return Result{}, fmt.Errorf("fabric: wavelength faults are not supported under StaticPartition")
-	}
-	if len(jobs) == 0 {
-		return Result{}, fmt.Errorf("fabric: no jobs")
-	}
-	var eng sim.Engine
-	sch, err := NewScheduler(&eng, budget, pol, SchedOpts{
-		Rec: rec, Proc: proc, Faults: true, Retry: plan.Retry,
-	})
-	if err != nil {
-		return Result{}, err
-	}
-	sch.s.ownEng = true
-	for _, j := range jobs {
-		if err := sch.Submit(j); err != nil {
-			return Result{}, err
-		}
-	}
-	for _, ev := range evs {
-		ev := ev
-		switch ev.Kind {
-		case faults.WavelengthDown:
-			eng.At(ev.TimeSec, func() { sch.s.wavelengthsDown(ev.Count) })
-		case faults.WavelengthUp:
-			eng.At(ev.TimeSec, func() { sch.s.wavelengthsUp(ev.Count) })
-		case faults.JobFault:
-			eng.At(ev.TimeSec, func() { sch.s.injectJobFault(ev.Pick, ev.Job) })
-		}
-	}
-	eng.Run()
-	return sch.Finalize()
+	return SimulateWith(budget, jobs, pol, plan, SchedOpts{Rec: rec, Proc: proc})
 }

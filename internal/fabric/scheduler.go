@@ -44,6 +44,13 @@ type SchedOpts struct {
 	// re-routes them per its recovery policy. (Jobs resident at Outage()
 	// time are returned by Outage itself.)
 	OnEvict func(Resubmit)
+	// Cancel, when set, is polled at event boundaries (every
+	// sim.Engine.RunChecked interval) by the Simulate* entry points; a
+	// non-nil return abandons the co-simulation with that error. This is
+	// how serving deadlines propagate into a running fabric simulation.
+	// Ignored by callers that drive the engine themselves (internal/fleet
+	// has its own Options.Cancel).
+	Cancel func() error
 }
 
 // Scheduler is one fabric's scheduler bound to an externally owned event

@@ -112,8 +112,16 @@ func (r Retry) Validate() error {
 	if r.MaxRetries < 1 {
 		return fmt.Errorf("faults: retry budget %d (need >= 1)", r.MaxRetries)
 	}
+	if r.MaxRetries > MaxRetryBudget {
+		return fmt.Errorf("faults: retry budget %d (max %d)", r.MaxRetries, MaxRetryBudget)
+	}
 	return nil
 }
+
+// MaxRetryBudget bounds the per-job retry budget: every retry replays real
+// simulation work, so an absurd budget turns one unlucky job into an
+// unbounded run.
+const MaxRetryBudget = 1_000_000
 
 // Delay returns the backoff before retry number attempt (0-based):
 // BackoffSec·2^attempt, capped at BackoffMaxSec.
@@ -185,6 +193,13 @@ func mtbfField(name string, mtbf, mttr float64, needMTTR bool) error {
 	return nil
 }
 
+// MaxExpectedFaults bounds the expected generated event count of one
+// generator stream (HorizonSec / MTBF). Plans expand into a concrete
+// time-sorted event list before simulation, so a pathological tiny MTBF
+// against a long horizon would otherwise allocate billions of events and
+// hang the run instead of erroring.
+const MaxExpectedFaults = 200_000
+
 // Validate rejects unusable plans. nFabrics bounds scripted fabric indexes.
 func (p Plan) Validate(nFabrics int) error {
 	if err := mtbfField("wavelength", p.WavelengthMTBFSec, p.WavelengthMTTRSec, true); err != nil {
@@ -195,6 +210,19 @@ func (p Plan) Validate(nFabrics int) error {
 	}
 	if err := mtbfField("fabric", p.FabricMTBFSec, p.FabricMTTRSec, true); err != nil {
 		return err
+	}
+	for _, g := range []struct {
+		name string
+		mtbf float64
+	}{
+		{"wavelength", p.WavelengthMTBFSec},
+		{"job-fault", p.JobFaultMTBFSec},
+		{"fabric", p.FabricMTBFSec},
+	} {
+		if g.mtbf > 0 && p.HorizonSec/g.mtbf > MaxExpectedFaults {
+			return fmt.Errorf("faults: %s generator expects ~%.0f events over the %v s horizon (max %d)",
+				g.name, p.HorizonSec/g.mtbf, p.HorizonSec, MaxExpectedFaults)
+		}
 	}
 	if p.WavelengthsPerFault < 0 {
 		return fmt.Errorf("faults: wavelengths per fault %d (need >= 0)", p.WavelengthsPerFault)

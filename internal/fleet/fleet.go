@@ -177,6 +177,11 @@ type Options struct {
 	// budgets (zero values take faults.Retry defaults).
 	Recovery RecoveryPolicy
 	Retry    faults.Retry
+	// Cancel, when set, is polled every few thousand executed events on
+	// the shared timeline; a non-nil return abandons the co-simulation
+	// with that error. This is the seam serving deadlines use to stop a
+	// killed fleet query from burning a worker to completion.
+	Cancel func() error
 }
 
 // FabricSummary is one fabric's share of a fleet run.
@@ -412,7 +417,9 @@ func (f *fleet) run() (Result, error) {
 		ev := ev
 		f.eng.At(ev.TimeSec, func() { f.inject(ev) })
 	}
-	f.eng.Run()
+	if _, err := f.eng.RunChecked(1024, opt.Cancel); err != nil {
+		return Result{}, err
+	}
 	if f.err != nil {
 		return Result{}, f.err
 	}

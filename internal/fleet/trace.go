@@ -22,6 +22,11 @@ const (
 	HeavyTail
 )
 
+// MaxTraceJobs bounds generated trace length: traces materialize as a
+// slice before simulation, so an absurd count would allocate gigabytes
+// instead of erroring.
+const MaxTraceJobs = 1_000_000
+
 func (k TraceKind) String() string {
 	switch k {
 	case Poisson:
@@ -109,6 +114,9 @@ func (s TraceSpec) Validate() error {
 	}
 	if s.Jobs < 1 {
 		return fmt.Errorf("fleet: trace job count %d (need >= 1)", s.Jobs)
+	}
+	if s.Jobs > MaxTraceJobs {
+		return fmt.Errorf("fleet: trace job count %d (max %d)", s.Jobs, MaxTraceJobs)
 	}
 	if s.MeanGapSec <= 0 || math.IsNaN(s.MeanGapSec) || math.IsInf(s.MeanGapSec, 0) {
 		return fmt.Errorf("fleet: trace mean gap %v (need > 0)", s.MeanGapSec)

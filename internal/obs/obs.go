@@ -134,6 +134,7 @@ type Recorder struct {
 	insts    []instant
 	samples  []sample
 	lanes    map[laneKey]*lane
+	hists    map[string]*Histogram // lazily created by Hist
 }
 
 // New returns an enabled, empty recorder.

@@ -34,6 +34,7 @@ type LaneStat struct {
 type Snapshot struct {
 	Counters []Counter
 	Gauges   []GaugeStat
+	Hists    []HistStat
 	Lanes    []LaneStat
 	Spans    int
 	Instants int
@@ -62,6 +63,7 @@ func (r *Recorder) Snapshot() Snapshot {
 		s.Gauges = append(s.Gauges, GaugeStat{Name: name, Last: g.last, Max: g.max})
 	}
 	sort.Slice(s.Gauges, func(i, j int) bool { return s.Gauges[i].Name < s.Gauges[j].Name })
+	s.Hists = r.histStatsLocked()
 	s.Lanes = make([]LaneStat, 0, len(r.lanes))
 	for key, ln := range r.lanes {
 		s.Lanes = append(s.Lanes, LaneStat{
@@ -101,6 +103,16 @@ func (s Snapshot) Tables() []*stats.Table {
 			gt.AddRowf(g.Name, g.Last, g.Max)
 		}
 		out = append(out, gt)
+	}
+	if len(s.Hists) > 0 {
+		ht := stats.NewTable("Latency", "name", "count", "mean", "p50", "p90", "p99", "max")
+		for _, h := range s.Hists {
+			ht.AddRowf(h.Name, h.Count,
+				stats.FormatSeconds(h.Mean), stats.FormatSeconds(h.P50),
+				stats.FormatSeconds(h.P90), stats.FormatSeconds(h.P99),
+				stats.FormatSeconds(h.Max))
+		}
+		out = append(out, ht)
 	}
 	if len(s.Lanes) > 0 {
 		lt := stats.NewTable("Wavelength occupancy", "process", "wavelength", "busy", "segments")

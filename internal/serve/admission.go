@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Class partitions the service's endpoints by cost so overload control can
+// treat them differently: single-point pricing is microseconds warm, fabric
+// and fleet co-simulations are milliseconds to seconds, and sweeps are
+// unbounded grids. Each class gets its own worker pool and bounded queue, so
+// a flood of expensive requests can never starve the cheap class — the
+// degradation contract (keep single-point pricing alive) falls out of the
+// partitioning rather than being bolted on.
+type Class int
+
+const (
+	ClassPoint  Class = iota // /v1/commtime
+	ClassFabric              // /v1/fabric
+	ClassFleet               // /v1/fleet
+	ClassSweep               // /v1/sweep
+	numClasses
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassPoint:
+		return "point"
+	case ClassFabric:
+		return "fabric"
+	case ClassFleet:
+		return "fleet"
+	case ClassSweep:
+		return "sweep"
+	}
+	return "unknown"
+}
+
+// admitOutcome is the admission decision for one request.
+type admitOutcome int
+
+const (
+	admitted admitOutcome = iota
+	shedQueueFull
+	shedDeadline
+)
+
+// admitter is one class's bounded admission gate: a fixed worker pool
+// (buffered channel of slots) fronted by a bounded in-system count, so at
+// most workers+queue requests occupy the class at once. The shed decision —
+// system full — is a single atomic add-and-compare with no locks and no
+// waiting, so rejected requests turn around in microseconds regardless of
+// how congested the workers are; that is the property the 429 fast-path
+// contract tests pin down.
+type admitter struct {
+	slots    chan struct{} // capacity = worker count
+	inSystem atomic.Int64  // admitted and not yet released
+	workers  int64
+	capacity int64 // workers + queue depth
+}
+
+func newAdmitter(workers, queue int) *admitter {
+	if workers < 1 {
+		workers = 1
+	}
+	if queue < 0 {
+		queue = 0
+	}
+	return &admitter{
+		slots:    make(chan struct{}, workers),
+		workers:  int64(workers),
+		capacity: int64(workers + queue),
+	}
+}
+
+// admit tries to enter the class. On success it returns admitted and a
+// release function the caller must invoke when the work finishes. A full
+// system sheds immediately (shedQueueFull → 429); a context that expires
+// while queued sheds without ever occupying a worker (shedDeadline → 504).
+func (a *admitter) admit(ctx context.Context) (func(), admitOutcome) {
+	if a.inSystem.Add(1) > a.capacity {
+		a.inSystem.Add(-1)
+		return nil, shedQueueFull
+	}
+	select {
+	case a.slots <- struct{}{}:
+		return func() {
+			<-a.slots
+			a.inSystem.Add(-1)
+		}, admitted
+	case <-ctx.Done():
+		a.inSystem.Add(-1)
+		return nil, shedDeadline
+	}
+}
+
+// pressure is the wait-queue occupancy fraction in [0, 1]: requests beyond
+// the worker pool against the configured queue depth. The degrader samples
+// this on every arrival.
+func (a *admitter) pressure() float64 {
+	queued := a.inSystem.Load() - a.workers
+	depth := a.capacity - a.workers
+	if queued <= 0 {
+		return 0
+	}
+	if depth == 0 || queued >= depth {
+		return 1
+	}
+	return float64(queued) / float64(depth)
+}

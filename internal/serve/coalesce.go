@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// errQuarantined marks a request key whose pricing previously panicked. The
+// key stays poisoned for the server's lifetime: a panic is a bug in the
+// engine for that exact input, so re-running it would re-panic — the server
+// answers 500 immediately instead of burning a worker to find out again.
+var errQuarantined = errors.New("serve: request quarantined after engine panic")
+
+// errPanicked is what the panicking request itself (and any followers
+// coalesced onto it) observes.
+var errPanicked = errors.New("serve: engine panicked")
+
+// maxQuarantined bounds the poison set; beyond it the oldest keys are
+// dropped (they would re-panic and re-quarantine, which is correct, just
+// slower).
+const maxQuarantined = 1024
+
+// flight is one in-progress computation; followers block on done.
+type flight struct {
+	done chan struct{}
+	val  any
+	err  error
+}
+
+// flightGroup is request coalescing (singleflight) with panic isolation.
+// Identical concurrent requests — same canonical key — share one execution:
+// the first caller becomes the leader and runs fn, later callers block until
+// the leader finishes and receive the same value. The session caches below
+// already coalesce the *simulation*; this layer also coalesces the
+// per-request decode/validate/assembly work and gives the server one place
+// to catch panics: a panicking leader poisons the key, every coalesced
+// follower gets the same 500, and the worker goroutine survives.
+type flightGroup struct {
+	mu       sync.Mutex
+	inflight map[string]*flight
+	poisoned map[string]string // key → panic message
+	poisonQ  []string          // FIFO of poisoned keys for bounded eviction
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{
+		inflight: make(map[string]*flight),
+		poisoned: make(map[string]string),
+	}
+}
+
+// do runs fn under key, coalescing concurrent duplicates. shared reports
+// whether this caller rode an existing flight. A fn panic is recovered: the
+// key is quarantined, and both leader and followers get errPanicked.
+func (g *flightGroup) do(key string, fn func() (any, error)) (val any, err error, shared bool) {
+	g.mu.Lock()
+	if msg, ok := g.poisoned[key]; ok {
+		g.mu.Unlock()
+		return nil, fmt.Errorf("%w (panic: %s)", errQuarantined, msg), false
+	}
+	if f, ok := g.inflight[key]; ok {
+		g.mu.Unlock()
+		<-f.done
+		return f.val, f.err, true
+	}
+	f := &flight{done: make(chan struct{})}
+	g.inflight[key] = f
+	g.mu.Unlock()
+
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				f.err = fmt.Errorf("%w: %v", errPanicked, r)
+				g.quarantine(key, fmt.Sprint(r))
+			}
+		}()
+		f.val, f.err = fn()
+	}()
+
+	g.mu.Lock()
+	delete(g.inflight, key)
+	g.mu.Unlock()
+	close(f.done)
+	return f.val, f.err, false
+}
+
+func (g *flightGroup) quarantine(key, msg string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, ok := g.poisoned[key]; ok {
+		return
+	}
+	g.poisoned[key] = msg
+	g.poisonQ = append(g.poisonQ, key)
+	for len(g.poisonQ) > maxQuarantined {
+		delete(g.poisoned, g.poisonQ[0])
+		g.poisonQ = g.poisonQ[1:]
+	}
+}
+
+// quarantined returns the number of poisoned keys.
+func (g *flightGroup) quarantined() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.poisoned)
+}

@@ -1,0 +1,123 @@
+package serve
+
+import (
+	"sync"
+	"time"
+)
+
+// Degrade tiers. The service degrades by cost, most expensive first, so
+// sustained overload narrows the API instead of collapsing it: tier 1 stops
+// accepting sweeps (unbounded grids), tier 2 also stops fleet
+// co-simulations, and single-point pricing plus single-fabric pricing stay
+// alive at every tier. Tier changes are driven by admission-queue pressure
+// with hysteresis on both edges: a transient burst is the 429 shed path's
+// job, so stepping a tier up requires pressure held at or above Hi for
+// UpHold, and stepping back down requires pressure held at or below Lo for
+// Hold — a sawtooth load flaps neither way.
+const (
+	tierNormal   = 0
+	tierNoSweeps = 1
+	tierNoFleet  = 2
+)
+
+type degradeConfig struct {
+	// Hi is the pressure at or above which overload credit accrues.
+	Hi float64
+	// Lo is the pressure at or below which recovery credit accrues.
+	Lo float64
+	// UpHold is how long pressure must stay at or above Hi before one tier
+	// step up.
+	UpHold time.Duration
+	// Hold is how long pressure must stay at or below Lo before one tier
+	// step down.
+	Hold time.Duration
+}
+
+func (c degradeConfig) withDefaults() degradeConfig {
+	if c.Hi <= 0 {
+		c.Hi = 0.75
+	}
+	if c.Lo <= 0 {
+		c.Lo = 0.25
+	}
+	if c.Lo > c.Hi {
+		c.Lo = c.Hi
+	}
+	if c.UpHold <= 0 {
+		c.UpHold = 500 * time.Millisecond
+	}
+	if c.Hold <= 0 {
+		c.Hold = 2 * time.Second
+	}
+	return c
+}
+
+// degrader tracks the current degrade tier from sampled queue pressure.
+// now is injected so hysteresis is testable without sleeping.
+type degrader struct {
+	cfg degradeConfig
+	now func() time.Time
+
+	mu       sync.Mutex
+	tier     int
+	hiSince  time.Time // zero: pressure not currently in overload band
+	lowSince time.Time // zero: pressure not currently in recovery band
+}
+
+func newDegrader(cfg degradeConfig, now func() time.Time) *degrader {
+	if now == nil {
+		now = time.Now
+	}
+	return &degrader{cfg: cfg.withDefaults(), now: now}
+}
+
+// observe folds one pressure sample (the max across admission queues, or
+// 1.0 for a shed) into the tier state and returns the tier to enforce for
+// the observing request.
+func (d *degrader) observe(pressure float64) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	switch {
+	case pressure >= d.cfg.Hi:
+		d.lowSince = time.Time{}
+		t := d.now()
+		if d.hiSince.IsZero() {
+			d.hiSince = t
+		} else if d.tier < tierNoFleet && t.Sub(d.hiSince) >= d.cfg.UpHold {
+			d.tier++
+			d.hiSince = t
+		}
+	case pressure <= d.cfg.Lo:
+		d.hiSince = time.Time{}
+		t := d.now()
+		if d.lowSince.IsZero() {
+			d.lowSince = t
+		} else if d.tier > tierNormal && t.Sub(d.lowSince) >= d.cfg.Hold {
+			d.tier--
+			d.lowSince = t
+		}
+	default:
+		// Between the bands: hold the current tier, reset both credits.
+		d.hiSince = time.Time{}
+		d.lowSince = time.Time{}
+	}
+	return d.tier
+}
+
+// current returns the tier without folding in a new sample.
+func (d *degrader) current() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.tier
+}
+
+// rejects reports whether the tier sheds the given class.
+func (d *degrader) rejects(tier int, c Class) bool {
+	switch c {
+	case ClassSweep:
+		return tier >= tierNoSweeps
+	case ClassFleet:
+		return tier >= tierNoFleet
+	}
+	return false
+}

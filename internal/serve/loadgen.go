@@ -1,0 +1,207 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"wrht/internal/obs"
+)
+
+// LoadSpec drives one load-generation run against a serve endpoint.
+type LoadSpec struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// Endpoint is the path to hit, e.g. "/v1/commtime".
+	Endpoint string
+	// Bodies are the JSON payloads, issued round-robin per worker. At
+	// least one is required unless NewBody is set.
+	Bodies [][]byte
+	// NewBody, when set, generates the i-th request's payload and takes
+	// precedence over Bodies. Generating a unique payload per request keeps
+	// every request cold (the server's session caches make repeats
+	// near-free), which is what a queue-saturation run needs.
+	NewBody func(i int) []byte
+	// Concurrency is the closed-loop worker count (default 1). Each worker
+	// issues requests back to back, so offered load tracks service
+	// capacity.
+	Concurrency int
+	// RatePerSec, when > 0, switches to open-loop: requests start on a
+	// fixed schedule regardless of completions, which is what actually
+	// overloads a server (closed loops self-throttle). In-flight requests
+	// are capped at MaxInflight to keep the generator itself bounded.
+	RatePerSec float64
+	// MaxInflight bounds open-loop concurrency (default 1024).
+	MaxInflight int
+	// Duration bounds the run (default 2s); ctx cancellation stops early.
+	Duration time.Duration
+	// Client defaults to a dedicated http.Client with generous timeouts.
+	Client *http.Client
+}
+
+// LoadReport summarizes one load run.
+type LoadReport struct {
+	Endpoint    string        `json:"endpoint"`
+	Mode        string        `json:"mode"` // "closed" or "open"
+	Requests    int64         `json:"requests"`
+	Errors      int64         `json:"errors"` // transport-level failures
+	ByStatus    map[int]int64 `json:"by_status"`
+	DurationSec float64       `json:"duration_sec"`
+	QPS         float64       `json:"qps"` // completed requests per second
+	// Latency quantiles over all completed requests, milliseconds.
+	MeanMillis float64 `json:"mean_ms"`
+	P50Millis  float64 `json:"p50_ms"`
+	P90Millis  float64 `json:"p90_ms"`
+	P99Millis  float64 `json:"p99_ms"`
+	MaxMillis  float64 `json:"max_ms"`
+}
+
+// OK returns the number of 200 responses.
+func (r LoadReport) OK() int64 { return r.ByStatus[http.StatusOK] }
+
+// Shed returns the number of 429 responses.
+func (r LoadReport) Shed() int64 { return r.ByStatus[http.StatusTooManyRequests] }
+
+// loadCounters is the shared accumulation state of one run.
+type loadCounters struct {
+	mu       sync.Mutex
+	byStatus map[int]int64
+	errors   int64
+	requests atomic.Int64
+	hist     *obs.Histogram
+}
+
+func (c *loadCounters) record(status int, err error, elapsed time.Duration) {
+	c.requests.Add(1)
+	c.hist.Observe(elapsed.Seconds())
+	c.mu.Lock()
+	if err != nil {
+		c.errors++
+	} else {
+		c.byStatus[status]++
+	}
+	c.mu.Unlock()
+}
+
+// RunLoad executes the spec and reports latency quantiles, QPS, and the
+// status breakdown.
+func RunLoad(ctx context.Context, spec LoadSpec) (LoadReport, error) {
+	if len(spec.Bodies) == 0 && spec.NewBody == nil {
+		return LoadReport{}, fmt.Errorf("loadgen: no request bodies")
+	}
+	body := spec.NewBody
+	if body == nil {
+		body = func(i int) []byte { return spec.Bodies[i%len(spec.Bodies)] }
+	}
+	if spec.Concurrency <= 0 {
+		spec.Concurrency = 1
+	}
+	if spec.Duration <= 0 {
+		spec.Duration = 2 * time.Second
+	}
+	if spec.MaxInflight <= 0 {
+		spec.MaxInflight = 1024
+	}
+	client := spec.Client
+	if client == nil {
+		client = &http.Client{Timeout: 5 * time.Minute}
+	}
+	url := spec.BaseURL + spec.Endpoint
+	ctr := &loadCounters{byStatus: make(map[int]int64), hist: obs.NewHistogram()}
+
+	runCtx, cancel := context.WithTimeout(ctx, spec.Duration)
+	defer cancel()
+	t0 := time.Now()
+	mode := "closed"
+	if spec.RatePerSec > 0 {
+		mode = "open"
+		runOpenLoop(runCtx, spec, body, client, url, ctr)
+	} else {
+		runClosedLoop(runCtx, spec, body, client, url, ctr)
+	}
+	elapsed := time.Since(t0)
+
+	rep := LoadReport{
+		Endpoint:    spec.Endpoint,
+		Mode:        mode,
+		Requests:    ctr.requests.Load(),
+		Errors:      ctr.errors,
+		ByStatus:    ctr.byStatus,
+		DurationSec: elapsed.Seconds(),
+	}
+	if rep.DurationSec > 0 {
+		rep.QPS = float64(rep.Requests) / rep.DurationSec
+	}
+	st := ctr.hist.Stat("lat")
+	rep.MeanMillis = st.Mean * 1e3
+	rep.P50Millis = st.P50 * 1e3
+	rep.P90Millis = st.P90 * 1e3
+	rep.P99Millis = st.P99 * 1e3
+	rep.MaxMillis = st.Max * 1e3
+	return rep, nil
+}
+
+func issue(client *http.Client, url string, body []byte, ctr *loadCounters) {
+	t0 := time.Now()
+	resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+	status := 0
+	if err == nil {
+		status = resp.StatusCode
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	ctr.record(status, err, time.Since(t0))
+}
+
+func runClosedLoop(ctx context.Context, spec LoadSpec, body func(int) []byte, client *http.Client, url string, ctr *loadCounters) {
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				issue(client, url, body(int(next.Add(1)-1)), ctr)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func runOpenLoop(ctx context.Context, spec LoadSpec, body func(int) []byte, client *http.Client, url string, ctr *loadCounters) {
+	interval := time.Duration(float64(time.Second) / spec.RatePerSec)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan struct{}, spec.MaxInflight)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	var wg sync.WaitGroup
+	i := 0
+	for {
+		select {
+		case <-ctx.Done():
+			wg.Wait()
+			return
+		case <-ticker.C:
+			select {
+			case sem <- struct{}{}:
+			default:
+				continue // generator saturated: drop the tick, stay bounded
+			}
+			b := body(i)
+			i++
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				defer func() { <-sem }()
+				issue(client, url, b, ctr)
+			}()
+		}
+	}
+}

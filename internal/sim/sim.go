@@ -211,6 +211,33 @@ func (e *Engine) Run() float64 {
 	return e.now
 }
 
+// RunChecked is Run with a cancellation hook: check is invoked every
+// `every` executed events (<= 0 selects a default of 1024), and a non-nil
+// return abandons the simulation — the pending queue is dropped and the
+// check's error is returned with the clock frozen at the abandonment
+// instant. A nil check degrades to plain Run. This is the seam that lets a
+// serving deadline kill an in-flight fabric or fleet co-simulation at an
+// event boundary instead of burning a worker to completion.
+func (e *Engine) RunChecked(every int64, check func() error) (float64, error) {
+	if check == nil {
+		return e.Run(), nil
+	}
+	if every <= 0 {
+		every = 1024
+	}
+	n := int64(0)
+	for len(e.heap) > 0 {
+		e.step()
+		if n++; n%every == 0 {
+			if err := check(); err != nil {
+				e.heap = e.heap[:0]
+				return e.now, err
+			}
+		}
+	}
+	return e.now, nil
+}
+
 // RunUntil executes events with time <= t, then sets the clock to t (if the
 // queue drained earlier) and returns the number of events executed.
 func (e *Engine) RunUntil(t float64) int64 {

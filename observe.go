@@ -31,13 +31,18 @@ type Observer struct {
 
 // Observe enables the session's flight recorder (idempotent: repeated calls
 // return a handle on the same recorder) and returns the Observer used to
-// export its artifacts. Call it before issuing pricing work on the session;
-// enabling mid-flight is racy with in-progress sweeps.
+// export its artifacts. Enabling is safe to race with in-flight pricing —
+// the recorder pointer is swapped in atomically, so concurrent calls that
+// sampled the pre-swap state simply finish unobserved and everything that
+// starts afterwards records. For byte-deterministic trace exports, still
+// call Observe before issuing pricing work (a half-observed sweep records a
+// nondeterministic subset of its runs).
 func (ss *SweepSession) Observe() *Observer {
-	if ss.sess.rec == nil {
-		ss.sess.rec = obs.New()
+	rec := obs.New()
+	if !ss.sess.rec.CompareAndSwap(nil, rec) {
+		rec = ss.sess.rec.Load()
 	}
-	return &Observer{rec: ss.sess.rec}
+	return &Observer{rec: rec}
 }
 
 // WriteTrace exports the session's recorded streams as Chrome trace-event
@@ -75,6 +80,17 @@ type GaugeMetric struct {
 	Max  float64
 }
 
+// LatencyMetric summarizes one recorded latency histogram (seconds).
+type LatencyMetric struct {
+	Name  string
+	Count int64
+	Mean  float64
+	P50   float64
+	P90   float64
+	P99   float64
+	Max   float64
+}
+
 // WavelengthUse is one wavelength's accumulated busy time within one
 // recorded fabric simulation (Process names the simulation).
 type WavelengthUse struct {
@@ -91,6 +107,7 @@ type MetricsSnapshot struct {
 	Cache       CacheStats
 	Counters    []Metric
 	Gauges      []GaugeMetric
+	Latencies   []LatencyMetric
 	Wavelengths []WavelengthUse
 	// Spans/Instants/Samples count the recorded trace stream entries.
 	Spans, Instants, Samples int
@@ -111,6 +128,9 @@ func (ss *SweepSession) Snapshot() MetricsSnapshot {
 	}
 	for _, g := range snap.Gauges {
 		out.Gauges = append(out.Gauges, GaugeMetric(g))
+	}
+	for _, h := range snap.Hists {
+		out.Latencies = append(out.Latencies, LatencyMetric(h))
 	}
 	for _, ln := range snap.Lanes {
 		out.Wavelengths = append(out.Wavelengths, WavelengthUse{
@@ -145,6 +165,16 @@ func (s MetricsSnapshot) tables() []*stats.Table {
 			gauges.AddRowf(g.Name, g.Last, g.Max)
 		}
 		out = append(out, gauges)
+	}
+	if len(s.Latencies) > 0 {
+		lat := stats.NewTable("Latency", "name", "count", "mean", "p50", "p90", "p99", "max")
+		for _, h := range s.Latencies {
+			lat.AddRowf(h.Name, h.Count,
+				stats.FormatSeconds(h.Mean), stats.FormatSeconds(h.P50),
+				stats.FormatSeconds(h.P90), stats.FormatSeconds(h.P99),
+				stats.FormatSeconds(h.Max))
+		}
+		out = append(out, lat)
 	}
 	if len(s.Wavelengths) > 0 {
 		lanes := stats.NewTable("Wavelength occupancy", "process", "wavelength", "busy", "segments")

@@ -1,0 +1,111 @@
+package wrht_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"wrht/internal/obs"
+	"wrht/internal/serve"
+)
+
+// BenchmarkServeOverload prices the serving layer itself: one op is a full
+// closed-loop overload burst of unique (always-cold) sweep requests against
+// a server with a single sweep worker and a one-slot queue, through the
+// complete pipeline — decode, admission, degradation sampling, coalescing,
+// session shard, simulation, encode. The custom metrics carry the overload
+// contracts into the bench report: p99 latency of completed requests, p99
+// latency of 429 sheds (the shed path must stay in microseconds–
+// milliseconds while workers grind), completed-request throughput, and the
+// shed fraction (which must be > 0 at these queue depths, or the burst
+// never saturated admission and the numbers measure nothing).
+func BenchmarkServeOverload(b *testing.B) {
+	requests, conc := 96, 12
+	if testing.Short() {
+		requests, conc = 36, 12
+	}
+	// The sub-benchmark name carries the burst scale, so the committed
+	// allocation ceilings and wall-time gates never compare across scales.
+	b.Run(fmt.Sprintf("req%d/c%d", requests, conc), func(b *testing.B) {
+		benchServeOverload(b, requests, conc)
+	})
+}
+
+func benchServeOverload(b *testing.B, requests, conc int) {
+	srv := serve.New(serve.Config{
+		Shards: 2,
+		Sweep:  serve.ClassLimits{Workers: 1, Queue: 1, Deadline: 30 * time.Second},
+	})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	client := &http.Client{Timeout: time.Minute}
+	url := ts.URL + "/v1/sweep"
+
+	var shed, ok, errors atomic.Int64
+	okHist, shedHist := obs.NewHistogram(), obs.NewHistogram()
+	var seq atomic.Int64 // unique across ops: every request stays cold
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < conc; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for next.Add(1) <= int64(requests) {
+					// Heavy enough (hundreds of ms cold) that in-flight work
+					// genuinely overlaps arrivals; unique MessageBytes keep
+					// every request cold and un-coalescable.
+					n := seq.Add(1)
+					body := fmt.Sprintf(
+						`{"Spec": {"Nodes": [1024, 2048], "MessageBytes": [%d, %d], "Algorithms": ["wrht", "e-ring", "o-ring", "rd", "hd"]}}`,
+						64<<20+n*4096, 128<<20+n*4096)
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader([]byte(body)))
+					if err != nil {
+						errors.Add(1)
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					elapsed := time.Since(t0).Seconds()
+					switch resp.StatusCode {
+					case http.StatusOK:
+						ok.Add(1)
+						okHist.Observe(elapsed)
+					case http.StatusTooManyRequests:
+						shed.Add(1)
+						shedHist.Observe(elapsed)
+					default:
+						errors.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if _, err := srv.Drain(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+
+	if ok.Load() == 0 || shed.Load() == 0 {
+		b.Fatalf("overload burst must both complete and shed work (ok %d, shed %d, errors %d): the contract numbers are vacuous otherwise",
+			ok.Load(), shed.Load(), errors.Load())
+	}
+	if errors.Load() > 0 {
+		b.Fatalf("%d requests failed outside the 200/429 contract", errors.Load())
+	}
+	b.ReportMetric(okHist.Stat("ok").P99*1e3, "ok-p99-ms")
+	b.ReportMetric(shedHist.Stat("shed").P99*1e3, "shed-p99-ms")
+	b.ReportMetric(float64(ok.Load())/b.Elapsed().Seconds(), "qps")
+	b.ReportMetric(float64(shed.Load())/float64(ok.Load()+shed.Load()), "shed-frac")
+}

@@ -3,6 +3,7 @@ package wrht
 import (
 	"fmt"
 	"hash/fnv"
+	"sync/atomic"
 
 	"wrht/internal/collective"
 	"wrht/internal/core"
@@ -21,10 +22,12 @@ type session struct {
 	scheds *exp.ScheduleCache
 	sims   *exp.SimCache
 	fabric *fabricCache
-	// rec is the session's flight recorder; nil (the default) disables
-	// observability at zero cost. Set once via SweepSession.Observe before
-	// pricing begins — the recorder pointer itself is not synchronized.
-	rec *obs.Recorder
+	// rec is the session's flight recorder; a nil load (the default)
+	// disables observability at zero cost beyond the atomic read. The
+	// pointer is atomic so SweepSession.Observe is safe to race with
+	// in-flight pricing: calls that loaded nil before the swap simply
+	// finish unobserved, and everything after records.
+	rec atomic.Pointer[obs.Recorder]
 }
 
 // recorder returns the session's flight recorder; nil sessions (and
@@ -33,7 +36,7 @@ func (s *session) recorder() *obs.Recorder {
 	if s == nil {
 		return nil
 	}
-	return s.rec
+	return s.rec.Load()
 }
 
 // simProc names one substrate simulation's recorder process: the hash of the
@@ -95,7 +98,7 @@ func (s *session) simOptical(key exp.ScheduleKey, cls *collective.ClassSchedule,
 	}
 	simKey := exp.SimKey{Sched: key, OptOpts: opts}
 	return s.sims.Run(simKey, func() (runner.Result, error) {
-		return runner.RunOpticalClassedObserved(cls, opts, s.rec, s.simProc(simKey))
+		return runner.RunOpticalClassedObserved(cls, opts, s.recorder(), s.simProc(simKey))
 	})
 }
 
@@ -109,7 +112,7 @@ func (s *session) simElectrical(key exp.ScheduleKey, cls *collective.ClassSchedu
 	}
 	simKey := exp.SimKey{Sched: key, Electrical: true, ElecOpts: opts}
 	return s.sims.Run(simKey, func() (runner.Result, error) {
-		return runner.RunElectricalClassedObserved(cls, opts, s.rec, s.simProc(simKey))
+		return runner.RunElectricalClassedObserved(cls, opts, s.recorder(), s.simProc(simKey))
 	})
 }
 
@@ -136,7 +139,7 @@ func NewSweepSession() *SweepSession {
 
 // RunSweep is RunSweep sharing this session's caches.
 func (ss *SweepSession) RunSweep(spec SweepSpec) (*SweepResult, error) {
-	return runSweep(spec, ss.sess)
+	return runSweep(nil, spec, ss.sess)
 }
 
 // CommunicationTime is CommunicationTime sharing this session's caches.
@@ -154,14 +157,14 @@ func (ss *SweepSession) SimulateFabric(cfg Config, jobs []JobSpec, policy Fabric
 	if err != nil {
 		return FabricResult{}, err
 	}
-	return simulateFabric(cfg, jobs, policy, ss.sess.fabric, fp)
+	return simulateFabric(cfg, jobs, policy, ss.sess.fabric, fp, nil)
 }
 
 // SimulateFleet is SimulateFleet sharing this session's caches: per-shape
 // runtime curves persist across calls and across fabrics with equal ring
 // sizes, so sweeping placements or traces over the same fleet prices warm.
 func (ss *SweepSession) SimulateFleet(cfg Config, fabrics []FleetFabricSpec, shapes []FleetShape, jobs []FleetJob, opt FleetOptions) (FleetResult, error) {
-	return simulateFleet(cfg, fabrics, shapes, jobs, opt, ss.sess.fabric)
+	return simulateFleet(cfg, fabrics, shapes, jobs, opt, ss.sess.fabric, nil)
 }
 
 // CompareFabricPolicies is CompareFabricPolicies sharing this session's

@@ -1,6 +1,7 @@
 package wrht
 
 import (
+	"context"
 	"fmt"
 
 	"wrht/internal/dnn"
@@ -163,23 +164,27 @@ const (
 // completion order. Per-point failures are captured in their cells; RunSweep
 // itself only fails on a malformed spec.
 func RunSweep(spec SweepSpec) (*SweepResult, error) {
-	return runSweep(spec, newSession())
+	return runSweep(nil, spec, newSession())
 }
 
 // runSweep is RunSweep on an explicit session (SweepSession reuses one
-// across calls, making the caches cross-run).
-func runSweep(spec SweepSpec, sess *session) (*SweepResult, error) {
+// across calls, making the caches cross-run) and an optional cancellation
+// context: once ctx is done, unevaluated points fill their Err slots with
+// ctx.Err() and in-flight fabric points abandon their co-simulations at the
+// next event boundary.
+func runSweep(ctx context.Context, spec SweepSpec, sess *session) (*SweepResult, error) {
 	mode, err := spec.mode()
 	if err != nil {
 		return nil, err
 	}
 	spec = spec.normalized(mode)
 	pts := spec.grid(mode).Points()
-	cells, _ := exp.Run(len(pts), spec.Parallelism, func(i int) (SweepCell, error) {
+	cancel := ctxCancel(ctx)
+	cells, errs := exp.RunContext(ctx, len(pts), spec.Parallelism, func(i int) (SweepCell, error) {
 		var cell SweepCell
 		switch mode {
 		case sweepFabric:
-			cell = spec.priceFabric(pts[i], sess.fabric)
+			cell = spec.priceFabric(pts[i], sess.fabric, cancel)
 		case sweepMultiRack:
 			cell = spec.priceMultiRack(pts[i], sess.buildPlan)
 		default:
@@ -187,6 +192,14 @@ func runSweep(spec SweepSpec, sess *session) (*SweepResult, error) {
 		}
 		return cell, cell.Err
 	})
+	for i := range cells {
+		// Points skipped by cancellation come back as zero cells with the
+		// error only in the slot array; keep the grid shape and surface the
+		// cancellation as the cell's error.
+		if errs[i] != nil && cells[i].Err == nil {
+			cells[i] = SweepCell{Index: i, Err: errs[i]}
+		}
+	}
 	res := &SweepResult{Cells: cells}
 	res.PlanHits, res.PlanBuilds = sess.plans.Stats()
 	res.SchedHits, res.SchedBuilds = sess.scheds.Stats()
@@ -380,8 +393,9 @@ func (spec SweepSpec) priceComm(pt exp.Point, sess *session) SweepCell {
 	return cell
 }
 
-// priceFabric evaluates one fabric-mode point.
-func (spec SweepSpec) priceFabric(pt exp.Point, fcache *fabricCache) SweepCell {
+// priceFabric evaluates one fabric-mode point; cancel (nil = never) aborts
+// the point's co-simulation at an event boundary.
+func (spec SweepSpec) priceFabric(pt exp.Point, fcache *fabricCache, cancel func() error) SweepCell {
 	cfg := spec.pointConfig(pt)
 	mix := spec.FabricMixes[pt.FabricMix]
 	if mix.Name == "" {
@@ -395,7 +409,7 @@ func (spec SweepSpec) priceFabric(pt exp.Point, fcache *fabricCache) SweepCell {
 		FabricMix:    mix.Name,
 		FabricPolicy: policy,
 	}
-	fr, err := simulateFabric(cfg, mix.Jobs, policy, fcache, FaultPlan{})
+	fr, err := simulateFabric(cfg, mix.Jobs, policy, fcache, FaultPlan{}, cancel)
 	if err != nil {
 		cell.Err = err
 		return cell

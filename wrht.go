@@ -60,11 +60,28 @@
 //	r2, _ := sess.RunSweep(spec)        // served from the session caches
 //	fmt.Println(sess.Stats())
 //
+// Sessions are safe for concurrent use (results stay bit-identical to
+// serial calls), and every pricing surface has a Context variant that
+// cancels in-flight simulations at event boundaries
+// (sess.RunSweepContext, sess.SimulateFabricContext, …).
+//
+// Serving — cmd/serve runs an overload-safe HTTP/JSON pricing service
+// over a sharded pool of warm sessions, with bounded admission (429 +
+// Retry-After), per-request deadlines, duplicate-query coalescing, tiered
+// degradation under sustained pressure, and graceful drain on SIGTERM;
+// cmd/loadgen measures it (DESIGN.md §11):
+//
+//	go run ./cmd/serve -addr :8080
+//	curl -s localhost:8080/v1/commtime \
+//	    -d '{"Nodes":128,"Algorithm":"wrht","Bytes":1048576}'
+//	go run ./cmd/loadgen -conc 8 -duration 5s
+//
 // Other surfaces: MultiRackTime (hierarchical rings), TrainingIteration
 // (DDP overlap), ScheduleOutline (per-step inspection), EnergyReport.
 // Runnable programs live in examples/ (quickstart, multi_tenant,
 // ddp_training, …) and cmd/ (figure2, sweep, experiments, fabricsim,
-// wrhtsim, wrhtviz); DESIGN.md holds the system map and evaluation defaults.
+// wrhtsim, wrhtviz, serve, loadgen); DESIGN.md holds the system map and
+// evaluation defaults.
 package wrht
 
 import (
