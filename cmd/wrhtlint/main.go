@@ -1,0 +1,68 @@
+// Command wrhtlint runs the repository's static-analysis suite
+// (internal/analysis): four analyzers enforcing the determinism, zero-alloc,
+// context-threading, and flight-recorder invariants that the simulator's
+// reproducibility rests on.
+//
+// Usage:
+//
+//	go run ./cmd/wrhtlint ./...
+//	go run ./cmd/wrhtlint ./internal/sim ./internal/wdm/...
+//	go run ./cmd/wrhtlint -list
+//
+// Diagnostics print as file:line:col: [analyzer] message; the exit status is
+// nonzero iff any diagnostic fired. Suppress a single line with
+// //wrht:allow <analyzer> -- <reason> (the reason is mandatory).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wrht/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	dir := flag.String("C", ".", "directory inside the module to lint")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wrhtlint [-C dir] [-list] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	diags, err := analysis.RunModule(*dir, patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wrhtlint: %v\n", err)
+		os.Exit(2)
+	}
+	root, err := analysis.ModuleRoot(*dir)
+	if err != nil {
+		root = ""
+	}
+	for _, d := range diags {
+		name := d.Pos.Filename
+		if root != "" {
+			if rel, err := filepath.Rel(root, name); err == nil {
+				name = rel
+			}
+		}
+		fmt.Printf("%s:%d:%d: [%s] %s\n", name, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wrhtlint: %d diagnostic(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

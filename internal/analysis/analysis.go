@@ -1,0 +1,221 @@
+// Package analysis is wrhtlint's static-analysis suite: four analyzers that
+// enforce the repository's load-bearing invariants at review time instead of
+// runtime —
+//
+//   - determinism: no map-iteration order, wall clock, or global randomness
+//     can reach priced results, rendered tables, or trace output;
+//   - noalloc: functions marked //wrht:noalloc stay free of obvious
+//     allocation sites (the static complement to TestRunAllocationFree and
+//     TestDisabledPathAllocationFree);
+//   - ctxflow: every ...Context API variant threads its ctx parameter, and
+//     library internals never mint their own context.Background();
+//   - obsguard: the flight recorder's nil/disabled-guard idiom survives new
+//     instrumentation, and *obs.Recorder is never boxed into an interface.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, a testdata/src fixture runner with // want
+// comments) but is built only on the standard library's go/ast + go/types,
+// because this module carries no third-party dependencies: packages are
+// type-checked from source via go/importer's "source" compiler, chained with
+// a module-aware importer for intra-module paths (see load.go).
+//
+// Findings are suppressed line-by-line with
+//
+//	//wrht:allow <rule> -- <reason>
+//
+// which silences <rule> on the comment's own line and the line directly
+// below it. The reason is mandatory; a reasonless allow is itself a
+// diagnostic. See DESIGN.md §12 for the rule catalogue and extension guide.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one wrhtlint rule: a name (used in //wrht:allow
+// suppressions and diagnostic output), user-facing documentation, and the Run
+// function invoked once per loaded package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned and attributed to its analyzer.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// A Pass carries one analyzer's view of one type-checked package, mirroring
+// golang.org/x/tools/go/analysis.Pass. Report and Reportf drop findings the
+// file's //wrht:allow comments suppress.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	allow map[string]allowLines // filename -> suppressed lines, by rule
+	diags *[]Diagnostic
+}
+
+// allowLines maps a line number to the set of rule names allowed there.
+type allowLines map[int]map[string]bool
+
+// Reportf records a diagnostic at pos unless an //wrht:allow comment for this
+// analyzer covers the line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if lines, ok := p.allow[position.Filename]; ok {
+		if rules, ok := lines[position.Line]; ok && rules[p.Analyzer.Name] {
+			return
+		}
+	}
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      position,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowDirective is the line-level suppression prefix. The full form is
+// //wrht:allow <rule> -- <reason>; it applies to its own line and the next.
+const allowDirective = "wrht:allow"
+
+// noallocDirective marks a function for the noalloc analyzer. The bare form
+// checks the whole body; "//wrht:noalloc disabled" checks only the prefix up
+// to and including the first nil-receiver guard (the disabled fast path).
+const noallocDirective = "wrht:noalloc"
+
+// parseAllows scans a file's comments for //wrht:allow directives and returns
+// the per-line suppression map. Malformed directives (no rule, or a missing
+// "-- reason" tail) are reported via report so a suppression can never
+// silently rot into a no-op.
+func parseAllows(fset *token.FileSet, file *ast.File, report func(pos token.Pos, msg string)) allowLines {
+	var lines allowLines
+	for _, cg := range file.Comments {
+		for _, c := range cg.List {
+			text, ok := directiveText(c.Text, allowDirective)
+			if !ok {
+				continue
+			}
+			rulePart, _, hasReason := strings.Cut(text, "--")
+			rules := strings.Fields(rulePart)
+			if !hasReason || len(rules) == 0 {
+				report(c.Pos(), "malformed suppression: want //wrht:allow <rule> -- <reason>")
+				continue
+			}
+			if lines == nil {
+				lines = make(allowLines)
+			}
+			line := fset.Position(c.Pos()).Line
+			for _, rule := range rules {
+				for _, ln := range [2]int{line, line + 1} {
+					set := lines[ln]
+					if set == nil {
+						set = make(map[string]bool)
+						lines[ln] = set
+					}
+					set[rule] = true
+				}
+			}
+		}
+	}
+	return lines
+}
+
+// directiveText returns the argument text of a //name directive comment
+// ("//wrht:allow determinism -- x" with name "wrht:allow" yields
+// "determinism -- x") and whether the comment is that directive.
+func directiveText(comment, name string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false
+	}
+	body = strings.TrimPrefix(body, " ") // tolerate "// wrht:allow" from gofmt
+	rest, ok := strings.CutPrefix(body, name)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. wrht:allowfoo
+	}
+	return strings.TrimSpace(rest), true
+}
+
+// noallocMode reports whether fn carries the //wrht:noalloc directive and, if
+// so, whether it is the "disabled" (guard-prefix-only) variant.
+func noallocMode(fn *ast.FuncDecl) (tagged, disabledOnly bool) {
+	if fn.Doc == nil {
+		return false, false
+	}
+	for _, c := range fn.Doc.List {
+		text, ok := directiveText(c.Text, noallocDirective)
+		if !ok {
+			continue
+		}
+		return true, text == "disabled"
+	}
+	return false, false
+}
+
+// runAnalyzers applies every analyzer to every package and returns the
+// surviving diagnostics sorted by (file, line, column, analyzer).
+func runAnalyzers(analyzers []*Analyzer, pkgs []*Package, fset *token.FileSet) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allow := make(map[string]allowLines)
+		for _, f := range pkg.Files {
+			name := fset.Position(f.Pos()).Filename
+			allow[name] = parseAllows(fset, f, func(pos token.Pos, msg string) {
+				diags = append(diags, Diagnostic{
+					Pos:      fset.Position(pos),
+					Analyzer: "wrhtlint",
+					Message:  msg,
+				})
+			})
+		}
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.Info,
+				allow:     allow,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,148 @@
+// Package analysistest runs a wrhtlint analyzer over a fixture tree and
+// checks its diagnostics against // want comments, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract on the standard
+// library only.
+//
+// Fixtures live under <testdata>/src/<import/path>/*.go. A want comment
+// names one or more quoted regular expressions that must each match exactly
+// one diagnostic reported on that line:
+//
+//	for k := range m { // want `map iteration order`
+//
+// Every diagnostic must be wanted and every want must be matched; any
+// mismatch fails the test with a per-line report.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wrht/internal/analysis"
+)
+
+// Run applies analyzer a to the fixture packages under testdata/src named by
+// paths and asserts the diagnostics equal the // want annotations.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, paths ...string) {
+	t.Helper()
+	root := filepath.Join(testdata, "src")
+	diags, pkgs, fset, err := analysis.RunTree(root, []*analysis.Analyzer{a}, paths)
+	if err != nil {
+		t.Fatalf("loading fixtures %v: %v", paths, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := make(map[key][]*regexp.Regexp)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					patterns, perr := parseWant(c.Text)
+					if perr != nil {
+						pos := fset.Position(c.Pos())
+						t.Fatalf("%s: %v", pos, perr)
+					}
+					if len(patterns) == 0 {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					k := key{file: pos.Filename, line: pos.Line}
+					wants[k] = append(wants[k], patterns...)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		k := key{file: d.Pos.Filename, line: d.Pos.Line}
+		idx := -1
+		for i, rx := range wants[k] {
+			if rx != nil && rx.MatchString(d.Message) {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", d.Pos, d.Analyzer, d.Message)
+			continue
+		}
+		wants[k][idx] = nil // consume
+	}
+	unmatched := make([]key, 0, len(wants))
+	for k := range wants {
+		unmatched = append(unmatched, k)
+	}
+	sort.Slice(unmatched, func(i, j int) bool {
+		if unmatched[i].file != unmatched[j].file {
+			return unmatched[i].file < unmatched[j].file
+		}
+		return unmatched[i].line < unmatched[j].line
+	})
+	for _, k := range unmatched {
+		for _, rx := range wants[k] {
+			if rx != nil {
+				t.Errorf("%s:%d: no diagnostic matched want %q", k.file, k.line, rx)
+			}
+		}
+	}
+}
+
+// parseWant extracts the quoted regexps of a // want comment, returning nil
+// when the comment is not a want annotation.
+func parseWant(comment string) ([]*regexp.Regexp, error) {
+	body := strings.TrimSpace(strings.TrimPrefix(comment, "//"))
+	rest, ok := strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var patterns []*regexp.Regexp
+	rest = strings.TrimSpace(rest)
+	for rest != "" {
+		var quoted string
+		switch rest[0] {
+		case '"':
+			end := -1
+			for i := 1; i < len(rest); i++ {
+				if rest[i] == '\\' {
+					i++
+					continue
+				}
+				if rest[i] == '"' {
+					end = i
+					break
+				}
+			}
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern in %q", comment)
+			}
+			quoted = rest[:end+1]
+			rest = strings.TrimSpace(rest[end+1:])
+		case '`':
+			end := strings.IndexByte(rest[1:], '`')
+			if end < 0 {
+				return nil, fmt.Errorf("unterminated want pattern in %q", comment)
+			}
+			quoted = rest[:end+2]
+			rest = strings.TrimSpace(rest[end+2:])
+		default:
+			return nil, fmt.Errorf("want pattern must be quoted in %q", comment)
+		}
+		unquoted, err := strconv.Unquote(quoted)
+		if err != nil {
+			return nil, fmt.Errorf("bad want pattern %s: %v", quoted, err)
+		}
+		rx, err := regexp.Compile(unquoted)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %s: %v", quoted, err)
+		}
+		patterns = append(patterns, rx)
+	}
+	return patterns, nil
+}

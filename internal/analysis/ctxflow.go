@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Ctxflow protects the cancel-at-event-boundary contract (PR 9): a
+// ...Context API variant that drops its ctx silently becomes uncancellable,
+// and a library-internal context.Background() detaches a whole subtree from
+// the caller's deadline. It enforces
+//
+//   - every function or method whose name ends in "Context" and takes a
+//     context.Context must actually thread it: the parameter has to flow into
+//     a call, a selector (ctx.Done(), ctx.Err()), a struct field, or a
+//     return — `_ = ctx` does not count;
+//   - library internals (the root package and internal/...) never call
+//     context.Background() or context.TODO(): contexts are minted at the
+//     binary edge (cmd/..., tests) and threaded down.
+var Ctxflow = &Analyzer{
+	Name: "ctxflow",
+	Doc:  "ensure ...Context variants thread ctx and internals never mint context.Background",
+	Run:  runCtxflow,
+}
+
+func runCtxflow(p *Pass) error {
+	for _, f := range p.Files {
+		for _, fn := range enclosingFuncDecls(f) {
+			checkContextVariant(p, fn)
+		}
+		if moduleScope(p.PkgPath) {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(p.TypesInfo, call)
+				if fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == "context" &&
+					(fn.Name() == "Background" || fn.Name() == "TODO") {
+					p.Reportf(call.Pos(), "context.%s inside library internals detaches from the caller's deadline; thread a ctx parameter instead", fn.Name())
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// checkContextVariant flags ...Context functions that accept a ctx but never
+// thread it anywhere observable.
+func checkContextVariant(p *Pass, fn *ast.FuncDecl) {
+	if !strings.HasSuffix(fn.Name.Name, "Context") {
+		return
+	}
+	var param *ast.Ident
+	if fn.Type.Params != nil {
+		for _, field := range fn.Type.Params.List {
+			if !isContextType(p.TypesInfo, field.Type) {
+				continue
+			}
+			if len(field.Names) == 0 {
+				p.Reportf(field.Pos(), "%s discards its unnamed context.Context parameter; thread ctx into the work it guards", fn.Name.Name)
+				return
+			}
+			param = field.Names[0]
+			break
+		}
+	}
+	if param == nil {
+		return // no ctx parameter: the suffix is incidental
+	}
+	if param.Name == "_" {
+		p.Reportf(param.Pos(), "%s discards its context.Context parameter; thread ctx into the work it guards", fn.Name.Name)
+		return
+	}
+	obj := p.TypesInfo.Defs[param]
+	if obj == nil {
+		return
+	}
+	if !ctxThreaded(p.TypesInfo, fn.Body, obj) {
+		p.Reportf(param.Pos(), "%s never threads ctx: cancellation cannot reach the simulation loop", fn.Name.Name)
+	}
+}
+
+func isContextType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// ctxThreaded reports whether obj (the ctx parameter) flows somewhere useful
+// within body: as a call argument, a selector receiver, a composite-literal
+// field, the source of an assignment to something other than blank, or a
+// return value.
+func ctxThreaded(info *types.Info, body *ast.BlockStmt, obj types.Object) bool {
+	threaded := false
+	var stack []ast.Node
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if threaded {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != obj {
+			return true
+		}
+		if len(stack) < 2 {
+			return true
+		}
+		switch parent := stack[len(stack)-2].(type) {
+		case *ast.CallExpr:
+			for _, arg := range parent.Args {
+				if ast.Unparen(arg) == ast.Node(id) {
+					threaded = true
+				}
+			}
+		case *ast.SelectorExpr:
+			if parent.X == ast.Expr(id) {
+				threaded = true
+			}
+		case *ast.KeyValueExpr:
+			if parent.Value == ast.Expr(id) {
+				threaded = true
+			}
+		case *ast.ReturnStmt, *ast.CompositeLit:
+			threaded = true
+		case *ast.AssignStmt:
+			for i, rhs := range parent.Rhs {
+				if ast.Unparen(rhs) == ast.Node(id) && i < len(parent.Lhs) {
+					if lhs, ok := parent.Lhs[i].(*ast.Ident); !ok || lhs.Name != "_" {
+						threaded = true
+					}
+				}
+			}
+		case *ast.UnaryExpr, *ast.BinaryExpr:
+			// ctx != nil checks and &ctx escapes both count as real use only
+			// for the unary case; comparisons alone do not thread.
+			if _, isUnary := parent.(*ast.UnaryExpr); isUnary {
+				threaded = true
+			}
+		}
+		return true
+	})
+	return threaded
+}

@@ -1,0 +1,287 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Determinism enforces the repository's reproducibility contract: priced
+// numbers, rendered tables, and exported traces must be bit-identical across
+// runs and across worker parallelism. Inside the simulation/pricing/report
+// surface it flags
+//
+//   - `range` over a map unless the iteration is provably order-insensitive
+//     (pure commutative aggregation) or a sort call follows it in the same
+//     function (the collect-then-sort idiom);
+//   - time.Now / time.Since — simulated seconds come from the engine, never
+//     the wall clock;
+//   - the global math/rand source (rand.Intn, rand.Float64, ...) — every
+//     stream must flow from an explicit rand.New(rand.NewSource(seed)) so
+//     runs reproduce from flags alone;
+//   - map-typed arguments to fmt/log printing — map formatting is an
+//     iteration-order trap the moment a key type without a total fmt order
+//     (NaN floats, pointers) lands in a rendered table.
+//
+// The serving layer (internal/serve, cmd/serve, cmd/loadgen) is wall-clock
+// territory and is allowlisted wholesale; single sites inside the scope
+// suppress with //wrht:allow determinism -- <reason>.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "flag map-iteration order, wall clock, and global randomness in deterministic packages",
+	Run:  runDeterminism,
+}
+
+// determinismAllowedPkgs are whole packages exempt from the determinism
+// rules: the serving layer measures real latency and shedding on the wall
+// clock by design (clock injection happens at internal/serve/degrade.go).
+var determinismAllowedPkgs = map[string]bool{
+	"wrht/internal/serve": true,
+	"wrht/cmd/serve":      true,
+	"wrht/cmd/loadgen":    true,
+}
+
+func determinismInScope(path string) bool {
+	if determinismAllowedPkgs[path] {
+		return false
+	}
+	return path == "wrht" ||
+		strings.HasPrefix(path, "wrht/internal/") ||
+		strings.HasPrefix(path, "wrht/cmd/") ||
+		strings.HasPrefix(path, "wrht/examples/")
+}
+
+func runDeterminism(p *Pass) error {
+	if !determinismInScope(p.PkgPath) {
+		return nil
+	}
+	for _, f := range p.Files {
+		// Call-site rules apply anywhere in the file, including package-level
+		// variable initializers.
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkDeterminismCall(p, call)
+			return true
+		})
+		// The map-range rule needs the enclosing function to look for a
+		// downstream sort.
+		for _, fn := range enclosingFuncDecls(f) {
+			checkMapRanges(p, fn)
+		}
+	}
+	return nil
+}
+
+func checkDeterminismCall(p *Pass, call *ast.CallExpr) {
+	fn := calleeFunc(p.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch pkg, name := fn.Pkg().Path(), fn.Name(); {
+	case pkg == "time" && (name == "Now" || name == "Since" || name == "Until"):
+		p.Reportf(call.Pos(), "time.%s in a deterministic package: simulated time comes from the engine, not the wall clock", name)
+	case (pkg == "math/rand" || pkg == "math/rand/v2") && fn.Type().(*types.Signature).Recv() == nil &&
+		!randConstructor(name):
+		p.Reportf(call.Pos(), "global math/rand source (rand.%s): derive a stream from rand.New(rand.NewSource(seed)) so runs reproduce from flags alone", name)
+	case (pkg == "fmt" || pkg == "log") && printerFunc(name):
+		for _, arg := range call.Args {
+			if tv, ok := p.TypesInfo.Types[arg]; ok && isMapType(tv.Type) {
+				p.Reportf(arg.Pos(), "map formatted by %s.%s: render through sorted keys so output order is total", pkg, name)
+			}
+		}
+	}
+}
+
+// randConstructor names the math/rand functions that build explicit seeded
+// state rather than touching the global source.
+func randConstructor(name string) bool {
+	switch name {
+	case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+		return true
+	}
+	return false
+}
+
+func printerFunc(name string) bool {
+	switch name {
+	case "Print", "Printf", "Println", "Sprint", "Sprintf", "Sprintln",
+		"Fprint", "Fprintf", "Fprintln", "Errorf", "Fatal", "Fatalf", "Fatalln",
+		"Panic", "Panicf", "Panicln", "Appendf", "Append", "Appendln":
+		return true
+	}
+	return false
+}
+
+// checkMapRanges flags `range` statements over maps in fn unless the loop is
+// order-insensitive or a sort call appears later in the same function (the
+// collect-then-sort idiom: iteration order is erased before anything
+// observable is produced).
+func checkMapRanges(p *Pass, fn *ast.FuncDecl) {
+	var ranges []*ast.RangeStmt
+	var sortPositions []token.Pos
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if tv, ok := p.TypesInfo.Types[n.X]; ok && isMapType(tv.Type) {
+				ranges = append(ranges, n)
+			}
+		case *ast.CallExpr:
+			if isSortingCall(p.TypesInfo, n) {
+				sortPositions = append(sortPositions, n.Pos())
+			}
+		}
+		return true
+	})
+	for _, rng := range ranges {
+		if orderInsensitiveBlock(p.TypesInfo, rng.Body, false) {
+			continue
+		}
+		sorted := false
+		for _, pos := range sortPositions {
+			if pos > rng.Pos() {
+				sorted = true
+				break
+			}
+		}
+		if sorted {
+			continue
+		}
+		p.Reportf(rng.Pos(), "map iteration order can escape: sort the collected keys/values before use, or restructure the loop into pure commutative aggregation")
+	}
+}
+
+// isSortingCall recognizes order-erasing calls: anything from package sort or
+// slices (sort.Strings, slices.SortFunc, slices.Sorted over maps.Keys, ...)
+// plus local helpers whose name mentions sorting.
+func isSortingCall(info *types.Info, call *ast.CallExpr) bool {
+	fn := calleeFunc(info, call)
+	if fn == nil {
+		return false
+	}
+	if pkg := fn.Pkg(); pkg != nil && (pkg.Path() == "sort" || pkg.Path() == "slices") {
+		return true
+	}
+	return strings.Contains(strings.ToLower(fn.Name()), "sort")
+}
+
+// orderInsensitiveBlock reports whether every statement in the block is pure
+// commutative aggregation, so map iteration order cannot be observed:
+// numeric/boolean += -= *= |= &= ^=, ++/--, writes into another map,
+// delete(...), and if-guarded versions of the same (the min/max pattern).
+// Anything else — append, calls, returns, branches, string building — is
+// order-sensitive.
+func orderInsensitiveBlock(info *types.Info, block *ast.BlockStmt, inBranch bool) bool {
+	for _, stmt := range block.List {
+		if !orderInsensitiveStmt(info, stmt, inBranch) {
+			return false
+		}
+	}
+	return true
+}
+
+func orderInsensitiveStmt(info *types.Info, stmt ast.Stmt, inBranch bool) bool {
+	switch s := stmt.(type) {
+	case *ast.IncDecStmt:
+		return true
+	case *ast.AssignStmt:
+		return orderInsensitiveAssign(info, s, inBranch)
+	case *ast.IfStmt:
+		if s.Init != nil || exprHasCall(info, s.Cond) {
+			return false
+		}
+		if !orderInsensitiveBlock(info, s.Body, true) {
+			return false
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			return true
+		case *ast.BlockStmt:
+			return orderInsensitiveBlock(info, e, true)
+		case *ast.IfStmt:
+			return orderInsensitiveStmt(info, e, true)
+		}
+		return false
+	case *ast.ExprStmt:
+		// delete(m, k) is commutative across distinct keys.
+		if call, ok := s.X.(*ast.CallExpr); ok && builtinName(info, call) == "delete" {
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+func orderInsensitiveAssign(info *types.Info, s *ast.AssignStmt, inBranch bool) bool {
+	switch s.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN,
+		token.OR_ASSIGN, token.AND_ASSIGN, token.XOR_ASSIGN:
+		// Commutative only for numbers and booleans; string += builds
+		// order-dependent output.
+		for _, lhs := range s.Lhs {
+			if tv, ok := info.Types[lhs]; ok {
+				if basic, ok := tv.Type.Underlying().(*types.Basic); !ok || basic.Info()&types.IsString != 0 {
+					return false
+				}
+			}
+		}
+		for _, rhs := range s.Rhs {
+			if exprHasCall(info, rhs) {
+				return false
+			}
+		}
+		return true
+	case token.ASSIGN:
+		for _, rhs := range s.Rhs {
+			if exprHasCall(info, rhs) {
+				return false
+			}
+		}
+		for _, lhs := range s.Lhs {
+			switch l := ast.Unparen(lhs).(type) {
+			case *ast.IndexExpr:
+				// m2[k] = v re-keys into another map: insertion order is
+				// invisible. Writes into a slice are positional and fine too.
+				continue
+			case *ast.Ident:
+				if l.Name == "_" {
+					continue
+				}
+				// best = v is only order-free under a comparison guard
+				// (the running min/max pattern).
+				if !inBranch {
+					return false
+				}
+			default:
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// exprHasCall reports whether the expression contains any call other than
+// the order-free builtins min, max, len, and abs-style conversions.
+func exprHasCall(info *types.Info, expr ast.Expr) bool {
+	found := false
+	ast.Inspect(expr, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch builtinName(info, call) {
+		case "min", "max", "len", "cap":
+			return true
+		}
+		if isConversion(info, call) {
+			return true
+		}
+		found = true
+		return false
+	})
+	return found
+}

@@ -1,0 +1,240 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// calleeFunc resolves a call expression to the package-level function or
+// method it invokes, or nil for builtins, conversions, and func-valued
+// expressions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var obj types.Object
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		obj = info.Uses[fun]
+	case *ast.SelectorExpr:
+		obj = info.Uses[fun.Sel]
+	}
+	fn, _ := obj.(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function pkgPath.name.
+func isPkgFunc(fn *types.Func, pkgPath, name string) bool {
+	return fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == pkgPath &&
+		fn.Name() == name && fn.Type().(*types.Signature).Recv() == nil
+}
+
+// isMapType reports whether t's core type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isConversion reports whether call is a type conversion rather than a
+// function or builtin call.
+func isConversion(info *types.Info, call *ast.CallExpr) bool {
+	tv, ok := info.Types[call.Fun]
+	return ok && tv.IsType()
+}
+
+// builtinName returns the name of the builtin a call invokes ("make", "new",
+// "append", ...) or "".
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	if _, ok := info.Uses[id].(*types.Builtin); ok {
+		return id.Name
+	}
+	return ""
+}
+
+// isNilComparison reports whether expr (parens stripped) compares obj's
+// identifier against nil with == or !=.
+func isNilComparison(info *types.Info, expr ast.Expr, obj types.Object) bool {
+	bin, ok := ast.Unparen(expr).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return false
+	}
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && info.Uses[id] == obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return false
+		}
+		_, isNilObj := info.Uses[id].(*types.Nil)
+		return isNilObj
+	}
+	return (isObj(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isObj(bin.Y))
+}
+
+// isNilGuard reports whether stmt is the disabled-path guard idiom: an
+// if-statement whose condition leads with `recv == nil` (alone or as the
+// leftmost operand of an ||-chain) and whose body unconditionally returns.
+func isNilGuard(info *types.Info, stmt ast.Stmt, recv types.Object) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init != nil || len(ifs.Body.List) == 0 {
+		return false
+	}
+	cond := ast.Unparen(ifs.Cond)
+	for {
+		bin, ok := cond.(*ast.BinaryExpr)
+		if !ok || bin.Op != token.LOR {
+			break
+		}
+		cond = ast.Unparen(bin.X)
+	}
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.EQL || !isNilComparison(info, bin, recv) {
+		return false
+	}
+	last := ifs.Body.List[len(ifs.Body.List)-1]
+	_, isReturn := last.(*ast.ReturnStmt)
+	return isReturn
+}
+
+// receiverObject returns the declared receiver variable of fn, or nil for
+// functions, blank receivers, and bodyless declarations.
+func receiverObject(info *types.Info, fn *ast.FuncDecl) types.Object {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	return info.Defs[fn.Recv.List[0].Names[0]]
+}
+
+// receiverBaseName returns the type name of fn's receiver base type
+// ("Recorder" for *Recorder) or "".
+func receiverBaseName(fn *ast.FuncDecl) string {
+	if fn.Recv == nil || len(fn.Recv.List) == 0 {
+		return ""
+	}
+	t := fn.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.IndexExpr: // generic receiver
+		if id, ok := t.X.(*ast.Ident); ok {
+			return id.Name
+		}
+	}
+	return ""
+}
+
+// forEachBoxedArg invokes report for every call argument whose corresponding
+// parameter is an interface type while the argument's static type is
+// concrete — the canonical boxing allocation. Conversions and builtin calls
+// are handled by their own rules.
+func forEachBoxedArg(info *types.Info, call *ast.CallExpr, report func(arg ast.Expr, param types.Type)) {
+	if isConversion(info, call) || builtinName(info, call) != "" {
+		return
+	}
+	tv, ok := info.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	n := params.Len()
+	for i, arg := range call.Args {
+		var param types.Type
+		switch {
+		case sig.Variadic() && i >= n-1:
+			if call.Ellipsis != token.NoPos {
+				continue // slice passed through, no per-arg boxing
+			}
+			param = params.At(n - 1).Type().(*types.Slice).Elem()
+		case i < n:
+			param = params.At(i).Type()
+		default:
+			continue
+		}
+		if boxesInto(info, arg, param) {
+			report(arg, param)
+		}
+	}
+}
+
+// boxesInto reports whether assigning arg to a destination of type dst would
+// allocate an interface box: dst is a non-empty-or-empty interface, arg's
+// type is concrete, and arg is not the untyped nil.
+func boxesInto(info *types.Info, arg ast.Expr, dst types.Type) bool {
+	if dst == nil || !types.IsInterface(dst) {
+		return false
+	}
+	if _, isTypeParam := dst.(*types.TypeParam); isTypeParam {
+		return false
+	}
+	tv, ok := info.Types[arg]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	if tv.IsNil() {
+		return false
+	}
+	if types.IsInterface(tv.Type) {
+		return false
+	}
+	if _, isTypeParam := tv.Type.(*types.TypeParam); isTypeParam {
+		return false
+	}
+	return true
+}
+
+// enclosingFuncDecls yields every function declaration with a body in f.
+func enclosingFuncDecls(f *ast.File) []*ast.FuncDecl {
+	var fns []*ast.FuncDecl
+	for _, decl := range f.Decls {
+		if fn, ok := decl.(*ast.FuncDecl); ok && fn.Body != nil {
+			fns = append(fns, fn)
+		}
+	}
+	return fns
+}
+
+// typeIsObsPointer reports whether t is *P.name where P's import path ends in
+// wantPkgSuffix (e.g. "internal/obs") — used to recognize the recorder types
+// in both the real module and the fixture tree.
+func typeIsObsPointer(t types.Type, wantPkgSuffix string, names ...string) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), wantPkgSuffix) {
+		return false
+	}
+	for _, name := range names {
+		if obj.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// moduleScope reports whether path is inside the analyzed module's library
+// surface: the root package or anything under internal/. Fixture packages use
+// the same "wrht/..." shape so the analyzers behave identically under test.
+func moduleScope(path string) bool {
+	return path == "wrht" || strings.HasPrefix(path, "wrht/internal/")
+}

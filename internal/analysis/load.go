@@ -1,0 +1,281 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed + type-checked package of the target module (or of
+// a fixture tree), ready for the analyzers.
+type Package struct {
+	Path  string // import path ("wrht/internal/sim")
+	Dir   string // absolute directory
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// loader type-checks a directory tree from source. Intra-tree imports load
+// recursively; everything else (the standard library) defers to go/importer's
+// "source" compiler, so no export data or network is needed. Test files are
+// excluded: the invariants wrhtlint enforces are production-path properties,
+// and tests deliberately use wall clocks, maps, and ad-hoc randomness.
+type loader struct {
+	fset    *token.FileSet
+	root    string // absolute directory of the tree (module root or testdata/src)
+	module  string // import-path prefix mapped to root ("wrht", or "" for fixtures)
+	std     types.ImporterFrom
+	pkgs    map[string]*Package
+	loading map[string]bool
+}
+
+func newLoader(root, module string) *loader {
+	fset := token.NewFileSet()
+	return &loader{
+		fset:    fset,
+		root:    root,
+		module:  module,
+		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:    make(map[string]*Package),
+		loading: make(map[string]bool),
+	}
+}
+
+// dirFor maps an import path inside the tree to its directory, or reports
+// that the path is external.
+func (l *loader) dirFor(path string) (string, bool) {
+	if l.module == "" {
+		// Fixture tree: an import is internal iff its directory exists under
+		// the root; everything else (the standard library) is external.
+		dir := filepath.Join(l.root, filepath.FromSlash(path))
+		if st, err := os.Stat(dir); err == nil && st.IsDir() {
+			return dir, true
+		}
+		return "", false
+	}
+	if path == l.module {
+		return l.root, true
+	}
+	if rest, ok := strings.CutPrefix(path, l.module+"/"); ok {
+		return filepath.Join(l.root, filepath.FromSlash(rest)), true
+	}
+	return "", false
+}
+
+// Import implements types.Importer over the chain: tree-internal paths load
+// from source here, all other paths go to the stdlib source importer.
+func (l *loader) Import(path string) (*types.Package, error) {
+	if _, ok := l.dirFor(path); ok {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+// load parses and type-checks the package at import path (which must be
+// inside the tree), memoized.
+func (l *loader) load(path string) (*Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir, ok := l.dirFor(path)
+	if !ok {
+		return nil, fmt.Errorf("%q is outside the loaded tree", path)
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no buildable Go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+// parseDir parses the non-test Go files of one directory, sorted by name so
+// loads are deterministic.
+func (l *loader) parseDir(dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, name := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ModuleRoot walks up from dir to the enclosing go.mod directory.
+func ModuleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod found above %s", abs)
+		}
+		d = parent
+	}
+}
+
+// modulePath reads the module path out of root's go.mod.
+func modulePath(root string) (string, error) {
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module"); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`), nil
+		}
+	}
+	return "", fmt.Errorf("no module directive in %s/go.mod", root)
+}
+
+// LoadModule type-checks the module rooted at dir and returns the packages
+// matching patterns ("./..." for the whole module; "./x/..." for a subtree;
+// "./x" for one package) plus the shared FileSet. Directories named testdata,
+// hidden directories, and _test.go files are skipped.
+func LoadModule(dir string, patterns []string) ([]*Package, *token.FileSet, error) {
+	root, err := ModuleRoot(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	module, err := modulePath(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	l := newLoader(root, module)
+
+	var rels []string
+	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			return nil
+		}
+		rel, err := filepath.Rel(root, filepath.Dir(path))
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		if len(rels) == 0 || rels[len(rels)-1] != rel {
+			rels = append(rels, rel)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sort.Strings(rels)
+	rels = dedupSorted(rels)
+
+	want := func(rel string) bool {
+		for _, pat := range patterns {
+			if matchPattern(pat, rel) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var pkgs []*Package
+	for _, rel := range rels {
+		if !want(rel) {
+			continue
+		}
+		path := module
+		if rel != "." {
+			path = module + "/" + rel
+		}
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, l.fset, nil
+}
+
+// matchPattern matches a go-style package pattern against a slash-separated
+// module-relative directory ("." for the root).
+func matchPattern(pat, rel string) bool {
+	pat = strings.TrimPrefix(pat, "./")
+	if pat == "..." || pat == "" && rel == "." {
+		return true
+	}
+	if base, ok := strings.CutSuffix(pat, "/..."); ok {
+		return rel == base || strings.HasPrefix(rel, base+"/")
+	}
+	return rel == pat
+}
+
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || s[i-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}

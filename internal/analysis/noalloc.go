@@ -1,0 +1,367 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Noalloc is the static complement to TestRunAllocationFree and
+// TestDisabledPathAllocationFree: functions tagged
+//
+//	//wrht:noalloc
+//
+// are the simulator's steady-state hot loops (the sim.Engine event loop, the
+// wdm.Workspace scratch paths, the step pricers) and must stay free of
+// obvious allocation sites:
+//
+//   - interface boxing (concrete argument to an interface parameter, or a
+//     concrete value returned/assigned as an interface);
+//   - closures that capture enclosing locals;
+//   - map/slice composite literals, make, and new;
+//   - append into a freshly declared variable (growth that a reused scratch
+//     buffer would amortize; x = append(x, ...) is the allowed idiom);
+//   - string concatenation and string<->[]byte conversions.
+//
+// Cold diagnostics are exempt: blocks that end by panicking or by returning
+// a freshly constructed error (fmt.Errorf / errors.New) run at most once per
+// failure, not per event.
+//
+// The variant
+//
+//	//wrht:noalloc disabled
+//
+// tags the flight recorder's nil-receiver methods: only the disabled prefix
+// — statements up to and including the first `if r == nil { return }` guard
+// — must be allocation-free (and the guard must exist), so the one-branch
+// zero-cost disabled path survives new instrumentation while the enabled
+// path stays free to record.
+var Noalloc = &Analyzer{
+	Name: "noalloc",
+	Doc:  "check //wrht:noalloc functions for obvious allocation sites",
+	Run:  runNoalloc,
+}
+
+func runNoalloc(p *Pass) error {
+	for _, f := range p.Files {
+		for _, fn := range enclosingFuncDecls(f) {
+			tagged, disabledOnly := noallocMode(fn)
+			if !tagged {
+				continue
+			}
+			if disabledOnly {
+				checkDisabledPrefix(p, fn)
+				continue
+			}
+			for _, stmt := range fn.Body.List {
+				checkNoallocStmt(p, fn, stmt)
+			}
+		}
+	}
+	return nil
+}
+
+// checkDisabledPrefix verifies the //wrht:noalloc disabled contract: the
+// body must reach a nil-receiver guard before dereferencing the receiver,
+// and every statement up to and including that guard must be allocation-free.
+func checkDisabledPrefix(p *Pass, fn *ast.FuncDecl) {
+	recv := receiverObject(p.TypesInfo, fn)
+	if recv == nil {
+		p.Reportf(fn.Pos(), "//wrht:noalloc disabled requires a named receiver to guard on")
+		return
+	}
+	for _, stmt := range fn.Body.List {
+		checkNoallocStmt(p, fn, stmt)
+		if isNilGuard(p.TypesInfo, stmt, recv) {
+			return
+		}
+		// Any receiver use beyond nil comparisons or method-call delegation
+		// (both safe on a nil pointer; callees carry their own guards) means
+		// the guard never came.
+		if use := firstRecvUse(p.TypesInfo, stmt, recv); use != nil {
+			p.Reportf(use.Pos(), "//wrht:noalloc disabled: %s dereferences %s before an `if %s == nil { return }` guard; the disabled path must be one branch", fn.Name.Name, recv.Name(), recv.Name())
+			return
+		}
+	}
+	// No guard, but also no dereference: shapes like `return r != nil`
+	// (Enabled) or pure delegation are their own disabled path.
+}
+
+// checkNoallocStmt walks one statement of a tagged function, skipping cold
+// error/panic blocks.
+func checkNoallocStmt(p *Pass, fn *ast.FuncDecl, stmt ast.Stmt) {
+	exemptAppends := make(map[*ast.CallExpr]bool)
+	markReuseAppends(p.TypesInfo, stmt, exemptAppends)
+
+	var walk func(n ast.Node) bool
+	walk = func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.IfStmt:
+			// Cold blocks (terminating in panic or a constructed-error
+			// return) are failure paths, not steady-state work.
+			if n.Cond != nil {
+				ast.Inspect(n.Cond, walk)
+			}
+			if n.Init != nil {
+				ast.Inspect(n.Init, walk)
+			}
+			if !coldBlock(p.TypesInfo, n.Body) {
+				ast.Inspect(n.Body, walk)
+			}
+			if n.Else != nil {
+				ast.Inspect(n.Else, walk)
+			}
+			return false
+		case *ast.CompositeLit:
+			tv, ok := p.TypesInfo.Types[n]
+			if !ok {
+				return true
+			}
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				p.Reportf(n.Pos(), "map literal allocates in //wrht:noalloc function %s", fn.Name.Name)
+			case *types.Slice:
+				p.Reportf(n.Pos(), "slice literal allocates in //wrht:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(p, fn, n, exemptAppends)
+		case *ast.FuncLit:
+			if capt := capturedLocal(p.TypesInfo, fn, n); capt != nil {
+				p.Reportf(n.Pos(), "closure captures %s and allocates in //wrht:noalloc function %s; use integer-dispatch handlers instead", capt.Name(), fn.Name.Name)
+			}
+			return false // don't descend: the closure body runs elsewhere
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isStringType(p.TypesInfo, n) {
+				p.Reportf(n.Pos(), "string concatenation allocates in //wrht:noalloc function %s", fn.Name.Name)
+			}
+		case *ast.AssignStmt:
+			checkNoallocAssign(p, fn, n)
+		case *ast.ValueSpec:
+			if n.Type != nil {
+				if dtv, ok := p.TypesInfo.Types[n.Type]; ok {
+					for _, v := range n.Values {
+						if boxesInto(p.TypesInfo, v, dtv.Type) {
+							p.Reportf(v.Pos(), "declaration boxes %s into interface in //wrht:noalloc function %s", typeString(p.TypesInfo, v), fn.Name.Name)
+						}
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			checkNoallocReturn(p, fn, n)
+		case *ast.GoStmt:
+			p.Reportf(n.Pos(), "goroutine launch allocates in //wrht:noalloc function %s", fn.Name.Name)
+		}
+		return true
+	}
+	ast.Inspect(stmt, walk)
+}
+
+func checkNoallocCall(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr, exemptAppends map[*ast.CallExpr]bool) {
+	switch builtinName(p.TypesInfo, call) {
+	case "make":
+		p.Reportf(call.Pos(), "make allocates in //wrht:noalloc function %s; hoist into reusable scratch", fn.Name.Name)
+		return
+	case "new":
+		p.Reportf(call.Pos(), "new allocates in //wrht:noalloc function %s", fn.Name.Name)
+		return
+	case "append":
+		if !exemptAppends[call] {
+			p.Reportf(call.Pos(), "append into a fresh variable can grow in //wrht:noalloc function %s; reuse the buffer with x = append(x, ...)", fn.Name.Name)
+		}
+		return
+	case "":
+	default:
+		return // len, cap, min, max, delete, ... do not allocate
+	}
+	if isConversion(p.TypesInfo, call) {
+		checkNoallocConversion(p, fn, call)
+		return
+	}
+	forEachBoxedArg(p.TypesInfo, call, func(arg ast.Expr, _ types.Type) {
+		p.Reportf(arg.Pos(), "interface boxing of %s argument allocates in //wrht:noalloc function %s", typeString(p.TypesInfo, arg), fn.Name.Name)
+	})
+}
+
+func checkNoallocConversion(p *Pass, fn *ast.FuncDecl, call *ast.CallExpr) {
+	tv := p.TypesInfo.Types[call.Fun]
+	dst := tv.Type
+	if len(call.Args) != 1 {
+		return
+	}
+	src, ok := p.TypesInfo.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if boxesInto(p.TypesInfo, call.Args[0], dst) {
+		p.Reportf(call.Pos(), "conversion to interface boxes %s in //wrht:noalloc function %s", src.Type.String(), fn.Name.Name)
+		return
+	}
+	dstBasic, dstIsBasic := dst.Underlying().(*types.Basic)
+	srcSlice, srcIsSlice := src.Type.Underlying().(*types.Slice)
+	if dstIsBasic && dstIsString(dstBasic) && srcIsSlice && elemIsByteOrRune(srcSlice) {
+		p.Reportf(call.Pos(), "[]byte->string conversion copies in //wrht:noalloc function %s", fn.Name.Name)
+	}
+	if dstSlice, ok := dst.Underlying().(*types.Slice); ok && elemIsByteOrRune(dstSlice) {
+		if srcBasic, ok := src.Type.Underlying().(*types.Basic); ok && dstIsString(srcBasic) {
+			p.Reportf(call.Pos(), "string->[]byte conversion copies in //wrht:noalloc function %s", fn.Name.Name)
+		}
+	}
+}
+
+func dstIsString(b *types.Basic) bool { return b.Info()&types.IsString != 0 }
+
+func elemIsByteOrRune(s *types.Slice) bool {
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Uint8 || b.Kind() == types.Rune || b.Kind() == types.Int32)
+}
+
+// checkNoallocAssign flags assignments that box a concrete value into an
+// interface-typed destination (including +=-style string growth).
+func checkNoallocAssign(p *Pass, fn *ast.FuncDecl, s *ast.AssignStmt) {
+	if s.Tok == token.ADD_ASSIGN {
+		if tv, ok := p.TypesInfo.Types[s.Lhs[0]]; ok {
+			if b, ok := tv.Type.Underlying().(*types.Basic); ok && dstIsString(b) {
+				p.Reportf(s.Pos(), "string += allocates in //wrht:noalloc function %s", fn.Name.Name)
+			}
+		}
+	}
+	if len(s.Lhs) != len(s.Rhs) {
+		return
+	}
+	for i, lhs := range s.Lhs {
+		ltv, ok := p.TypesInfo.Types[lhs]
+		if !ok {
+			continue
+		}
+		if boxesInto(p.TypesInfo, s.Rhs[i], ltv.Type) {
+			p.Reportf(s.Rhs[i].Pos(), "assignment boxes %s into interface in //wrht:noalloc function %s", typeString(p.TypesInfo, s.Rhs[i]), fn.Name.Name)
+		}
+	}
+}
+
+// checkNoallocReturn flags returns that box concrete values into interface
+// results.
+func checkNoallocReturn(p *Pass, fn *ast.FuncDecl, ret *ast.ReturnStmt) {
+	obj := p.TypesInfo.Defs[fn.Name]
+	tfn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	results := tfn.Type().(*types.Signature).Results()
+	if results.Len() != len(ret.Results) {
+		return // naked return or comma-ok spread
+	}
+	for i, res := range ret.Results {
+		if boxesInto(p.TypesInfo, res, results.At(i).Type()) {
+			p.Reportf(res.Pos(), "return boxes %s into interface in //wrht:noalloc function %s", typeString(p.TypesInfo, res), fn.Name.Name)
+		}
+	}
+}
+
+// markReuseAppends records the append calls in the allowed reuse idiom
+// `x = append(x, ...)` (same destination as first argument, pre-existing
+// variable) so the walk can skip them.
+func markReuseAppends(info *types.Info, stmt ast.Stmt, exempt map[*ast.CallExpr]bool) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		s, ok := n.(*ast.AssignStmt)
+		if !ok || s.Tok != token.ASSIGN || len(s.Lhs) != len(s.Rhs) {
+			return true
+		}
+		for i, rhs := range s.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || builtinName(info, call) != "append" || len(call.Args) == 0 {
+				continue
+			}
+			if sameStorage(info, s.Lhs[i], call.Args[0]) {
+				exempt[call] = true
+			}
+		}
+		return true
+	})
+}
+
+// sameStorage reports whether two expressions statically name the same
+// variable or field chain (x, s.buf, w.rounds[i] with identical index ident).
+func sameStorage(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bid, ok := b.(*ast.Ident)
+		return ok && info.ObjectOf(a) != nil && info.ObjectOf(a) == info.ObjectOf(bid)
+	case *ast.SelectorExpr:
+		bsel, ok := b.(*ast.SelectorExpr)
+		return ok && info.ObjectOf(a.Sel) == info.ObjectOf(bsel.Sel) && sameStorage(info, a.X, bsel.X)
+	case *ast.IndexExpr:
+		bidx, ok := b.(*ast.IndexExpr)
+		return ok && sameStorage(info, a.X, bidx.X) && sameStorage(info, a.Index, bidx.Index)
+	}
+	return false
+}
+
+// capturedLocal returns a variable the func literal captures from the
+// enclosing function (receiver, parameter, or local), or nil.
+func capturedLocal(info *types.Info, enclosing *ast.FuncDecl, lit *ast.FuncLit) types.Object {
+	var captured types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := info.Uses[id]
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		pos := v.Pos()
+		if pos >= enclosing.Pos() && pos < enclosing.End() && !(pos >= lit.Pos() && pos < lit.End()) {
+			captured = v
+			return false
+		}
+		return true
+	})
+	return captured
+}
+
+// coldBlock reports whether the block is a failure path: its final statement
+// panics or returns a freshly constructed error.
+func coldBlock(info *types.Info, block *ast.BlockStmt) bool {
+	if len(block.List) == 0 {
+		return false
+	}
+	switch last := block.List[len(block.List)-1].(type) {
+	case *ast.ExprStmt:
+		call, ok := last.X.(*ast.CallExpr)
+		return ok && builtinName(info, call) == "panic"
+	case *ast.ReturnStmt:
+		for _, res := range last.Results {
+			if call, ok := ast.Unparen(res).(*ast.CallExpr); ok {
+				if fn := calleeFunc(info, call); fn != nil && fn.Pkg() != nil {
+					pkg := fn.Pkg().Path()
+					if (pkg == "fmt" && fn.Name() == "Errorf") || (pkg == "errors" && fn.Name() == "New") {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isStringType(info *types.Info, expr ast.Expr) bool {
+	tv, ok := info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func typeString(info *types.Info, expr ast.Expr) string {
+	if tv, ok := info.Types[expr]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "value"
+}

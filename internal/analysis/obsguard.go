@@ -1,0 +1,202 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Obsguard keeps the flight recorder's zero-cost-disabled invariant
+// structural:
+//
+//   - inside internal/obs, every method on *Recorder and *Histogram must
+//     reach a nil-receiver guard (`if r == nil { return ... }`, possibly
+//     `r == nil || ...`) before its first real use of the receiver, so a nil
+//     (disabled) recorder stays a single predictable branch. Methods whose
+//     names end in "Locked" are lock-held internals reached only after a
+//     guard and are exempt, as is the `return r != nil` shape of Enabled;
+//   - everywhere else in the module, *obs.Recorder and *obs.Histogram must
+//     never be boxed into an interface (argument, assignment, or return):
+//     the recorder is deliberately a concrete handle — an interface-typed
+//     recorder would make every disabled call an allocation and an
+//     indirection (see the package doc of internal/obs).
+var Obsguard = &Analyzer{
+	Name: "obsguard",
+	Doc:  "enforce the obs nil-guard idiom and forbid boxing the recorder",
+	Run:  runObsguard,
+}
+
+const obsPkgSuffix = "internal/obs"
+
+func runObsguard(p *Pass) error {
+	if strings.HasSuffix(p.PkgPath, obsPkgSuffix) {
+		for _, f := range p.Files {
+			for _, fn := range enclosingFuncDecls(f) {
+				checkRecorderMethodGuard(p, fn)
+			}
+		}
+		return nil
+	}
+	if !moduleScope(p.PkgPath) && !strings.HasPrefix(p.PkgPath, "wrht/") {
+		return nil
+	}
+	for _, f := range p.Files {
+		checkRecorderBoxing(p, f)
+	}
+	return nil
+}
+
+// checkRecorderMethodGuard enforces guard-before-dereference on recorder
+// methods: scanning top-level statements in order, a nil-receiver guard must
+// appear before any statement that uses the receiver beyond nil comparisons.
+func checkRecorderMethodGuard(p *Pass, fn *ast.FuncDecl) {
+	switch receiverBaseName(fn) {
+	case "Recorder", "Histogram":
+	default:
+		return
+	}
+	if strings.HasSuffix(fn.Name.Name, "Locked") {
+		return // lock-held internals, reached only past a guarded entry point
+	}
+	recv := receiverObject(p.TypesInfo, fn)
+	if recv == nil {
+		return // blank receiver cannot be dereferenced
+	}
+	for _, stmt := range fn.Body.List {
+		if isNilGuard(p.TypesInfo, stmt, recv) {
+			return
+		}
+		if use := firstRecvUse(p.TypesInfo, stmt, recv); use != nil {
+			p.Reportf(use.Pos(), "method %s uses receiver %s before its nil guard; a disabled recorder must stay one branch (guard first, or suffix the name with Locked)", fn.Name.Name, recv.Name())
+			return
+		}
+	}
+	// Never dereferenced at the top level at all (e.g. `return r != nil`):
+	// that is its own disabled path.
+}
+
+// firstRecvUse returns the first identifier in stmt that uses recv outside a
+// nil comparison, or nil.
+func firstRecvUse(info *types.Info, stmt ast.Stmt, recv types.Object) ast.Node {
+	var found ast.Node
+	var stack []ast.Node
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		if found != nil {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || info.Uses[id] != recv {
+			return true
+		}
+		// Walk outward past parens: a use inside `recv == nil` is the guard
+		// itself, not a dereference. A use as the receiver of a method call
+		// (`return r.track(...)`) is safe delegation — calling a method on a
+		// nil pointer is legal, and every method is itself held to this rule,
+		// so guard-before-use holds by induction.
+		for i := len(stack) - 2; i >= 0; i-- {
+			switch parent := stack[i].(type) {
+			case *ast.ParenExpr:
+				continue
+			case *ast.BinaryExpr:
+				if isNilComparison(info, parent, recv) {
+					return true
+				}
+			case *ast.SelectorExpr:
+				if sel, ok := info.Selections[parent]; ok && sel.Kind() == types.MethodVal {
+					if i > 0 {
+						if call, ok := stack[i-1].(*ast.CallExpr); ok && call.Fun == ast.Expr(parent) {
+							return true
+						}
+					}
+				}
+			}
+			break
+		}
+		found = id
+		return false
+	})
+	return found
+}
+
+// checkRecorderBoxing flags any site that converts a *obs.Recorder or
+// *obs.Histogram into an interface value.
+func checkRecorderBoxing(p *Pass, f *ast.File) {
+	isRecorder := func(expr ast.Expr) bool {
+		tv, ok := p.TypesInfo.Types[expr]
+		return ok && typeIsObsPointer(tv.Type, obsPkgSuffix, "Recorder", "Histogram")
+	}
+	report := func(n ast.Node, what string) {
+		p.Reportf(n.Pos(), "%s boxes the flight recorder into an interface; keep it a concrete *obs handle so the disabled path never allocates", what)
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if isConversion(p.TypesInfo, n) && len(n.Args) == 1 && isRecorder(n.Args[0]) {
+				if tv, ok := p.TypesInfo.Types[n.Fun]; ok && types.IsInterface(tv.Type) {
+					report(n, "conversion")
+				}
+				return true
+			}
+			forEachBoxedArg(p.TypesInfo, n, func(arg ast.Expr, _ types.Type) {
+				if isRecorder(arg) {
+					report(arg, "call argument")
+				}
+			})
+		case *ast.AssignStmt:
+			if len(n.Lhs) != len(n.Rhs) {
+				return true
+			}
+			for i, rhs := range n.Rhs {
+				if !isRecorder(rhs) {
+					continue
+				}
+				if ltv, ok := p.TypesInfo.Types[n.Lhs[i]]; ok && boxesInto(p.TypesInfo, rhs, ltv.Type) {
+					report(rhs, "assignment")
+				}
+			}
+		case *ast.ValueSpec:
+			if n.Type == nil {
+				return true
+			}
+			dtv, ok := p.TypesInfo.Types[n.Type]
+			if !ok {
+				return true
+			}
+			for _, v := range n.Values {
+				if isRecorder(v) && boxesInto(p.TypesInfo, v, dtv.Type) {
+					report(v, "declaration")
+				}
+			}
+		case *ast.FuncDecl:
+			if n.Body == nil {
+				return true
+			}
+			obj, ok := p.TypesInfo.Defs[n.Name].(*types.Func)
+			if !ok {
+				return true
+			}
+			results := obj.Type().(*types.Signature).Results()
+			ast.Inspect(n.Body, func(inner ast.Node) bool {
+				if _, ok := inner.(*ast.FuncLit); ok {
+					return false // returns inside closures have their own signature
+				}
+				ret, ok := inner.(*ast.ReturnStmt)
+				if !ok || results.Len() != len(ret.Results) {
+					return true
+				}
+				for i, res := range ret.Results {
+					if isRecorder(res) && boxesInto(p.TypesInfo, res, results.At(i).Type()) {
+						report(res, "return")
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+}

@@ -1,0 +1,25 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wrht/internal/analysis"
+)
+
+// TestRepoSelfClean is the guarantee future PRs inherit: the full wrhtlint
+// suite reports zero diagnostics on this repository. It runs exactly what
+// `go run ./cmd/wrhtlint ./...` and the CI step run, so a new map range in a
+// pricing path, a stray time.Now, an allocation in a //wrht:noalloc loop, or
+// an unguarded recorder method fails `go test` before it ever reaches CI.
+func TestRepoSelfClean(t *testing.T) {
+	diags, err := analysis.RunModule("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+	if len(diags) > 0 {
+		t.Errorf("%d diagnostic(s): fix them or add //wrht:allow <rule> -- <reason> with justification", len(diags))
+	}
+}

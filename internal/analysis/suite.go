@@ -1,0 +1,45 @@
+package analysis
+
+import "go/token"
+
+// All returns wrhtlint's analyzer suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, Noalloc, Ctxflow, Obsguard}
+}
+
+// RunModule loads the module containing dir, restricted to the given package
+// patterns ("./..." by default), and returns every diagnostic the full suite
+// produces, sorted by position. This is the single entry point shared by
+// cmd/wrhtlint and the self-clean test, so "the repo lints clean" means the
+// same thing in CI and in `go test`.
+func RunModule(dir string, patterns []string) ([]Diagnostic, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, fset, err := LoadModule(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	return runAnalyzers(All(), pkgs, fset)
+}
+
+// RunTree loads the package tree rooted at root (import paths are
+// root-relative, as in a testdata/src fixture layout) and applies the given
+// analyzers to the named packages. Exposed for the analysistest fixture
+// runner.
+func RunTree(root string, analyzers []*Analyzer, paths []string) ([]Diagnostic, []*Package, *token.FileSet, error) {
+	l := newLoader(root, "")
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := runAnalyzers(analyzers, pkgs, l.fset)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return diags, pkgs, l.fset, nil
+}

@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"wrht/internal/analysis"
+	"wrht/internal/analysis/analysistest"
+)
+
+// Each analyzer runs over its fixture packages under testdata/src: the
+// // want comments pin seeded violations (delete a sort, add a time.Now, box
+// an interface in a //wrht:noalloc function, drop a nil guard — each must
+// fire) and the unmarked functions pin the idioms that must stay clean.
+
+func TestDeterminismFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Determinism,
+		"wrht/internal/determfix", "wrht/internal/serve")
+}
+
+func TestNoallocFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Noalloc, "wrht/internal/noallocfix")
+}
+
+func TestCtxflowFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Ctxflow, "wrht/internal/ctxfix")
+}
+
+func TestObsguardFixtures(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Obsguard,
+		"wrht/internal/obs", "wrht/internal/obsuse")
+}
+
+// TestAnalyzerNamesStable pins the rule names: they are part of the
+// suppression syntax (//wrht:allow <rule> -- reason) committed across the
+// repository, so renaming one silently un-suppresses every existing allow.
+func TestAnalyzerNamesStable(t *testing.T) {
+	want := []string{"determinism", "noalloc", "ctxflow", "obsguard"}
+	all := analysis.All()
+	if len(all) != len(want) {
+		t.Fatalf("got %d analyzers, want %d", len(all), len(want))
+	}
+	for i, a := range all {
+		if a.Name != want[i] {
+			t.Errorf("analyzer %d named %q, want %q", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %q missing doc or run", a.Name)
+		}
+	}
+}

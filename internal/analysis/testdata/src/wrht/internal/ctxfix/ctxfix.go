@@ -1,0 +1,65 @@
+// Package ctxfix exercises the ctxflow analyzer from an in-scope library
+// path: ...Context variants must thread their ctx, and internals must not
+// mint context.Background.
+package ctxfix
+
+import "context"
+
+func work(ctx context.Context) error {
+	return ctx.Err()
+}
+
+// RunContext threads ctx into the work: clean.
+func RunContext(ctx context.Context, n int) error {
+	_ = n
+	return work(ctx)
+}
+
+// PollContext uses ctx through a selector (Done/Err): clean.
+func PollContext(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}
+
+type task struct {
+	ctx context.Context
+}
+
+// NewTaskContext threads ctx into a struct field: clean.
+func NewTaskContext(ctx context.Context) *task {
+	return &task{ctx: ctx}
+}
+
+func DropContext(ctx context.Context, n int) error { // want `never threads ctx`
+	_ = ctx
+	return nil
+}
+
+func BlankContext(_ context.Context) error { // want `discards its context.Context parameter`
+	return nil
+}
+
+// Plain is not a ...Context variant: clean even though it ignores ctx.
+func Plain(ctx context.Context) error {
+	return nil
+}
+
+// Detached mints a root context inside library internals.
+func Detached() context.Context {
+	return context.Background() // want `context.Background inside library internals`
+}
+
+// Todo is just as detached.
+func Todo() context.Context {
+	return context.TODO() // want `context.TODO inside library internals`
+}
+
+// Allowed is the reasoned exception: clean.
+func Allowed() context.Context {
+	//wrht:allow ctxflow -- fixture: proves a reasoned suppression silences the rule
+	return context.Background()
+}

@@ -1,0 +1,88 @@
+// Package determfix exercises every determinism rule from an in-scope
+// package path. Each // want comment pins a seeded violation; the unmarked
+// functions are the known-clean idioms the rule must keep permitting.
+package determfix
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// UnsortedKeys leaks map iteration order into its returned slice.
+func UnsortedKeys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration order`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// SortedKeys is the canonical collect-then-sort idiom: clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Sum aggregates commutatively: iteration order is invisible, clean.
+func Sum(m map[string]float64) float64 {
+	total := 0.0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MaxVal is the running-max pattern under a comparison guard: clean.
+func MaxVal(m map[string]int) int {
+	best := 0
+	count := 0
+	for _, v := range m {
+		count++
+		if v > best {
+			best = v
+		}
+	}
+	return best + count
+}
+
+// ReKey writes into another map: insertion order is invisible, clean.
+func ReKey(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Wall reads the wall clock inside the deterministic surface.
+func Wall() int64 {
+	return time.Now().UnixNano() // want `time.Now`
+}
+
+// GlobalRand draws from the process-global source: irreproducible.
+func GlobalRand() int {
+	return rand.Intn(10) // want `global math/rand`
+}
+
+// SeededRand derives an explicit stream: reproducible from the seed, clean.
+func SeededRand(seed int64) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(10)
+}
+
+// FormatMap hands a map straight to fmt.
+func FormatMap(m map[string]int) string {
+	return fmt.Sprintf("grid=%v", m) // want `map formatted`
+}
+
+// Suppressed demonstrates the reasoned line suppression: clean.
+func Suppressed() int64 {
+	//wrht:allow determinism -- fixture: proves a reasoned suppression silences the rule
+	return time.Now().UnixNano()
+}

@@ -1,0 +1,122 @@
+// Package noallocfix exercises the noalloc analyzer: tagged functions with
+// seeded allocation sites, tagged functions using the allowed idioms, and an
+// untagged twin proving the rule only fires under the directive.
+package noallocfix
+
+import "fmt"
+
+//wrht:noalloc
+func Boxes(v float64) string {
+	return fmt.Sprint(v) // want `interface boxing`
+}
+
+//wrht:noalloc
+func MakesMap() map[int]int {
+	return make(map[int]int) // want `make allocates`
+}
+
+//wrht:noalloc
+func SliceLit() []int {
+	return []int{1, 2, 3} // want `slice literal`
+}
+
+//wrht:noalloc
+func MapLit() map[int]int {
+	return map[int]int{1: 1} // want `map literal`
+}
+
+//wrht:noalloc
+func Concat(a, b string) string {
+	return a + b // want `string concatenation`
+}
+
+//wrht:noalloc
+func FreshAppend(xs []int) []int {
+	out := append(xs, 1) // want `append into a fresh variable`
+	return out
+}
+
+// ReuseAppend is the allowed scratch idiom x = append(x, ...): clean.
+//
+//wrht:noalloc
+func ReuseAppend(xs []int, v int) []int {
+	xs = append(xs, v)
+	return xs
+}
+
+//wrht:noalloc
+func Capture(n int) func() int {
+	f := func() int { return n } // want `closure captures n`
+	return f
+}
+
+// ColdError constructs its error on the failure path only: clean.
+//
+//wrht:noalloc
+func ColdError(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("noallocfix: bad n %d", n)
+	}
+	return n * 2, nil
+}
+
+// ColdPanic formats only when dying: clean.
+//
+//wrht:noalloc
+func ColdPanic(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("noallocfix: bad n %d", n))
+	}
+	return n * 2
+}
+
+// Unchecked is the untagged twin of the violations above: clean because the
+// contract only binds //wrht:noalloc functions.
+func Unchecked(a, b string) string {
+	_ = make([]int, 4)
+	return a + b + fmt.Sprint(len(a))
+}
+
+// Suppressed shows a reasoned in-function exception: clean.
+//
+//wrht:noalloc
+func Suppressed(a, b string) string {
+	//wrht:allow noalloc -- fixture: proves a reasoned suppression silences the rule
+	return a + b
+}
+
+// Gauge mirrors the flight recorder's nil-guarded method shape.
+type Gauge struct {
+	n    int64
+	vals []float64
+}
+
+// Record is the disabled-path contract done right: clean.
+//
+//wrht:noalloc disabled
+func (g *Gauge) Record(v float64) {
+	if g == nil {
+		return
+	}
+	g.vals = append(g.vals, v)
+}
+
+// Enabled's single nil-comparison return is its own disabled path: clean.
+//
+//wrht:noalloc disabled
+func (g *Gauge) Enabled() bool { return g != nil }
+
+//wrht:noalloc disabled
+func (g *Gauge) Bad(v float64) {
+	g.vals = append(g.vals, v) // want `dereferences g before`
+}
+
+//wrht:noalloc disabled
+func (g *Gauge) Eager(v float64) {
+	s := fmt.Sprint(v) // want `interface boxing`
+	_ = s
+	if g == nil {
+		return
+	}
+	g.vals = append(g.vals, v)
+}

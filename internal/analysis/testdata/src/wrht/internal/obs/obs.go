@@ -1,0 +1,63 @@
+// Package obs is a fixture mirror of the flight recorder: methods on
+// *Recorder must reach their nil guard before touching the receiver.
+package obs
+
+// Recorder mimics the real recorder's nil-is-disabled contract.
+type Recorder struct {
+	n    int64
+	vals []float64
+}
+
+// Add guards before the dereference: clean.
+func (r *Recorder) Add(delta int64) {
+	if r == nil {
+		return
+	}
+	r.n += delta
+}
+
+// Total declares locals before the guard without touching r: clean.
+func (r *Recorder) Total() int64 {
+	var total int64
+	if r == nil {
+		return total
+	}
+	total = r.n
+	return total
+}
+
+// Enabled is the single nil-comparison shape: clean.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// Sample guards with an ||-chain whose leftmost term is the nil check: clean.
+func (r *Recorder) Sample(v float64, on bool) {
+	if r == nil || !on {
+		return
+	}
+	r.vals = append(r.vals, v)
+}
+
+// Bump delegates to a guarded sibling — safe on a nil pointer: clean.
+func (r *Recorder) Bump() { r.Add(1) }
+
+// drainLocked is a lock-held internal reached only past guarded entry
+// points: exempt by suffix.
+func (r *Recorder) drainLocked() { r.vals = r.vals[:0] }
+
+func (r *Recorder) Unguarded(delta int64) {
+	r.n += delta // want `uses receiver r before its nil guard`
+}
+
+func (r *Recorder) LateGuard() int64 {
+	n := r.n // want `uses receiver r before its nil guard`
+	if r == nil {
+		return 0
+	}
+	return n
+}
+
+// Drain needs the receiver eagerly and documents why: clean.
+func (r *Recorder) Drain() {
+	//wrht:allow obsguard -- fixture: proves a reasoned suppression silences the rule
+	r.vals = r.vals[:0]
+}

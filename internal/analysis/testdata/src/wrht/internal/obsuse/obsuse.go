@@ -1,0 +1,34 @@
+// Package obsuse exercises the recorder-boxing half of obsguard from an
+// instrumented caller's side: the recorder stays a concrete handle.
+package obsuse
+
+import "wrht/internal/obs"
+
+// Thread passes the recorder as its concrete type: clean.
+func Thread(r *obs.Recorder) { r.Add(1) }
+
+// Keep holds the recorder in a concretely-typed struct field: clean.
+type Keep struct {
+	rec *obs.Recorder
+}
+
+func describe(v any) string { _ = v; return "recorder" }
+
+func Box(r *obs.Recorder) any {
+	return r // want `boxes the flight recorder`
+}
+
+func BoxArg(r *obs.Recorder) string {
+	return describe(r) // want `boxes the flight recorder`
+}
+
+func BoxAssign(r *obs.Recorder) {
+	var sink any
+	sink = r // want `boxes the flight recorder`
+	_ = sink
+}
+
+func BoxDecl(r *obs.Recorder) {
+	var sink any = r // want `boxes the flight recorder`
+	_ = sink
+}

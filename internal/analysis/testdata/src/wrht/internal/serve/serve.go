@@ -1,0 +1,15 @@
+// Package serve mirrors the allowlisted serving layer: the wall clock and
+// the global rand are legal here, because serving measures real latency.
+// The determinism analyzer must stay silent on this entire package.
+package serve
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Now is wall-clock territory: no diagnostic.
+func Now() time.Time { return time.Now() }
+
+// Jitter uses the global source for request jitter: no diagnostic.
+func Jitter() int { return rand.Intn(1000) }

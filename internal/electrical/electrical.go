@@ -184,6 +184,8 @@ func (nw *Network) FlowTimes(flows []Flow) (makespan float64, done []float64, er
 // StepCost prices one synchronous step: fixed per-step latency plus the
 // makespan of the step's flows under max-min sharing. For multi-step
 // schedules, a Solver amortizes the fluid-model scratch across steps.
+//
+//wrht:noalloc
 func (nw *Network) StepCost(p Params, flows []Flow) (float64, error) {
 	return NewSolver(nw).StepCost(p, flows)
 }
@@ -293,6 +295,8 @@ func NewClassSolver(linkGbps float64) (*ClassSolver, error) {
 // StepCost prices one permutation step given each active class's bit count
 // (one entry per class with a positive byte count; zero-bit classes must be
 // filtered by the caller, mirroring the full path's filter).
+//
+//wrht:noalloc
 func (c *ClassSolver) StepCost(p Params, bits []float64) (float64, error) {
 	if len(bits) == 0 {
 		if err := p.Validate(); err != nil {
@@ -320,6 +324,8 @@ func (c *ClassSolver) StepCost(p Params, bits []float64) (float64, error) {
 }
 
 // run simulates the flows, leaving per-flow completion times in s.doneAt.
+//
+//wrht:noalloc
 func (s *Solver) run(flows []Flow) (makespan float64, err error) {
 	nw := s.nw
 	s.grow(len(flows))

@@ -169,6 +169,7 @@ func Run[T any](n, parallelism int, fn func(i int) (T, error)) ([]T, []error) {
 		// of an anonymous closure. The serial parallelism==1 path above
 		// stays unlabeled and allocation-free.
 		labels := pprof.Labels("pool", "exp.Run", "worker", fmt.Sprintf("%d", w))
+		//wrht:allow ctxflow -- pprof.Do only carries profiler labels here; the pool has no cancellation contract, workers drain the closed idx channel
 		go pprof.Do(context.Background(), labels, func(context.Context) {
 			defer wg.Done()
 			for i := range idx {

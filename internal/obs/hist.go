@@ -57,6 +57,8 @@ func histIndex(v float64) int {
 
 // Observe records one value. Nil-safe; NaN and negative values are clamped
 // into the lowest bucket rather than corrupting the distribution.
+//
+//wrht:noalloc disabled
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
@@ -75,6 +77,8 @@ func (h *Histogram) Observe(v float64) {
 }
 
 // Count returns the number of recorded observations.
+//
+//wrht:noalloc disabled
 func (h *Histogram) Count() int64 {
 	if h == nil {
 		return 0
@@ -88,6 +92,8 @@ func (h *Histogram) Count() int64 {
 // recorded values: the upper edge of the bucket holding the q-th
 // observation, capped at the exact observed max. An empty (or nil)
 // histogram returns 0.
+//
+//wrht:noalloc disabled
 func (h *Histogram) Quantile(q float64) float64 {
 	if h == nil {
 		return 0
@@ -135,6 +141,8 @@ type HistStat struct {
 }
 
 // Stat summarizes the histogram under the given name.
+//
+//wrht:noalloc disabled
 func (h *Histogram) Stat(name string) HistStat {
 	if h == nil {
 		return HistStat{Name: name}
@@ -154,6 +162,8 @@ func (h *Histogram) Stat(name string) HistStat {
 // Hist returns the named histogram, creating it on first use. A nil recorder
 // returns a nil (disabled) histogram, keeping the caller's Observe calls
 // branch-cheap when observability is off.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Hist(name string) *Histogram {
 	if r == nil {
 		return nil

@@ -150,6 +150,8 @@ func New() *Recorder {
 }
 
 // Enabled reports whether the recorder is live (non-nil).
+//
+//wrht:noalloc disabled
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // Process returns the id for the named process, creating it on first use.
@@ -157,6 +159,8 @@ func (r *Recorder) Enabled() bool { return r != nil }
 // distinct process so concurrent runs never interleave on shared tracks —
 // that per-run isolation is what keeps exports deterministic under
 // parallelism.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Process(name string) ProcID {
 	if r == nil {
 		return NoProc
@@ -174,16 +178,21 @@ func (r *Recorder) Process(name string) ProcID {
 
 // Track returns the id of the named span/instant track within p, creating it
 // on first use.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Track(p ProcID, name string) TrackID {
 	return r.track(p, name, trackSlice)
 }
 
 // CounterTrack returns the id of the named counter track within p, creating
 // it on first use. Counter tracks render as step graphs in Perfetto.
+//
+//wrht:noalloc disabled
 func (r *Recorder) CounterTrack(p ProcID, name string) TrackID {
 	return r.track(p, name, trackCounter)
 }
 
+//wrht:noalloc disabled
 func (r *Recorder) track(p ProcID, name string, kind trackKind) TrackID {
 	if r == nil || p == NoProc {
 		return NoTrack
@@ -201,6 +210,8 @@ func (r *Recorder) track(p ProcID, name string, kind trackKind) TrackID {
 }
 
 // Span records a completed slice [start, start+dur) on track t.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Span(t TrackID, name string, start, dur float64, args SpanArgs) {
 	if r == nil || t == NoTrack {
 		return
@@ -213,6 +224,8 @@ func (r *Recorder) Span(t TrackID, name string, start, dur float64, args SpanArg
 
 // Instant records a zero-duration event at time at on track t; val is an
 // optional integer payload (e.g. the wavelength width of a fabric event).
+//
+//wrht:noalloc disabled
 func (r *Recorder) Instant(t TrackID, name string, at float64, val int64) {
 	if r == nil || t == NoTrack {
 		return
@@ -224,6 +237,8 @@ func (r *Recorder) Instant(t TrackID, name string, at float64, val int64) {
 }
 
 // Sample records a counter-track value at time at on track t.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Sample(t TrackID, at float64, val float64) {
 	if r == nil || t == NoTrack {
 		return
@@ -235,6 +250,8 @@ func (r *Recorder) Sample(t TrackID, at float64, val float64) {
 }
 
 // Add bumps the named monotonic integer counter by delta.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Add(name string, delta int64) {
 	if r == nil {
 		return
@@ -246,6 +263,8 @@ func (r *Recorder) Add(name string, delta int64) {
 
 // AddSeconds accumulates delta into the named float counter (λ·seconds,
 // busy seconds, and similar integrals).
+//
+//wrht:noalloc disabled
 func (r *Recorder) AddSeconds(name string, delta float64) {
 	if r == nil {
 		return
@@ -256,6 +275,8 @@ func (r *Recorder) AddSeconds(name string, delta float64) {
 }
 
 // Gauge records the latest value of the named gauge, tracking last and max.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Gauge(name string, v float64) {
 	if r == nil {
 		return
@@ -272,6 +293,8 @@ func (r *Recorder) Gauge(name string, v float64) {
 }
 
 // Counter returns the current value of the named integer counter.
+//
+//wrht:noalloc disabled
 func (r *Recorder) Counter(name string) int64 {
 	if r == nil {
 		return 0
@@ -282,6 +305,8 @@ func (r *Recorder) Counter(name string) int64 {
 }
 
 // FloatCounter returns the current value of the named float counter.
+//
+//wrht:noalloc disabled
 func (r *Recorder) FloatCounter(name string) float64 {
 	if r == nil {
 		return 0
@@ -294,6 +319,8 @@ func (r *Recorder) FloatCounter(name string) float64 {
 // LaneOn marks wavelength lane (p, idx) busy from time at, labeled (e.g.
 // with the occupying job's name). Re-opening an open lane first closes the
 // running interval at at.
+//
+//wrht:noalloc disabled
 func (r *Recorder) LaneOn(p ProcID, idx int, at float64, label string) {
 	if r == nil || p == NoProc {
 		return
@@ -310,6 +337,8 @@ func (r *Recorder) LaneOn(p ProcID, idx int, at float64, label string) {
 }
 
 // LaneOff closes the busy interval of wavelength lane (p, idx) at time at.
+//
+//wrht:noalloc disabled
 func (r *Recorder) LaneOff(p ProcID, idx int, at float64) {
 	if r == nil || p == NoProc {
 		return

@@ -158,6 +158,8 @@ func NewStepPricer(topo ring.Topology, p Params, policy wdm.Policy) (*StepPricer
 // pricer's reusable round storage and are valid only until the next Price
 // call (multi-step runners consume them — e.g. for fabric replay — before
 // pricing the next step).
+//
+//wrht:noalloc
 func (sp *StepPricer) Price(transfers []TransferSpec) (StepResult, error) {
 	p := sp.p
 	demands := sp.demands[:0]
@@ -235,6 +237,8 @@ type ClassSpec struct {
 // ok=false (policy not First Fit, zero-byte holes without disjointness, or
 // an orbit that does not fit one round) means the caller must price the
 // materialized step with Price; err reports malformed inputs.
+//
+//wrht:noalloc
 func (sp *StepPricer) PriceSymmetric(orbit []wdm.Demand, classes []ClassSpec, disjoint bool) (StepResult, bool, error) {
 	p := sp.p
 	if sp.policy != wdm.FirstFit {

@@ -91,15 +91,21 @@ func Headline(cells []Cell) (Reductions, error) {
 		nodes int
 	}
 	byConfig := map[key]map[wrht.Algorithm]float64{}
+	var keys []key // first-seen order: deterministic, unlike map iteration
 	for _, c := range cells {
 		k := key{c.Model, c.Nodes}
 		if byConfig[k] == nil {
 			byConfig[k] = map[wrht.Algorithm]float64{}
+			keys = append(keys, k)
 		}
 		byConfig[k][c.Alg] = c.Seconds
 	}
+	// Iterate in input order, not map order: Mean sums in slice order, and
+	// float addition is not associative, so map iteration would perturb the
+	// headline numbers at the last ulp from run to run.
 	var vsE, vsRD, vsElec, vsO []float64
-	for k, row := range byConfig {
+	for _, k := range keys {
+		row := byConfig[k]
 		w, okW := row[wrht.AlgWrht]
 		e, okE := row[wrht.AlgERing]
 		r, okR := row[wrht.AlgRD]

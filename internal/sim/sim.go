@@ -91,6 +91,8 @@ func (e *Engine) Register(fn Handler) HandlerID {
 
 // Schedule enqueues handler h with arg at absolute time t; t must not precede
 // the current time.
+//
+//wrht:noalloc
 func (e *Engine) Schedule(t float64, h HandlerID, arg int32) {
 	if h < 0 || int(h) >= len(e.handlers) {
 		panic(fmt.Sprintf("sim: scheduling unregistered handler %d", h))
@@ -99,6 +101,8 @@ func (e *Engine) Schedule(t float64, h HandlerID, arg int32) {
 }
 
 // push validates t and sifts a new event into the heap.
+//
+//wrht:noalloc
 func (e *Engine) push(t float64, h HandlerID, arg int32) {
 	if math.IsNaN(t) || t < e.now {
 		panic(fmt.Sprintf("sim: scheduling at %v before now %v", t, e.now))
@@ -123,6 +127,8 @@ func (e *Engine) push(t float64, h HandlerID, arg int32) {
 }
 
 // pop removes and returns the earliest event.
+//
+//wrht:noalloc
 func (e *Engine) pop() event {
 	top := e.heap[0]
 	n := len(e.heap) - 1
@@ -204,6 +210,8 @@ func (e *Engine) After(delay float64, fn func()) {
 }
 
 // Run executes events until the queue drains, returning the final time.
+//
+//wrht:noalloc
 func (e *Engine) Run() float64 {
 	for len(e.heap) > 0 {
 		e.step()
@@ -218,6 +226,8 @@ func (e *Engine) Run() float64 {
 // instant. A nil check degrades to plain Run. This is the seam that lets a
 // serving deadline kill an in-flight fabric or fleet co-simulation at an
 // event boundary instead of burning a worker to completion.
+//
+//wrht:noalloc
 func (e *Engine) RunChecked(every int64, check func() error) (float64, error) {
 	if check == nil {
 		return e.Run(), nil
@@ -240,6 +250,8 @@ func (e *Engine) RunChecked(every int64, check func() error) (float64, error) {
 
 // RunUntil executes events with time <= t, then sets the clock to t (if the
 // queue drained earlier) and returns the number of events executed.
+//
+//wrht:noalloc
 func (e *Engine) RunUntil(t float64) int64 {
 	executed := int64(0)
 	for len(e.heap) > 0 && e.heap[0].time <= t {
@@ -252,6 +264,7 @@ func (e *Engine) RunUntil(t float64) int64 {
 	return executed
 }
 
+//wrht:noalloc
 func (e *Engine) step() {
 	ev := e.pop()
 	e.now = ev.time

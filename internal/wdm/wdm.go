@@ -125,6 +125,8 @@ func NewWorkspace(t ring.Topology) *Workspace {
 }
 
 // reset clears the occupancy state (a fresh round) while keeping capacity.
+//
+//wrht:noalloc
 func (ws *Workspace) reset() {
 	ws.epoch++
 	if ws.epoch == 0 { // wrapped: the stale marks are indistinguishable, clear
@@ -160,6 +162,8 @@ func (ws *Workspace) ensure(c int) {
 }
 
 // feasible reports whether color c is free on every link of the arc.
+//
+//wrht:noalloc
 func (ws *Workspace) feasible(c int, links []int) bool {
 	ws.ensure(c)
 	row := ws.busy[c*ws.numLinks:]
@@ -171,6 +175,7 @@ func (ws *Workspace) feasible(c int, links []int) bool {
 	return true
 }
 
+//wrht:noalloc
 func (ws *Workspace) take(c int, links []int) {
 	ws.ensure(c)
 	row := ws.busy[c*ws.numLinks:]
@@ -181,6 +186,8 @@ func (ws *Workspace) take(c int, links []int) {
 }
 
 // demandLinks resolves the demand's arc into ws.links (reused across calls).
+//
+//wrht:noalloc
 func (ws *Workspace) demandLinks(a ring.Arc) ([]int, error) {
 	if a.Src == a.Dst {
 		return nil, fmt.Errorf("wdm: arc %v has zero length", a)

@@ -76,6 +76,19 @@
 //	    -d '{"Nodes":128,"Algorithm":"wrht","Bytes":1048576}'
 //	go run ./cmd/loadgen -conc 8 -duration 5s
 //
+// Linting — the repository's invariants (seeded runs are bit-identical,
+// //wrht:noalloc functions never allocate, ...Context variants thread
+// their ctx, recorder methods guard before dereferencing) are enforced
+// statically by the wrhtlint suite (internal/analysis, DESIGN.md §12).
+// CI and TestRepoSelfClean keep the tree diagnostic-clean:
+//
+//	go run ./cmd/wrhtlint ./...          # whole module, exit 1 on findings
+//	go run ./cmd/wrhtlint ./internal/sim # one subtree
+//	go run ./cmd/wrhtlint -list          # rule catalogue
+//
+// A finding is fixed, or suppressed on its own line with a mandatory
+// reason: //wrht:allow <rule> -- <why this one is safe>.
+//
 // Other surfaces: MultiRackTime (hierarchical rings), TrainingIteration
 // (DDP overlap), ScheduleOutline (per-step inspection), EnergyReport.
 // Runnable programs live in examples/ (quickstart, multi_tenant,
